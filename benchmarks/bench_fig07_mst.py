@@ -1,0 +1,16 @@
+"""Figure 7: normalized maximum sustainable throughput per query, protocol and parallelism.
+
+Regenerates the paper artifact at the scale selected by CHECKMATE_SCALE
+(quick / default / full) and checks the qualitative shape claims.
+"""
+
+from repro.experiments import figures
+
+from benchmarks._common import checks_pass, emit
+
+
+def test_fig07_mst(benchmark):
+    out = benchmark.pedantic(figures.fig7_mst, rounds=1, iterations=1)
+    emit("fig07_mst", out["text"])
+    assert out["rows"], "experiment produced no data"
+    assert checks_pass(out), "a paper shape claim failed - see the emitted table"

@@ -1,0 +1,16 @@
+"""Figure 9: per-second p50 latency with a failure at t=18s.
+
+Regenerates the paper artifact at the scale selected by CHECKMATE_SCALE
+(quick / default / full) and checks the qualitative shape claims.
+"""
+
+from repro.experiments import figures
+
+from benchmarks._common import checks_pass, emit
+
+
+def test_fig09_latency_p50(benchmark):
+    out = benchmark.pedantic(figures.fig9_latency_p50, rounds=1, iterations=1)
+    emit("fig09_latency_p50", out["text"])
+    assert out["rows"], "experiment produced no data"
+    assert checks_pass(out), "a paper shape claim failed - see the emitted table"

@@ -1,0 +1,16 @@
+"""Figure 10: per-second p99 latency with a failure at t=18s.
+
+Regenerates the paper artifact at the scale selected by CHECKMATE_SCALE
+(quick / default / full) and checks the qualitative shape claims.
+"""
+
+from repro.experiments import figures
+
+from benchmarks._common import checks_pass, emit
+
+
+def test_fig10_latency_p99(benchmark):
+    out = benchmark.pedantic(figures.fig10_latency_p99, rounds=1, iterations=1)
+    emit("fig10_latency_p99", out["text"])
+    assert out["rows"], "experiment produced no data"
+    assert checks_pass(out), "a paper shape claim failed - see the emitted table"

@@ -1,0 +1,16 @@
+"""Figure 12: p50 latency and checkpoint time under hot-item skew.
+
+Regenerates the paper artifact at the scale selected by CHECKMATE_SCALE
+(quick / default / full) and checks the qualitative shape claims.
+"""
+
+from repro.experiments import figures
+
+from benchmarks._common import checks_pass, emit
+
+
+def test_fig12_skew(benchmark):
+    out = benchmark.pedantic(figures.fig12_skew, rounds=1, iterations=1)
+    emit("fig12_skew", out["text"])
+    assert out["rows"], "experiment produced no data"
+    assert checks_pass(out), "a paper shape claim failed - see the emitted table"

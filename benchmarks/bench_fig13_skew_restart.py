@@ -1,0 +1,16 @@
+"""Figure 13: restart time under skew.
+
+Regenerates the paper artifact at the scale selected by CHECKMATE_SCALE
+(quick / default / full) and checks the qualitative shape claims.
+"""
+
+from repro.experiments import figures
+
+from benchmarks._common import checks_pass, emit
+
+
+def test_fig13_skew_restart(benchmark):
+    out = benchmark.pedantic(figures.fig13_skew_restart, rounds=1, iterations=1)
+    emit("fig13_skew_restart", out["text"])
+    assert out["rows"], "experiment produced no data"
+    assert checks_pass(out), "a paper shape claim failed - see the emitted table"

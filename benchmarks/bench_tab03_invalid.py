@@ -1,0 +1,16 @@
+"""Table III: total and invalid checkpoints at failure.
+
+Regenerates the paper artifact at the scale selected by CHECKMATE_SCALE
+(quick / default / full) and checks the qualitative shape claims.
+"""
+
+from repro.experiments import figures
+
+from benchmarks._common import checks_pass, emit
+
+
+def test_tab03_invalid(benchmark):
+    out = benchmark.pedantic(figures.table3_invalid, rounds=1, iterations=1)
+    emit("tab03_invalid", out["text"])
+    assert out["rows"], "experiment produced no data"
+    assert checks_pass(out), "a paper shape claim failed - see the emitted table"

@@ -1,0 +1,16 @@
+"""Table IV: cyclic reachability query (UNC vs CIC).
+
+Regenerates the paper artifact at the scale selected by CHECKMATE_SCALE
+(quick / default / full) and checks the qualitative shape claims.
+"""
+
+from repro.experiments import figures
+
+from benchmarks._common import checks_pass, emit
+
+
+def test_tab04_cyclic(benchmark):
+    out = benchmark.pedantic(figures.table4_cyclic, rounds=1, iterations=1)
+    emit("tab04_cyclic", out["text"])
+    assert out["rows"], "experiment produced no data"
+    assert checks_pass(out), "a paper shape claim failed - see the emitted table"

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""At-most-once vs at-least-once vs exactly-once, made visible.
+
+The paper's Section II defines the three processing guarantees; the
+uncoordinated protocol family can be configured to deliver any of them
+(each guarantee = one more recovery mechanism):
+
+* at-most-once   : bare checkpoints                        -> gaps
+* at-least-once  : + message logging and replay            -> duplicates
+* exactly-once   : + recovery-line search + deduplication  -> exact
+
+This example runs the same keyed-counting pipeline with the same worker
+crash under each mode and audits the final state against the input.
+
+Run:  python examples/processing_semantics.py
+"""
+
+import random
+from dataclasses import dataclass
+
+from repro.dataflow.graph import LogicalGraph, Partitioning
+from repro.dataflow.operators import Operator, OperatorContext, SinkOperator, SourceOperator
+from repro.dataflow.records import StreamRecord
+from repro.dataflow.runtime import Job
+from repro.dataflow.state import KeyedMapState
+from repro.metrics.report import format_table
+from repro.sim.costs import RuntimeConfig
+from repro.storage.kafka import PartitionedLog
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    key: int
+
+    @property
+    def size_bytes(self) -> int:
+        return 40
+
+
+class Counter(Operator):
+    cpu_per_record = 0.0015
+
+    def open(self, ctx: OperatorContext) -> None:
+        super().open(ctx)
+        self.counts = self.states.register("counts", KeyedMapState())
+
+    def process(self, record: StreamRecord, port: str) -> list[StreamRecord]:
+        key = record.payload.key
+        self.counts.put(key, self.counts.get(key, 0) + 1, 24)
+        return [record.derive(self.ctx.op_name, record.payload, 40)]
+
+
+def build() -> LogicalGraph:
+    graph = LogicalGraph("semantics")
+    graph.add_source("src", "events", SourceOperator)
+    graph.add_operator("count", Counter, stateful=True)
+    graph.add_operator("sink", SinkOperator)
+    graph.connect("src", "count", Partitioning.KEY, key_fn=lambda e: e.key)
+    graph.connect("count", "sink", Partitioning.FORWARD)
+    return graph
+
+
+def build_log(parallelism: int) -> PartitionedLog:
+    rng = random.Random(11)
+    log = PartitionedLog("events", parallelism)
+    for k in range(4200):
+        t = (k + 0.5) / 300.0
+        event = Event(key=rng.randrange(24))
+        log.partition(k % parallelism).append(t, event, event.size_bytes)
+    return log
+
+
+def main() -> None:
+    parallelism = 3
+    rows = []
+    for semantics in ["at-most-once", "at-least-once", "exactly-once"]:
+        log = build_log(parallelism)
+        config = RuntimeConfig(
+            checkpoint_interval=3.0, duration=18.0, warmup=2.0,
+            failure_at=6.0, unc_semantics=semantics,
+        )
+        job = Job(build(), "unc", parallelism, {"events": log}, config)
+        job.run(rate=300.0)
+        expected = sum(len(p) for p in log.partitions)
+        measured = sum(
+            value
+            for idx in range(parallelism)
+            for _, value in job.instance(("count", idx)).operator.states["counts"].items()
+        )
+        verdict = ("EXACT" if measured == expected
+                   else "LOST %d" % (expected - measured) if measured < expected
+                   else "DUPLICATED %d" % (measured - expected))
+        rows.append([semantics, expected, measured, verdict,
+                     "yes" if job.send_log else "no"])
+    print(format_table(
+        ["semantics", "input records", "state effects", "verdict", "logged?"],
+        rows,
+        title="One crash, three guarantees (UNC, 3 workers, failure at t=6s)",
+    ))
+    print()
+    print("Each guarantee is one more recovery mechanism (paper Section III-B):")
+    print("  gaps       <- nothing to replay: in-flight messages died with the worker")
+    print("  duplicates <- replay without a consistent recovery line re-applies orphans")
+    print("  exact      <- rollback propagation + replay + lineage-id deduplication")
+
+
+if __name__ == "__main__":
+    main()

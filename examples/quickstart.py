@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Quickstart: run one NexMark query under each checkpointing protocol.
+
+Deploys NexMark Q1 (stateless bid conversion) on 4 simulated workers, runs
+it under the checkpoint-free baseline and the three protocols the paper
+evaluates, and prints throughput / latency / checkpoint statistics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.experiments.runner import run_query
+from repro.metrics.report import format_table
+from repro.metrics.series import percentile
+from repro.workloads.nexmark import QUERIES
+
+
+def main() -> None:
+    spec = QUERIES["q1"]
+    parallelism = 4
+    rate = 450.0  # records/second across all source partitions (below every protocol's MST)
+    print(f"query: {spec.name} — {spec.description}")
+    print(spec.build_graph(parallelism).describe())
+    print()
+
+    rows = []
+    for protocol in ["none", "coor", "unc", "cic"]:
+        result = run_query(
+            spec, protocol, parallelism, rate=rate,
+            duration=30.0, warmup=5.0,
+        )
+        series = result.latency_series()
+        p50 = percentile([v for v in series.p50 if v > 0], 50)
+        p99 = percentile([v for v in series.p99 if v > 0], 50)
+        rows.append([
+            protocol,
+            sum(result.metrics.sink_counts.values()),
+            p50 * 1000.0,
+            p99 * 1000.0,
+            result.total_checkpoints(),
+            result.avg_checkpoint_time() * 1000.0,
+            result.metrics.overhead_ratio(),
+        ])
+    print(format_table(
+        ["protocol", "records out", "p50 (ms)", "p99 (ms)",
+         "checkpoints", "avg CT (ms)", "msg overhead x"],
+        rows,
+        title=f"Q1 @ {rate:.0f} rec/s on {parallelism} workers (30 s run)",
+    ))
+    print()
+    print("Things to notice (paper Sections III and VII):")
+    print(" * COOR's checkpoint time is a full marker round; UNC/CIC snapshot locally.")
+    print(" * UNC pays a small logging tax; its overhead ratio stays ~1.00x.")
+    print(" * CIC piggybacks HMNR clocks on every record: overhead ~2x.")
+
+
+if __name__ == "__main__":
+    main()

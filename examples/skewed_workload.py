@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""The paper's headline result: skew flips the protocol ranking.
+
+Runs NexMark Q12 on 10 workers at 50% of the non-skewed maximum sustainable
+throughput while increasing the hot-item ratio (all hot keys route to
+worker 0, turning it into a straggler).  Under uniform input the
+coordinated protocol wins; under skew its alignment blocks behind the
+straggler and both its p50 latency and its checkpoint time explode, while
+the uncoordinated protocol barely notices (paper Fig. 12).
+
+Run:  python examples/skewed_workload.py
+"""
+
+from repro.experiments.runner import run_query
+from repro.metrics.mst import find_mst
+from repro.metrics.report import format_table
+from repro.metrics.series import percentile
+from repro.workloads.nexmark import QUERIES
+
+
+def main() -> None:
+    spec = QUERIES["q12"]
+    parallelism = 10
+    rows = []
+    for protocol in ["coor", "unc", "cic"]:
+        mst = find_mst(spec, protocol, parallelism,
+                       probe_duration=8.0, warmup=4.0, iterations=2).mst
+        for hot_ratio in [0.0, 0.1, 0.2, 0.3]:
+            result = run_query(
+                spec, protocol, parallelism,
+                rate=0.5 * mst,
+                duration=40.0, warmup=10.0,
+                hot_ratio=hot_ratio,
+            )
+            series = result.latency_series()
+            p50 = percentile([v for v in series.p50 if v > 0], 50)
+            rows.append([
+                protocol,
+                f"{hot_ratio:.0%}",
+                p50 * 1000.0,
+                result.avg_checkpoint_time() * 1000.0,
+                result.total_checkpoints(),
+            ])
+    print(format_table(
+        ["protocol", "hot items", "p50 (ms)", "avg CT (ms)", "checkpoints"],
+        rows,
+        title="Q12 on 10 workers at 50% of non-skewed MST (paper Fig. 12)",
+    ))
+    print()
+    print("Why COOR collapses under skew (paper Section VII-B):")
+    print(" * hot keys all hash to worker 0, which falls behind;")
+    print(" * its operators take + forward markers only after draining their")
+    print("   backlog, so every aligned round stalls on the straggler;")
+    print(" * downstream operators block their fast channels while waiting —")
+    print("   the whole pipeline inherits the straggler's latency.")
+    print("UNC/CIC never block: only the hot worker's records get slow.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""CheckMate reproduction: evaluating checkpointing protocols for streaming dataflows.
+
+Public API tour
+---------------
+* :mod:`repro.dataflow` — the streaming testbed (graphs, operators, runtime).
+* :mod:`repro.core` — the checkpointing protocols (COOR / UNC / CIC) and the
+  recovery-line machinery.
+* :mod:`repro.workloads` — NexMark queries Q1/Q3/Q8/Q12 and the cyclic
+  reachability query, with deterministic generators.
+* :mod:`repro.metrics` — latency/throughput/checkpoint metrics and the
+  maximum-sustainable-throughput search.
+* :mod:`repro.experiments` — one entry point per paper table and figure.
+
+Quickstart::
+
+    from repro.workloads.nexmark import QUERIES
+    from repro.experiments.runner import run_query
+
+    result = run_query(QUERIES["q1"], protocol="coor", parallelism=4,
+                       rate=400.0, duration=20.0)
+    print(result.latency_series().p50)
+"""
+
+__version__ = "1.0.0"
+
+from repro.sim import Simulator, CostModel
+from repro.sim.costs import RuntimeConfig
+from repro.dataflow import LogicalGraph, Job, RunResult
+from repro.core import PROTOCOLS
+
+__all__ = [
+    "Simulator",
+    "CostModel",
+    "RuntimeConfig",
+    "LogicalGraph",
+    "Job",
+    "RunResult",
+    "PROTOCOLS",
+    "__version__",
+]

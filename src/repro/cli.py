@@ -1,0 +1,165 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+list
+    Show the available experiments (paper tables/figures + ablations).
+run EXPERIMENT [--scale quick|default|full] [--out DIR]
+    Regenerate one paper artifact and print the paper-vs-measured table.
+all [--scale ...] [--out DIR]
+    Regenerate every table and figure (EXPERIMENTS.md is written from
+    these outputs).
+query NAME --protocol P [--parallelism N] [--rate R] [--failure-at T] ...
+    Run a single configuration and print its summary (exploration tool).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import sys
+import time
+
+from repro.experiments import figures
+from repro.experiments.config import scale_by_name
+from repro.experiments.runner import run_query
+from repro.metrics.series import percentile
+from repro.workloads.cyclic import REACHABILITY
+from repro.workloads.nexmark import QUERIES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CheckMate reproduction: checkpointing protocols for "
+                    "streaming dataflows",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="regenerate one paper table/figure")
+    run.add_argument("experiment", choices=sorted(figures.ALL_EXPERIMENTS))
+    _add_common(run)
+
+    everything = sub.add_parser("all", help="regenerate every table and figure")
+    _add_common(everything)
+
+    query = sub.add_parser("query", help="run a single configuration")
+    query.add_argument("name", choices=sorted(QUERIES) + ["reachability"])
+    query.add_argument("--protocol", default="coor",
+                       choices=["none", "coor", "coor-unaligned", "unc", "cic"])
+    query.add_argument("--parallelism", type=int, default=4)
+    query.add_argument("--rate", type=float, default=None,
+                       help="records/second (default: 60%% of capacity hint)")
+    query.add_argument("--duration", type=float, default=30.0)
+    query.add_argument("--warmup", type=float, default=5.0)
+    query.add_argument("--failure-at", type=float, default=None)
+    query.add_argument("--hot-ratio", type=float, default=0.0)
+    query.add_argument("--checkpoint-interval", type=float, default=5.0)
+    query.add_argument("--seed", type=int, default=7)
+    return parser
+
+
+def _add_common(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--scale", default=None,
+                     choices=["quick", "default", "full"],
+                     help="overrides CHECKMATE_SCALE")
+    sub.add_argument("--out", default="results",
+                     help="directory for the rendered text blocks")
+
+
+def _resolve_scale(args):
+    if args.scale:
+        os.environ["CHECKMATE_SCALE"] = args.scale
+        return scale_by_name(args.scale)
+    from repro.experiments.config import current_scale
+
+    return current_scale()
+
+
+def _cmd_list() -> int:
+    print("experiments (paper artifacts):")
+    for name, fn in sorted(figures.ALL_EXPERIMENTS.items()):
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:<8} {doc}")
+    print("\nscales: quick (CI smoke), default (shape grid), full (paper grid)")
+    return 0
+
+
+def _emit(out_dir: str, name: str, text: str) -> None:
+    print(text)
+    print()
+    directory = pathlib.Path(out_dir)
+    directory.mkdir(exist_ok=True)
+    (directory / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def _cmd_run(args) -> int:
+    scale = _resolve_scale(args)
+    fn = figures.ALL_EXPERIMENTS[args.experiment]
+    started = time.time()
+    out = fn(scale)
+    _emit(args.out, args.experiment, out["text"])
+    print(f"[{args.experiment}] scale={scale.name} "
+          f"wall={time.time() - started:.1f}s")
+    return 0 if all(ok for _, ok in out.get("checks", [])) else 1
+
+
+def _cmd_all(args) -> int:
+    scale = _resolve_scale(args)
+    status = 0
+    for name, fn in figures.ALL_EXPERIMENTS.items():
+        started = time.time()
+        out = fn(scale)
+        _emit(args.out, name, out["text"])
+        print(f"[{name}] scale={scale.name} wall={time.time() - started:.1f}s\n")
+        if not all(ok for _, ok in out.get("checks", [])):
+            status = 1
+    return status
+
+
+def _cmd_query(args) -> int:
+    spec = REACHABILITY if args.name == "reachability" else QUERIES[args.name]
+    rate = args.rate or spec.capacity_per_worker * args.parallelism * 0.6
+    result = run_query(
+        spec, args.protocol, args.parallelism, rate=rate,
+        duration=args.duration, warmup=args.warmup,
+        failure_at=args.failure_at, hot_ratio=args.hot_ratio,
+        checkpoint_interval=args.checkpoint_interval, seed=args.seed,
+    )
+    series = result.latency_series()
+    p50 = percentile([v for v in series.p50 if v > 0], 50)
+    p99 = percentile([v for v in series.p99 if v > 0], 50)
+    print(f"query={result.query} protocol={result.protocol} "
+          f"workers={result.parallelism} rate={rate:.0f} rec/s")
+    print(f"  sink records     : {sum(result.metrics.sink_counts.values())}")
+    print(f"  p50 / p99        : {p50 * 1000:.1f} ms / {p99 * 1000:.1f} ms")
+    print(f"  checkpoints      : {result.total_checkpoints()} "
+          f"(avg {result.avg_checkpoint_time() * 1000:.2f} ms)")
+    print(f"  message overhead : {result.metrics.overhead_ratio():.2f}x")
+    if args.failure_at is not None:
+        print(f"  restart time     : {result.restart_time() * 1000:.0f} ms")
+        print(f"  recovery time    : {result.recovery_time():.1f} s")
+        print(f"  invalid ckpts    : {result.metrics.invalid_checkpoints} "
+              f"of {result.metrics.total_checkpoints_at_failure}")
+        print(f"  replayed messages: {result.metrics.replayed_messages}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "all":
+        return _cmd_all(args)
+    if args.command == "query":
+        return _cmd_query(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

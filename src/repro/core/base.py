@@ -1,0 +1,237 @@
+"""Protocol interface, checkpoint metadata, and recovery plans.
+
+The runtime (:mod:`repro.dataflow.runtime`) is protocol-agnostic: it calls
+the hooks defined here at well-defined points (message send/receive, marker
+arrival, timers, failure detection) and executes whatever
+:class:`RecoveryPlan` the protocol produces.  This is the "isolated
+comparison" property the paper built its testbed for (Section IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.dataflow.channels import ChannelId, Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from repro.dataflow.runtime import Job, InstanceRuntime
+
+InstanceKey = tuple[str, int]
+
+
+@dataclass(frozen=True)
+class CheckpointMeta:
+    """Durable descriptor of one operator-instance checkpoint.
+
+    ``last_sent`` / ``last_received`` are per-channel message-sequence
+    cursors captured atomically with the snapshot; the checkpoint graph and
+    replay-set computation work purely on these cursors (no log scanning).
+    """
+
+    instance: InstanceKey
+    checkpoint_id: int
+    kind: str  # 'coor' | 'local' | 'forced' | 'initial'
+    round_id: int | None
+    started_at: float
+    durable_at: float
+    state_bytes: int
+    blob_key: str
+    last_sent: dict[ChannelId, int]
+    last_received: dict[ChannelId, int]
+    source_offset: int | None
+    clock: int = 0
+
+    def sent_cursor(self, channel: ChannelId) -> int:
+        return self.last_sent.get(channel, 0)
+
+    def received_cursor(self, channel: ChannelId) -> int:
+        return self.last_received.get(channel, 0)
+
+
+def initial_checkpoint(instance: InstanceKey) -> CheckpointMeta:
+    """The implicit 'virgin state' checkpoint every instance starts from."""
+    return CheckpointMeta(
+        instance=instance,
+        checkpoint_id=0,
+        kind="initial",
+        round_id=None,
+        started_at=0.0,
+        durable_at=0.0,
+        state_bytes=0,
+        blob_key="",
+        last_sent={},
+        last_received={},
+        source_offset=0,
+    )
+
+
+class CheckpointRegistry:
+    """Coordinator-side registry of durable checkpoints per instance."""
+
+    def __init__(self) -> None:
+        self._by_instance: dict[InstanceKey, list[CheckpointMeta]] = {}
+
+    def register(self, meta: CheckpointMeta) -> None:
+        entries = self._by_instance.setdefault(meta.instance, [])
+        if entries and meta.checkpoint_id <= entries[-1].checkpoint_id:
+            raise ValueError(
+                f"checkpoint ids must increase per instance: {meta.instance} "
+                f"{meta.checkpoint_id} after {entries[-1].checkpoint_id}"
+            )
+        entries.append(meta)
+
+    def for_instance(self, instance: InstanceKey) -> list[CheckpointMeta]:
+        """All durable checkpoints of ``instance``, oldest first (no initial)."""
+        return list(self._by_instance.get(instance, []))
+
+    def with_initial(self, instance: InstanceKey) -> list[CheckpointMeta]:
+        """Checkpoints including the implicit initial one, oldest first."""
+        return [initial_checkpoint(instance)] + self._by_instance.get(instance, [])
+
+    def latest(self, instance: InstanceKey) -> CheckpointMeta | None:
+        entries = self._by_instance.get(instance)
+        return entries[-1] if entries else None
+
+    def prune_older_than(self, instance: InstanceKey, checkpoint_id: int) -> list[CheckpointMeta]:
+        """Drop (and return) checkpoints with id < ``checkpoint_id`` (GC)."""
+        entries = self._by_instance.get(instance, [])
+        dropped = [m for m in entries if m.checkpoint_id < checkpoint_id]
+        if dropped:
+            self._by_instance[instance] = [
+                m for m in entries if m.checkpoint_id >= checkpoint_id
+            ]
+        return dropped
+
+    def total(self) -> int:
+        return sum(len(v) for v in self._by_instance.values())
+
+    def instances(self) -> list[InstanceKey]:
+        return list(self._by_instance)
+
+
+@dataclass
+class RecoveryPlan:
+    """What to restore and what to replay after a failure."""
+
+    #: chosen recovery line: instance -> checkpoint (may be the initial one)
+    line: dict[InstanceKey, CheckpointMeta]
+    #: in-flight messages to replay into receivers: channel -> list of Message
+    replay: dict[ChannelId, list[Message]] = field(default_factory=dict)
+    #: checkpoints pruned by the recovery-line search (rolled back / unusable)
+    invalid_checkpoints: int = 0
+    #: durable checkpoints existing when the plan was computed
+    total_checkpoints: int = 0
+    computed_at: float = 0.0
+
+    @property
+    def replayed_messages(self) -> int:
+        return sum(len(v) for v in self.replay.values())
+
+    @property
+    def replayed_records(self) -> int:
+        return sum(m.record_count for msgs in self.replay.values() for m in msgs)
+
+
+class CheckpointProtocol:
+    """Base class: a no-op protocol (also the Figure-7 baseline)."""
+
+    name = "none"
+    #: does the runtime need per-channel durable send logs + rid dedup?
+    requires_logging = False
+    #: can the protocol run on cyclic dataflow graphs?
+    supports_cycles = True
+
+    def __init__(self, job: "Job"):
+        self.job = job
+
+    @property
+    def requires_dedup(self) -> bool:
+        """Should receivers deduplicate by lineage id?
+
+        Defaults to ``requires_logging`` (log-based recovery needs dedup for
+        exactly-once); the uncoordinated protocol overrides this for its
+        weaker processing-semantics modes (paper Definitions 1-3).
+        """
+        return self.requires_logging
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def on_job_start(self) -> None:
+        """Install timers (checkpoint triggers / round scheduling)."""
+
+    # -- data path hooks (return extra CPU seconds to charge) ------------- #
+
+    def on_send(self, instance: "InstanceRuntime", channel: ChannelId, msg: Message) -> float:
+        """Called before a data message leaves the producer."""
+        return 0.0
+
+    def on_data_received(self, instance: "InstanceRuntime", channel: ChannelId,
+                         msg: Message) -> float:
+        """Called before a data message's records are processed."""
+        return 0.0
+
+    def on_marker(self, instance: "InstanceRuntime", channel: ChannelId, msg: Message) -> None:
+        """Called on marker arrival (COOR only)."""
+        raise NotImplementedError(f"{self.name} does not use markers")
+
+    # -- checkpoint lifecycle ------------------------------------------- #
+
+    def capture_extra(self, instance: "InstanceRuntime") -> Any:
+        """Protocol-private state to embed in the snapshot (e.g. HMNR vectors)."""
+        return None
+
+    def restore_extra(self, instance: "InstanceRuntime", extra: Any) -> None:
+        """Reinstall protocol-private state on recovery."""
+
+    def instance_clock(self, instance: "InstanceRuntime") -> int:
+        """Logical clock value recorded in checkpoint metadata."""
+        return 0
+
+    def on_checkpoint_started(self, instance: "InstanceRuntime", kind: str,
+                              round_id: int | None) -> float:
+        """Hook at snapshot capture; returns extra CPU cost (e.g. markers)."""
+        return 0.0
+
+    def on_checkpoint_durable(self, meta: CheckpointMeta) -> None:
+        """Hook when the blob upload is acked and metadata registered."""
+
+    # -- recovery ---------------------------------------------------------- #
+
+    def build_recovery_plan(self, now: float) -> RecoveryPlan:
+        """Pick the recovery line (and replay sets) after a failure."""
+        line = {
+            key: initial_checkpoint(key) for key in self.job.instance_keys()
+        }
+        return RecoveryPlan(line=line, computed_at=now,
+                            total_checkpoints=self.job.registry.total())
+
+    def on_recovery_applied(self, plan: RecoveryPlan) -> None:
+        """Reset protocol-internal runtime structures after a rollback."""
+
+
+class NoCheckpointProtocol(CheckpointProtocol):
+    """Explicit alias of the baseline for readability at call sites."""
+
+    name = "none"
+
+
+PROTOCOLS: dict[str, type] = {}
+
+
+def register_protocol(cls: type) -> type:
+    """Class decorator adding a protocol to the global registry."""
+    PROTOCOLS[cls.name] = cls
+    return cls
+
+
+register_protocol(NoCheckpointProtocol)
+
+
+def create_protocol(name: str, job: "Job") -> CheckpointProtocol:
+    """Instantiate a registered protocol by name ('none'|'coor'|'unc'|'cic')."""
+    try:
+        cls = PROTOCOLS[name]
+    except KeyError:
+        raise ValueError(f"unknown protocol {name!r}; known: {sorted(PROTOCOLS)}") from None
+    return cls(job)

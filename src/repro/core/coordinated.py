@@ -1,0 +1,173 @@
+"""Coordinated aligned checkpointing (COOR, paper Section III-A).
+
+Chandy–Lamport adapted to acyclic streaming dataflows, i.e. Flink-style
+aligned checkpoints:
+
+* the coordinator initiates a round every ``checkpoint_interval`` (only if
+  the previous round completed) by telling every source instance to
+  snapshot and forward a marker on all outgoing channels;
+* a non-source instance blocks each inbound channel on marker arrival and
+  buffers its traffic (*alignment*); once markers arrived on **all**
+  inbound channels it snapshots, forwards markers, and unblocks;
+* the round is complete when every instance's checkpoint is durable; only
+  completed rounds are valid recovery lines.
+
+No message logging, no dedup, zero invalid checkpoints — and no support
+for cyclic graphs (an operator would wait forever for a marker that must
+come from itself).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.base import (
+    CheckpointMeta,
+    CheckpointProtocol,
+    RecoveryPlan,
+    initial_checkpoint,
+    register_protocol,
+)
+from repro.dataflow.channels import ChannelId, Message
+from repro.metrics.collectors import CheckpointEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dataflow.runtime import Job
+    from repro.dataflow.worker import InstanceRuntime
+
+
+@register_protocol
+class CoordinatedProtocol(CheckpointProtocol):
+    """Marker-based aligned rounds driven by the coordinator."""
+
+    name = "coor"
+    requires_logging = False
+    supports_cycles = False
+
+    def __init__(self, job: "Job"):
+        super().__init__(job)
+        self._round = 0
+        self._active_round: int | None = None
+        self._round_started: dict[int, float] = {}
+        #: instances whose checkpoint for the round is durable
+        self._round_durable: dict[int, set] = {}
+        #: round -> instance -> durable CheckpointMeta
+        self._round_metas: dict[int, dict] = {}
+        #: instance key -> {"round": id, "got": set of channels}
+        self._align: dict = {}
+        self._latest_complete: int | None = None
+
+    # ------------------------------------------------------------------ #
+    # Round scheduling
+    # ------------------------------------------------------------------ #
+
+    def on_job_start(self) -> None:
+        self.job.coordinator.add_metadata_listener(self._on_metadata)
+        self.job.sim.schedule(self.job.config.checkpoint_interval, self._round_tick)
+
+    def _round_tick(self) -> None:
+        job = self.job
+        if not job.recovering and self._active_round is None:
+            self._start_round()
+        job.sim.schedule(job.config.checkpoint_interval, self._round_tick)
+
+    def _start_round(self) -> None:
+        job = self.job
+        self._round += 1
+        round_id = self._round
+        self._active_round = round_id
+        self._round_started[round_id] = job.sim.now
+        self._round_durable[round_id] = set()
+        self._round_metas[round_id] = {}
+        size = job.cost.metadata_message_bytes
+        for spec in job.graph.sources():
+            for idx in range(job.parallelism):
+                instance = job.instance((spec.name, idx))
+                job.coordinator.send_control_to_worker(
+                    idx,
+                    size,
+                    (lambda inst=instance: job.enqueue_checkpoint(inst, "coor", round_id)),
+                )
+
+    # ------------------------------------------------------------------ #
+    # Marker handling and alignment
+    # ------------------------------------------------------------------ #
+
+    def on_marker(self, instance: "InstanceRuntime", channel: ChannelId, msg: Message) -> None:
+        round_id, _sender_cursor = msg.meta
+        state = self._align.get(instance.key)
+        if state is None or state["round"] != round_id:
+            state = {"round": round_id, "got": set()}
+            self._align[instance.key] = state
+        state["got"].add(channel)
+        instance.worker.block_channel(channel)
+        if len(state["got"]) == len(instance.in_channels):
+            self.job.enqueue_checkpoint(instance, "coor", round_id)
+
+    def on_checkpoint_started(self, instance: "InstanceRuntime", kind: str,
+                              round_id: int | None) -> float:
+        if kind != "coor":
+            return 0.0
+        cost = self.job.send_marker(instance, round_id)
+        state = self._align.pop(instance.key, None)
+        if state is not None:
+            for channel in state["got"]:
+                instance.worker.unblock_channel(channel)
+        return cost
+
+    # ------------------------------------------------------------------ #
+    # Round completion
+    # ------------------------------------------------------------------ #
+
+    def _on_metadata(self, meta: CheckpointMeta) -> None:
+        if meta.kind != "coor" or meta.round_id not in self._round_durable:
+            return
+        round_id = meta.round_id
+        self._round_durable[round_id].add(meta.instance)
+        self._round_metas[round_id][meta.instance] = meta
+        if len(self._round_durable[round_id]) == self.job.n_instances:
+            self._complete_round(round_id)
+
+    def _complete_round(self, round_id: int) -> None:
+        job = self.job
+        job.completed_rounds.add(round_id)
+        self._latest_complete = round_id
+        job.metrics.record_checkpoint(
+            CheckpointEvent(
+                instance=None,
+                kind="round",
+                started_at=self._round_started[round_id],
+                durable_at=job.sim.now,
+                state_bytes=sum(m.state_bytes for m in self._round_metas[round_id].values()),
+                round_id=round_id,
+            )
+        )
+        if self._active_round == round_id:
+            self._active_round = None
+
+    # ------------------------------------------------------------------ #
+    # Recovery
+    # ------------------------------------------------------------------ #
+
+    def build_recovery_plan(self, now: float) -> RecoveryPlan:
+        job = self.job
+        usable = len(job.completed_rounds) * job.n_instances
+        if self._latest_complete is None:
+            line = {key: initial_checkpoint(key) for key in job.instance_keys()}
+        else:
+            metas = self._round_metas[self._latest_complete]
+            line = {key: metas[key] for key in job.instance_keys()}
+        # aligned cuts have no in-flight messages: nothing to replay, and no
+        # checkpoint of a completed round is ever invalid (paper Table III)
+        return RecoveryPlan(
+            line=line,
+            replay={},
+            invalid_checkpoints=0,
+            total_checkpoints=usable,
+            computed_at=now,
+        )
+
+    def on_recovery_applied(self, plan: RecoveryPlan) -> None:
+        # abort any round that was in flight when the failure hit
+        self._align.clear()
+        self._active_round = None

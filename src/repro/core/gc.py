@@ -1,0 +1,114 @@
+"""Checkpoint space reclamation (Wang et al. [47], extension per DESIGN.md §8).
+
+The paper's invalid-checkpoint metric (Table III) observes that
+uncoordinated checkpoints accumulate state "that will never be used".
+This module implements the classic reclamation result: once a consistent
+recovery line ``L`` exists, rollback propagation can never move below it
+(rolling an instance back to its ``L`` checkpoint leaves no orphans against
+any combination of newer checkpoints, because sent-cursors are monotone),
+so
+
+* every checkpoint strictly older than ``L`` is **reclaimable**, and
+* every logged message with ``seq <= L.receiver_cursor(channel)`` can be
+  truncated from the send log (no future replay window reaches it).
+
+The property test in ``tests/test_gc.py`` checks the safety argument
+directly: extending a random execution never moves the recovery line below
+the old one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.base import InstanceKey
+from repro.core.checkpoint_graph import CheckpointGraph, maximal_consistent_line
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dataflow.runtime import Job
+
+
+@dataclass(frozen=True)
+class GcStats:
+    """What one collection pass reclaimed."""
+
+    checkpoints_deleted: int
+    checkpoint_bytes_freed: int
+    log_messages_truncated: int
+    log_bytes_truncated: int
+
+
+def reclaimable_checkpoints(graph: CheckpointGraph) -> list[tuple[InstanceKey, int]]:
+    """Checkpoints strictly older than the current maximal consistent line.
+
+    The implicit initial checkpoints are never reported (there is nothing
+    stored for them).
+    """
+    line = maximal_consistent_line(graph).line
+    reclaimable = []
+    for instance, metas in graph.checkpoints.items():
+        keep_from = line[instance].checkpoint_id
+        for meta in metas:
+            if 0 < meta.checkpoint_id < keep_from:
+                reclaimable.append((instance, meta.checkpoint_id))
+    return reclaimable
+
+
+def collect(job: "Job") -> GcStats:
+    """Run one reclamation pass against a job's registry, store and logs.
+
+    Works for any protocol: for the coordinated family the maximal
+    consistent line is simply the newest completed round, so everything
+    before it is reclaimed.
+    """
+    from repro.core.uncoordinated import UncoordinatedProtocol
+
+    if isinstance(job.protocol, UncoordinatedProtocol):
+        graph = job.protocol.build_checkpoint_graph()
+    else:
+        graph = _graph_from_registry(job)
+    line = maximal_consistent_line(graph).line
+
+    deleted = 0
+    bytes_freed = 0
+    registry = job.registry
+    store = job.coordinator.blobstore
+    for instance in job.instance_keys():
+        keep_from = line[instance].checkpoint_id
+        for meta in registry.prune_older_than(instance, keep_from):
+            if meta.blob_key in store:
+                bytes_freed += store.meta(meta.blob_key).size_bytes
+                store.delete(meta.blob_key)
+            deleted += 1
+
+    truncated = 0
+    log_bytes = 0
+    endpoints = _channel_endpoints(job)
+    for channel, messages in list(job.send_log.items()):
+        _, receiver = endpoints[channel]
+        cursor = line[receiver].received_cursor(channel)
+        kept_messages = []
+        for message in messages:
+            if message.seq <= cursor:
+                truncated += 1
+                log_bytes += message.total_bytes
+            else:
+                kept_messages.append(message)
+        job.send_log[channel] = kept_messages
+    return GcStats(deleted, bytes_freed, truncated, log_bytes)
+
+
+def _graph_from_registry(job: "Job") -> CheckpointGraph:
+    endpoints = _channel_endpoints(job)
+    checkpoints = {key: job.registry.with_initial(key) for key in job.instance_keys()}
+    channels = [(ch, s, r) for ch, (s, r) in endpoints.items()]
+    return CheckpointGraph(checkpoints=checkpoints, channels=channels)
+
+
+def _channel_endpoints(job: "Job") -> dict:
+    edges_by_id = {edge.edge_id: edge for edge in job.graph.edges}
+    return {
+        channel: ((edges_by_id[channel[0]].src, channel[1]), dst.key)
+        for channel, dst in job.channel_dst.items()
+    }

@@ -1,0 +1,156 @@
+"""Channels, messages, partitioners and outbound batching.
+
+A *channel* is the FIFO link between one producer instance and one consumer
+instance of an edge: ``ChannelId = (edge_id, src_index, dst_index)``.  The
+checkpointing protocols reason at channel granularity — COOR blocks
+channels during alignment, UNC logs per channel, and checkpoint metadata
+stores per-channel sequence cursors.
+
+Producers batch records per channel in a :class:`RouterBuffer` (flushed when
+full or on a linger timer), mirroring the network-buffer behaviour of real
+engines; serialization and network costs are charged per flushed message.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.dataflow.graph import EdgeSpec, Partitioning
+from repro.dataflow.records import StreamRecord
+
+ChannelId = tuple[int, int, int]
+
+DATA = 0
+MARKER = 1
+CONTROL = 2
+
+
+@dataclass(slots=True)
+class Message:
+    """One unit of network transfer between two operator instances."""
+
+    channel: ChannelId
+    seq: int
+    kind: int
+    records: list[StreamRecord] | None
+    payload_bytes: int
+    protocol_bytes: int = 0
+    piggyback: Any = None
+    meta: Any = None
+    sent_at: float = 0.0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.payload_bytes + self.protocol_bytes
+
+    @property
+    def record_count(self) -> int:
+        return len(self.records) if self.records else 0
+
+
+def hash_key(key: Any) -> int:
+    """Stable, deterministic hash for routing keys (ints, strings, tuples)."""
+    if isinstance(key, bool):
+        return int(key)
+    if isinstance(key, int):
+        return key
+    if isinstance(key, str):
+        return zlib.crc32(key.encode("utf-8"))
+    if isinstance(key, tuple):
+        acc = 2166136261
+        for part in key:
+            acc = (acc * 16777619) ^ (hash_key(part) & 0xFFFFFFFF)
+        return acc & 0x7FFFFFFF
+    raise TypeError(f"unsupported routing key type: {type(key).__name__}")
+
+
+class Partitioner:
+    """Maps an output record to destination instance indices for one edge."""
+
+    def __init__(self, edge: EdgeSpec, parallelism: int):
+        self.edge = edge
+        self.parallelism = parallelism
+
+    def destinations(self, src_index: int, record: StreamRecord) -> list[int]:
+        mode = self.edge.partitioning
+        if mode is Partitioning.FORWARD:
+            return [src_index]
+        if mode is Partitioning.KEY:
+            key = self.edge.key_fn(record.payload)
+            return [hash_key(key) % self.parallelism]
+        if mode is Partitioning.BROADCAST:
+            return list(range(self.parallelism))
+        raise AssertionError(f"unhandled partitioning {mode}")
+
+
+@dataclass
+class _Buffer:
+    records: list[StreamRecord] = field(default_factory=list)
+    bytes: int = 0
+
+
+class RouterBuffer:
+    """Outbound batching for one producer instance.
+
+    ``route`` stages records; ``take_ready`` drains buffers that reached the
+    batch-size threshold; ``take_all`` (linger flush, markers, shutdown)
+    drains everything.
+    """
+
+    def __init__(self, edges: list[EdgeSpec], partitioners: dict[int, Partitioner],
+                 src_index: int, batch_max: int):
+        self._edges = edges
+        self._partitioners = partitioners
+        self._src_index = src_index
+        self._batch_max = batch_max
+        self._buffers: dict[tuple[int, int], _Buffer] = {}
+
+    def route(self, records: list[StreamRecord]) -> None:
+        """Stage output records onto (edge, destination) buffers."""
+        src = self._src_index
+        for edge in self._edges:
+            partitioner = self._partitioners[edge.edge_id]
+            for record in records:
+                for dst in partitioner.destinations(src, record):
+                    buf = self._buffers.get((edge.edge_id, dst))
+                    if buf is None:
+                        buf = _Buffer()
+                        self._buffers[(edge.edge_id, dst)] = buf
+                    buf.records.append(record)
+                    buf.bytes += record.size_bytes
+
+    def take_ready(self) -> list[tuple[int, int, list[StreamRecord], int]]:
+        """Drain buffers at/over the batch threshold -> (edge, dst, records, bytes)."""
+        ready = []
+        for (edge_id, dst), buf in list(self._buffers.items()):
+            if len(buf.records) >= self._batch_max:
+                ready.append((edge_id, dst, buf.records, buf.bytes))
+                del self._buffers[(edge_id, dst)]
+        return ready
+
+    def take_all(self) -> list[tuple[int, int, list[StreamRecord], int]]:
+        """Drain every non-empty buffer."""
+        drained = [
+            (edge_id, dst, buf.records, buf.bytes)
+            for (edge_id, dst), buf in self._buffers.items()
+        ]
+        self._buffers.clear()
+        return drained
+
+    def take_edge(self, edge_id: int) -> list[tuple[int, int, list[StreamRecord], int]]:
+        """Drain buffers of one edge (used before emitting a marker)."""
+        drained = []
+        for (eid, dst), buf in list(self._buffers.items()):
+            if eid == edge_id:
+                drained.append((eid, dst, buf.records, buf.bytes))
+                del self._buffers[(eid, dst)]
+        return drained
+
+    @property
+    def staged_records(self) -> int:
+        return sum(len(b.records) for b in self._buffers.values())
+
+    def clear(self) -> None:
+        self._buffers.clear()

@@ -1,0 +1,189 @@
+"""Logical dataflow graphs.
+
+A graph is a set of named operators and directed edges.  Edges carry a
+partitioning strategy (forward / key-hash / broadcast) and a destination
+*port* so multi-input operators (joins) can tell their inputs apart.
+Cycles are allowed only when explicitly requested — the coordinated
+protocol rejects them, exactly as in the paper (Section III-A drawbacks).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+
+class GraphError(ValueError):
+    """Raised for malformed dataflow graphs."""
+
+
+class UnsupportedTopologyError(GraphError):
+    """Raised when a protocol cannot run on the given topology."""
+
+
+class Partitioning(enum.Enum):
+    """How records are routed from a producer instance to consumer instances."""
+
+    #: instance i sends to instance i (requires equal parallelism)
+    FORWARD = "forward"
+    #: route by hash of a key extracted from the record payload
+    KEY = "key"
+    #: every record goes to every consumer instance
+    BROADCAST = "broadcast"
+
+
+@dataclass(frozen=True)
+class EdgeSpec:
+    """A directed edge in the logical graph."""
+
+    edge_id: int
+    src: str
+    dst: str
+    partitioning: Partitioning
+    key_fn: Callable[[Any], Any] | None
+    port: str
+
+    def __post_init__(self) -> None:
+        if self.partitioning is Partitioning.KEY and self.key_fn is None:
+            raise GraphError(f"edge {self.src}->{self.dst}: KEY partitioning needs key_fn")
+
+
+@dataclass
+class OperatorSpec:
+    """A named operator in the logical graph."""
+
+    name: str
+    factory: Callable[[], Any]
+    stateful: bool = False
+    is_source: bool = False
+    source_topic: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.is_source and not self.source_topic:
+            raise GraphError(f"source operator {self.name!r} needs a topic")
+
+
+class LogicalGraph:
+    """Builder and container for a dataflow topology."""
+
+    def __init__(self, name: str = "job"):
+        self.name = name
+        self.operators: dict[str, OperatorSpec] = {}
+        self.edges: list[EdgeSpec] = []
+        self._next_edge_id = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def add_source(self, name: str, topic: str, factory: Callable[[], Any]) -> "LogicalGraph":
+        """Add a source operator that pulls from log partition ``topic``."""
+        self._add(OperatorSpec(name, factory, stateful=True, is_source=True, source_topic=topic))
+        return self
+
+    def add_operator(
+        self, name: str, factory: Callable[[], Any], stateful: bool = False
+    ) -> "LogicalGraph":
+        """Add a non-source operator."""
+        self._add(OperatorSpec(name, factory, stateful=stateful))
+        return self
+
+    def _add(self, spec: OperatorSpec) -> None:
+        if spec.name in self.operators:
+            raise GraphError(f"duplicate operator name {spec.name!r}")
+        self.operators[spec.name] = spec
+
+    def connect(
+        self,
+        src: str,
+        dst: str,
+        partitioning: Partitioning = Partitioning.FORWARD,
+        key_fn: Callable[[Any], Any] | None = None,
+        port: str = "in",
+    ) -> "LogicalGraph":
+        """Add an edge ``src -> dst``."""
+        for name in (src, dst):
+            if name not in self.operators:
+                raise GraphError(f"unknown operator {name!r}")
+        if self.operators[dst].is_source:
+            raise GraphError(f"cannot connect into source {dst!r}")
+        edge = EdgeSpec(self._next_edge_id, src, dst, partitioning, key_fn, port)
+        self._next_edge_id += 1
+        self.edges.append(edge)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def out_edges(self, name: str) -> list[EdgeSpec]:
+        return [e for e in self.edges if e.src == name]
+
+    def in_edges(self, name: str) -> list[EdgeSpec]:
+        return [e for e in self.edges if e.dst == name]
+
+    def sources(self) -> list[OperatorSpec]:
+        return [spec for spec in self.operators.values() if spec.is_source]
+
+    def sinks(self) -> list[OperatorSpec]:
+        """Operators with no outgoing edges."""
+        with_out = {e.src for e in self.edges}
+        return [spec for spec in self.operators.values() if spec.name not in with_out]
+
+    def operator_order(self) -> list[str]:
+        """Stable order of operator names (insertion order)."""
+        return list(self.operators)
+
+    def has_cycle(self) -> bool:
+        """True if the edge set contains a directed cycle."""
+        adjacency: dict[str, list[str]] = {name: [] for name in self.operators}
+        for edge in self.edges:
+            adjacency[edge.src].append(edge.dst)
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {name: WHITE for name in self.operators}
+
+        def visit(node: str) -> bool:
+            color[node] = GRAY
+            for nxt in adjacency[node]:
+                if color[nxt] == GRAY:
+                    return True
+                if color[nxt] == WHITE and visit(nxt):
+                    return True
+            color[node] = BLACK
+            return False
+
+        return any(color[name] == WHITE and visit(name) for name in self.operators)
+
+    def validate(self, allow_cycles: bool = False) -> None:
+        """Check structural invariants; raise :class:`GraphError` on problems."""
+        if not self.operators:
+            raise GraphError("graph has no operators")
+        if not self.sources():
+            raise GraphError("graph has no source operators")
+        for spec in self.operators.values():
+            if spec.is_source and self.in_edges(spec.name):
+                raise GraphError(f"source {spec.name!r} has inbound edges")
+            if not spec.is_source and not self.in_edges(spec.name):
+                raise GraphError(f"operator {spec.name!r} is unreachable (no inputs)")
+        if not allow_cycles and self.has_cycle():
+            raise GraphError("graph has a cycle; pass allow_cycles=True if intended")
+
+    def describe(self) -> str:
+        """Human-readable topology summary (used by examples)."""
+        lines = [f"graph {self.name!r}:"]
+        for spec in self.operators.values():
+            kind = "source" if spec.is_source else ("stateful" if spec.stateful else "stateless")
+            lines.append(f"  {spec.name} [{kind}]")
+        for edge in self.edges:
+            lines.append(
+                f"  {edge.src} -> {edge.dst} ({edge.partitioning.value}, port={edge.port})"
+            )
+        return "\n".join(lines)
+
+
+def iter_instance_keys(graph: LogicalGraph, parallelism: int) -> Iterable[tuple[str, int]]:
+    """All (operator, index) instance keys in deterministic order."""
+    for name in graph.operator_order():
+        for idx in range(parallelism):
+            yield (name, idx)

@@ -1,0 +1,451 @@
+"""Operator library: map, filter, flat-map, joins, windows, sink.
+
+These are the "fundamental processing operators in modern stream processing
+engines" the paper implements in its testbed (Section IV).  Operators are
+pure processing logic; the runtime owns scheduling, channels, checkpointing
+and CPU accounting.  An operator interacts with the world only through its
+:class:`OperatorContext` (time, timers, output recording) and its
+:class:`~repro.dataflow.state.StateRegistry`.
+
+Windowed operators use processing-time tumbling windows in the paper's
+"running" flavour: processing is triggered on record arrival and the window
+contents are cleared when it expires (Section VI, Q8/Q12).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.dataflow.records import StreamRecord, joined_rid
+from repro.dataflow.state import KeyedListState, KeyedMapState, StateRegistry, ValueState
+
+
+class OperatorContext:
+    """What the runtime exposes to operator logic.
+
+    Concrete implementation lives in :mod:`repro.dataflow.runtime`; this base
+    class documents (and in tests, stubs) the contract.
+    """
+
+    op_name: str = ""
+    index: int = 0
+    parallelism: int = 1
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def register_timer(self, at: float, tag: Any) -> None:
+        """Ask for ``on_timer(tag)`` at virtual time ``at`` (fires once)."""
+        raise NotImplementedError
+
+    def record_output(self, record: StreamRecord) -> None:
+        """Sink hook: report a record as final output (drives latency metrics)."""
+        raise NotImplementedError
+
+
+class Operator:
+    """Base operator; subclasses override :meth:`process` (and maybe timers)."""
+
+    #: virtual CPU seconds charged per processed record
+    cpu_per_record: float = 0.0008
+
+    def __init__(self) -> None:
+        self.ctx: OperatorContext | None = None
+        self.states = StateRegistry()
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def open(self, ctx: OperatorContext) -> None:
+        """Bind the context and declare states. Subclasses must call super()."""
+        self.ctx = ctx
+
+    def on_restore(self) -> None:
+        """Called after state restore on recovery (re-register timers etc.)."""
+
+    # -- processing ------------------------------------------------------ #
+
+    def process(self, record: StreamRecord, port: str) -> list[StreamRecord]:
+        """Consume one record, return output records."""
+        raise NotImplementedError
+
+    def on_timer(self, tag: Any) -> list[StreamRecord]:
+        """Handle a previously registered timer."""
+        return []
+
+    @property
+    def state_bytes(self) -> int:
+        return self.states.size_bytes
+
+
+class SourceOperator(Operator):
+    """Pass-through head of the pipeline; the runtime feeds it log records.
+
+    Sources are stateful in every protocol because their checkpoint stores
+    the input offset used to rewind on recovery.
+    """
+
+    cpu_per_record = 0.0012
+
+    def process(self, record: StreamRecord, port: str) -> list[StreamRecord]:
+        return [record]
+
+
+class MapOperator(Operator):
+    """1-to-1 transformation (NexMark Q1's currency conversion)."""
+
+    cpu_per_record = 0.0015
+
+    def __init__(self, fn: Callable[[Any], Any], out_size: Callable[[Any], int] | None = None):
+        super().__init__()
+        self._fn = fn
+        self._out_size = out_size
+
+    def process(self, record: StreamRecord, port: str) -> list[StreamRecord]:
+        payload = self._fn(record.payload)
+        size = self._out_size(payload) if self._out_size else record.size_bytes
+        return [record.derive(self.ctx.op_name, payload, size)]
+
+
+class FilterOperator(Operator):
+    """Keep records whose payload satisfies the predicate."""
+
+    cpu_per_record = 0.0008
+
+    def __init__(self, predicate: Callable[[Any], bool]):
+        super().__init__()
+        self._predicate = predicate
+
+    def process(self, record: StreamRecord, port: str) -> list[StreamRecord]:
+        if self._predicate(record.payload):
+            return [record]
+        return []
+
+
+class FlatMapOperator(Operator):
+    """1-to-N transformation."""
+
+    cpu_per_record = 0.0015
+
+    def __init__(self, fn: Callable[[Any], list], out_size: Callable[[Any], int] | None = None):
+        super().__init__()
+        self._fn = fn
+        self._out_size = out_size
+
+    def process(self, record: StreamRecord, port: str) -> list[StreamRecord]:
+        outputs = []
+        for i, payload in enumerate(self._fn(record.payload)):
+            size = self._out_size(payload) if self._out_size else record.size_bytes
+            outputs.append(record.derive(self.ctx.op_name, payload, size, emission_index=i))
+        return outputs
+
+
+class IncrementalJoinOperator(Operator):
+    """Unbounded symmetric hash join (NexMark Q3).
+
+    Inputs arrive on ports ``left`` and ``right``; both sides are retained
+    forever (the paper notes Q3's state "grows"), and a match is emitted by
+    whichever side arrives second.  Join-output lineage ids are
+    order-invariant (:func:`~repro.dataflow.records.joined_rid`), so
+    re-execution after rollback regenerates identical ids regardless of
+    interleaving.
+    """
+
+    cpu_per_record = 0.0030
+
+    def __init__(
+        self,
+        left_key: Callable[[Any], Any],
+        right_key: Callable[[Any], Any],
+        combine: Callable[[Any, Any], Any],
+        out_size: int = 128,
+    ):
+        super().__init__()
+        self._left_key = left_key
+        self._right_key = right_key
+        self._combine = combine
+        self._out_size = out_size
+        self._left: KeyedListState | None = None
+        self._right: KeyedListState | None = None
+
+    def open(self, ctx: OperatorContext) -> None:
+        super().open(ctx)
+        self._left = self.states.register("left", KeyedListState(entry_bytes=96))
+        self._right = self.states.register("right", KeyedListState(entry_bytes=96))
+
+    def process(self, record: StreamRecord, port: str) -> list[StreamRecord]:
+        op = self.ctx.op_name
+        outputs = []
+        if port == "left":
+            key = self._left_key(record.payload)
+            self._left.append(key, (record.rid, record.payload, record.source_ts))
+            for other_rid, other_payload, other_ts in self._right.get(key):
+                payload = self._combine(record.payload, other_payload)
+                outputs.append(
+                    StreamRecord(
+                        rid=joined_rid(op, record.rid, other_rid),
+                        payload=payload,
+                        source_ts=max(record.source_ts, other_ts),
+                        size_bytes=self._out_size,
+                    )
+                )
+        elif port == "right":
+            key = self._right_key(record.payload)
+            self._right.append(key, (record.rid, record.payload, record.source_ts))
+            for other_rid, other_payload, other_ts in self._left.get(key):
+                payload = self._combine(other_payload, record.payload)
+                outputs.append(
+                    StreamRecord(
+                        rid=joined_rid(op, other_rid, record.rid),
+                        payload=payload,
+                        source_ts=max(record.source_ts, other_ts),
+                        size_bytes=self._out_size,
+                    )
+                )
+        else:
+            raise ValueError(f"unknown join port {port!r}")
+        return outputs
+
+
+class WindowedJoinOperator(Operator):
+    """Tumbling processing-time window join (NexMark Q8), running flavour.
+
+    Both sides are buffered per window; matches are emitted on arrival; the
+    whole window is dropped when it expires.
+    """
+
+    cpu_per_record = 0.0026
+
+    def __init__(
+        self,
+        left_key: Callable[[Any], Any],
+        right_key: Callable[[Any], Any],
+        combine: Callable[[Any, Any], Any],
+        window: float = 10.0,
+        out_size: int = 128,
+    ):
+        super().__init__()
+        self._left_key = left_key
+        self._right_key = right_key
+        self._combine = combine
+        self.window = window
+        self._out_size = out_size
+        self._left: KeyedListState | None = None
+        self._right: KeyedListState | None = None
+        self._window_id: ValueState | None = None
+
+    def open(self, ctx: OperatorContext) -> None:
+        super().open(ctx)
+        self._left = self.states.register("left", KeyedListState(entry_bytes=96))
+        self._right = self.states.register("right", KeyedListState(entry_bytes=96))
+        self._window_id = self.states.register("window_id", ValueState(-1, 8))
+
+    def _roll_window(self) -> None:
+        """Clear buffered contents if we crossed into a new window."""
+        current = int(self.ctx.now() // self.window)
+        if self._window_id.get() != current:
+            self._left.clear()
+            self._right.clear()
+            self._window_id.set(current, 8)
+            self.ctx.register_timer((current + 1) * self.window, ("window", current + 1))
+
+    def on_timer(self, tag: Any) -> list[StreamRecord]:
+        self._roll_window()
+        return []
+
+    def on_restore(self) -> None:
+        current = int(self.ctx.now() // self.window)
+        self.ctx.register_timer((current + 1) * self.window, ("window", current + 1))
+
+    def process(self, record: StreamRecord, port: str) -> list[StreamRecord]:
+        self._roll_window()
+        op = self.ctx.op_name
+        outputs = []
+        if port == "left":
+            key = self._left_key(record.payload)
+            self._left.append(key, (record.rid, record.payload, record.source_ts))
+            probe = self._right.get(key)
+            first = record.payload
+            for other_rid, other_payload, other_ts in probe:
+                outputs.append(
+                    StreamRecord(
+                        rid=joined_rid(op, record.rid, other_rid),
+                        payload=self._combine(first, other_payload),
+                        source_ts=max(record.source_ts, other_ts),
+                        size_bytes=self._out_size,
+                    )
+                )
+        elif port == "right":
+            key = self._right_key(record.payload)
+            self._right.append(key, (record.rid, record.payload, record.source_ts))
+            for other_rid, other_payload, other_ts in self._left.get(key):
+                outputs.append(
+                    StreamRecord(
+                        rid=joined_rid(op, other_rid, record.rid),
+                        payload=self._combine(other_payload, record.payload),
+                        source_ts=max(record.source_ts, other_ts),
+                        size_bytes=self._out_size,
+                    )
+                )
+        else:
+            raise ValueError(f"unknown join port {port!r}")
+        return outputs
+
+
+class WindowedCountOperator(Operator):
+    """Tumbling processing-time windowed count per key (NexMark Q12), running.
+
+    Emits the updated count on every arrival; per-key counters reset when
+    the record's window differs from the stored one, and an expiry timer
+    sweeps stale keys so state does not grow unboundedly.
+    """
+
+    cpu_per_record = 0.0018
+
+    def __init__(self, key_fn: Callable[[Any], Any], window: float = 10.0, out_size: int = 48):
+        super().__init__()
+        self._key_fn = key_fn
+        self.window = window
+        self._out_size = out_size
+        self._counts: KeyedMapState | None = None
+
+    def open(self, ctx: OperatorContext) -> None:
+        super().open(ctx)
+        self._counts = self.states.register("counts", KeyedMapState())
+
+    def on_restore(self) -> None:
+        current = int(self.ctx.now() // self.window)
+        self.ctx.register_timer((current + 1) * self.window, ("sweep", current + 1))
+
+    def on_timer(self, tag: Any) -> list[StreamRecord]:
+        kind, window_id = tag
+        stale = [k for k, (w, _) in self._counts.items() if w < window_id]
+        for key in stale:
+            self._counts.delete(key)
+        self.ctx.register_timer((window_id + 1) * self.window, ("sweep", window_id + 1))
+        return []
+
+    def process(self, record: StreamRecord, port: str) -> list[StreamRecord]:
+        now = self.ctx.now()
+        current = int(now // self.window)
+        key = self._key_fn(record.payload)
+        stored = self._counts.get(key)
+        if stored is None or stored[0] != current:
+            if len(self._counts) == 0:
+                self.ctx.register_timer((current + 1) * self.window, ("sweep", current + 1))
+            count = 1
+        else:
+            count = stored[1] + 1
+        self._counts.put(key, (current, count), 40)
+        payload = {"key": key, "window": current, "count": count}
+        return [record.derive(self.ctx.op_name, payload, self._out_size)]
+
+
+class SlidingWindowCountOperator(Operator):
+    """Hopping/sliding processing-time windowed count per key (NexMark Q5).
+
+    A record at time ``t`` belongs to every window ``w`` with
+    ``w*slide <= t < w*slide + range``; all their counters are updated, and
+    the running update is emitted for the *newest* window (one output per
+    input).  An expiry timer sweeps windows whose range has passed.
+    """
+
+    cpu_per_record = 0.0022
+
+    def __init__(self, key_fn: Callable[[Any], Any], window_range: float = 10.0,
+                 slide: float = 2.0, out_size: int = 56):
+        super().__init__()
+        if slide <= 0 or window_range < slide:
+            raise ValueError("need slide > 0 and range >= slide")
+        self._key_fn = key_fn
+        self.window_range = window_range
+        self.slide = slide
+        self._out_size = out_size
+        self._counts: KeyedMapState | None = None
+
+    def open(self, ctx: OperatorContext) -> None:
+        super().open(ctx)
+        #: (window_id, key) -> count
+        self._counts = self.states.register("counts", KeyedMapState())
+
+    def _windows_for(self, t: float) -> range:
+        newest = int(t // self.slide)
+        oldest = int((t - self.window_range) // self.slide) + 1
+        return range(max(oldest, 0), newest + 1)
+
+    def _schedule_sweep(self, window_id: int) -> None:
+        self.ctx.register_timer(
+            window_id * self.slide + self.window_range, ("sweep", window_id)
+        )
+
+    def on_restore(self) -> None:
+        current = int(self.ctx.now() // self.slide)
+        self._schedule_sweep(current)
+
+    def on_timer(self, tag: Any) -> list[StreamRecord]:
+        _, window_id = tag
+        stale = [k for k in self._counts.keys() if k[0] <= window_id]
+        for key in stale:
+            self._counts.delete(key)
+        return []
+
+    def process(self, record: StreamRecord, port: str) -> list[StreamRecord]:
+        now = self.ctx.now()
+        key = self._key_fn(record.payload)
+        newest = int(now // self.slide)
+        for window_id in self._windows_for(now):
+            slot = (window_id, key)
+            count = (self._counts.get(slot) or 0) + 1
+            if self._counts.get(slot) is None and window_id == newest:
+                self._schedule_sweep(window_id)
+            self._counts.put(slot, count, 32)
+        payload = {
+            "key": key,
+            "window": newest,
+            "count": self._counts.get((newest, key)),
+        }
+        return [record.derive(self.ctx.op_name, payload, self._out_size)]
+
+
+class MaxPerKeyOperator(Operator):
+    """Track the maximum 'count' seen per grouping key; emit on improvement.
+
+    The second stage of NexMark Q5: per window, which item leads.
+    """
+
+    cpu_per_record = 0.0012
+
+    def __init__(self, group_fn: Callable[[Any], Any],
+                 value_fn: Callable[[Any], int],
+                 item_fn: Callable[[Any], Any], out_size: int = 48):
+        super().__init__()
+        self._group_fn = group_fn
+        self._value_fn = value_fn
+        self._item_fn = item_fn
+        self._out_size = out_size
+        self._best: KeyedMapState | None = None
+
+    def open(self, ctx: OperatorContext) -> None:
+        super().open(ctx)
+        #: group -> (best value, best item)
+        self._best = self.states.register("best", KeyedMapState())
+
+    def process(self, record: StreamRecord, port: str) -> list[StreamRecord]:
+        group = self._group_fn(record.payload)
+        value = self._value_fn(record.payload)
+        item = self._item_fn(record.payload)
+        current = self._best.get(group)
+        if current is not None and current[0] >= value:
+            return []
+        self._best.put(group, (value, item), 32)
+        payload = {"group": group, "item": item, "value": value}
+        return [record.derive(self.ctx.op_name, payload, self._out_size)]
+
+
+class SinkOperator(Operator):
+    """Terminal operator: reports records as pipeline output."""
+
+    cpu_per_record = 0.0006
+
+    def process(self, record: StreamRecord, port: str) -> list[StreamRecord]:
+        self.ctx.record_output(record)
+        return []

@@ -1,0 +1,610 @@
+"""Job runtime: deploy a logical graph onto simulated workers and run it.
+
+Deployment model (paper Section VII-A): parallelism ``p`` means ``p``
+workers, and **each worker hosts one parallel instance of every operator**.
+Channels connect instance pairs per edge partitioning.  The runtime is
+protocol-agnostic; all checkpointing behaviour is injected through the
+:class:`~repro.core.base.CheckpointProtocol` hooks.
+
+The run loop:
+
+* sources poll their log partitions on a self-clocking chain;
+* every message delivery / checkpoint / timer / flush is a CPU task on the
+  destination worker with a virtual duration from the cost model;
+* an optional failure kills a worker mid-run; detection triggers the
+  protocol's recovery plan, a global rollback, source rewind and (for
+  UNC/CIC) in-flight message replay with rid deduplication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.base import CheckpointMeta, RecoveryPlan, create_protocol
+from repro.dataflow.channels import (
+    ChannelId,
+    DATA,
+    MARKER,
+    Message,
+    Partitioner,
+)
+from repro.dataflow.coordinator import Coordinator
+from repro.dataflow.graph import (
+    EdgeSpec,
+    LogicalGraph,
+    Partitioning,
+    UnsupportedTopologyError,
+)
+from repro.dataflow.records import StreamRecord, source_rid
+from repro.dataflow.worker import InstanceRuntime, WorkerRuntime
+from repro.metrics.collectors import CheckpointEvent, MetricsCollector
+from repro.metrics.series import LatencySeries, percentile
+from repro.sim.costs import RuntimeConfig
+from repro.sim.failure import FailureInjector, FailurePlan
+from repro.sim.rng import RngRegistry
+from repro.sim.simulator import Simulator
+from repro.storage.kafka import PartitionedLog
+
+InstanceKey = tuple[str, int]
+
+
+@dataclass
+class RunResult:
+    """Everything a finished run exposes to the experiment harness."""
+
+    query: str
+    protocol: str
+    parallelism: int
+    rate: float
+    warmup: float
+    duration: float
+    metrics: MetricsCollector
+    checkpoint_interval: float
+    completed_rounds: set[int] = field(default_factory=set)
+
+    def latency_series(self) -> LatencySeries:
+        """Per-second p50/p99 with seconds relative to the measured window."""
+        shifted: dict[int, list[float]] = {}
+        for second, values in self.metrics.latencies.items():
+            rel = second - int(self.warmup)
+            if 0 <= rel < int(self.duration):
+                shifted.setdefault(rel, []).extend(values)
+        return LatencySeries.from_latencies(shifted, start=0, end=int(self.duration))
+
+    @property
+    def is_coordinated(self) -> bool:
+        return self.protocol.startswith("coor")
+
+    def avg_checkpoint_time(self) -> float:
+        """Protocol-aware average checkpoint duration (paper Section V)."""
+        if self.is_coordinated:
+            return self.metrics.avg_checkpoint_time(kinds=("round",))
+        return self.metrics.avg_checkpoint_time(kinds=("local", "forced"))
+
+    def total_checkpoints(self) -> int:
+        """Durable checkpoints counted the way Table III counts them.
+
+        Only checkpoints taken inside the measured window count; COOR counts
+        checkpoints of *completed* rounds (an unfinished round is unusable).
+        """
+        window = [e for e in self.metrics.checkpoints if e.started_at >= self.warmup]
+        if self.is_coordinated:
+            return sum(
+                1
+                for e in window
+                if e.kind == "coor" and e.round_id in self.completed_rounds
+            )
+        return sum(1 for e in window if e.kind in ("local", "forced"))
+
+    def invalid_percentage(self) -> float:
+        total = self.metrics.total_checkpoints_at_failure
+        invalid = self.metrics.invalid_checkpoints
+        if total <= 0 or invalid < 0:
+            return 0.0
+        return 100.0 * invalid / total
+
+    def restart_time(self) -> float:
+        return self.metrics.restart_time
+
+    def recovery_time(self) -> float:
+        if self.metrics.detected_at < 0:
+            return -1.0
+        detected_rel = self.metrics.detected_at - self.warmup
+        return self.latency_series().recovery_time(detected_rel)
+
+    def sustainable(self, expected_rate: float,
+                    latency_cap: float = 1.0) -> bool:
+        """Backpressure check used by the MST search (DESIGN.md section 6)."""
+        series = self.latency_series()
+        third = int(self.duration / 3)
+        if series.is_growing(third, int(self.duration)):
+            return False
+        # absolute cap: seconds-deep queues mean the probe window was just
+        # too short to see the growth
+        tail = [
+            v for s, v in zip(series.seconds, series.p50)
+            if s >= 2 * third and v > 0
+        ]
+        if tail and percentile(tail, 50) > latency_cap:
+            return False
+        # sources must keep up with the offered rate: compare ingest in the
+        # second half of the window against the offered rate.
+        half_start = int(self.warmup + self.duration / 2)
+        half_end = int(self.warmup + self.duration)
+        ingested = sum(
+            count
+            for second, count in self.metrics.ingest_counts.items()
+            if half_start <= second < half_end
+        )
+        span = half_end - half_start
+        return ingested >= 0.93 * expected_rate * span
+
+
+class Job:
+    """One deployed streaming query under one checkpointing protocol."""
+
+    def __init__(
+        self,
+        graph: LogicalGraph,
+        protocol: str,
+        parallelism: int,
+        inputs: dict[str, PartitionedLog],
+        config: RuntimeConfig | None = None,
+    ):
+        if parallelism <= 0:
+            raise ValueError("parallelism must be positive")
+        self.graph = graph
+        self.parallelism = parallelism
+        self.config = config or RuntimeConfig()
+        self.cost = self.config.cost_model
+        self.inputs = inputs
+        self.sim = Simulator()
+        self.metrics = MetricsCollector()
+        self.rng = RngRegistry(self.config.seed)
+        self.recovering = False
+        self.epoch = 0
+        self.completed_rounds: set[int] = set()
+
+        self.protocol = create_protocol(protocol, self)
+        if graph.has_cycle() and not self.protocol.supports_cycles:
+            raise UnsupportedTopologyError(
+                f"protocol {protocol!r} cannot run on cyclic dataflows "
+                "(marker deadlock — paper Section III-A)"
+            )
+        graph.validate(allow_cycles=True)
+        for spec in graph.sources():
+            if spec.source_topic not in inputs:
+                raise ValueError(f"missing input log for topic {spec.source_topic!r}")
+            if len(inputs[spec.source_topic].partitions) != parallelism:
+                raise ValueError(
+                    f"topic {spec.source_topic!r} must have {parallelism} partitions"
+                )
+
+        self.coordinator = Coordinator(self)
+        self.workers: list[WorkerRuntime] = [
+            WorkerRuntime(self, i) for i in range(parallelism)
+        ]
+        #: durable per-channel send log (UNC/CIC upstream backup)
+        self.send_log: dict[ChannelId, list[Message]] = {}
+        self._chan_last_arrival: dict[ChannelId, float] = {}
+        self.channel_dst: dict[ChannelId, InstanceRuntime] = {}
+        self._partitioners: dict[int, Partitioner] = {}
+        self._wire()
+
+    # ------------------------------------------------------------------ #
+    # Wiring
+    # ------------------------------------------------------------------ #
+
+    def _wire(self) -> None:
+        from repro.dataflow.channels import RouterBuffer
+
+        for name, spec in self.graph.operators.items():
+            for idx in range(self.parallelism):
+                instance = InstanceRuntime(self, spec, idx, self.workers[idx])
+                self.workers[idx].instances[name] = instance
+        for edge in self.graph.edges:
+            self._partitioners[edge.edge_id] = Partitioner(edge, self.parallelism)
+        for worker in self.workers:
+            for instance in worker.instances.values():
+                out_edges = self.graph.out_edges(instance.op_name)
+                instance.out_edges = out_edges
+                instance.router = RouterBuffer(
+                    out_edges, self._partitioners, instance.index,
+                    self.cost.batch_max_records,
+                )
+                for edge in self.graph.in_edges(instance.op_name):
+                    instance.in_port_by_edge[edge.edge_id] = edge.port
+                    for src_idx in self._edge_src_indices(edge, instance.index):
+                        channel = (edge.edge_id, src_idx, instance.index)
+                        instance.in_channels.append(channel)
+                        self.channel_dst[channel] = instance
+                instance.open()
+
+    def _edge_src_indices(self, edge: EdgeSpec, dst_index: int) -> list[int]:
+        if edge.partitioning is Partitioning.FORWARD:
+            return [dst_index]
+        return list(range(self.parallelism))
+
+    def edge_channel_dsts(self, edge: EdgeSpec, src_index: int) -> list[int]:
+        """Destination instance indices reachable on ``edge`` from ``src_index``."""
+        if edge.partitioning is Partitioning.FORWARD:
+            return [src_index]
+        return list(range(self.parallelism))
+
+    # -- introspection ---------------------------------------------------- #
+
+    def instance_keys(self) -> list[InstanceKey]:
+        return [
+            (name, idx)
+            for name in self.graph.operator_order()
+            for idx in range(self.parallelism)
+        ]
+
+    def instance(self, key: InstanceKey) -> InstanceRuntime:
+        return self.workers[key[1]].instances[key[0]]
+
+    def instances(self) -> list[InstanceRuntime]:
+        return [self.instance(key) for key in self.instance_keys()]
+
+    @property
+    def registry(self):
+        return self.coordinator.registry
+
+    @property
+    def n_instances(self) -> int:
+        return len(self.graph.operators) * self.parallelism
+
+    def instance_ordinal(self, key: InstanceKey) -> int:
+        """Dense 0..n_instances-1 index (used by CIC vectors)."""
+        order = self.graph.operator_order().index(key[0])
+        return order * self.parallelism + key[1]
+
+    # ------------------------------------------------------------------ #
+    # Data path
+    # ------------------------------------------------------------------ #
+
+    def process_records(self, instance: InstanceRuntime, records: list[StreamRecord] | None,
+                        port: str) -> float:
+        """Run operator logic over a batch; returns virtual CPU cost."""
+        if not records:
+            return 0.0
+        cost = 0.0
+        dedup = self.protocol.requires_dedup
+        operator = instance.operator
+        per_record = operator.cpu_per_record
+        seen = instance.processed_rids
+        router = instance.router
+        for record in records:
+            if dedup:
+                if record.rid in seen:
+                    self.metrics.duplicates_skipped += 1
+                    continue
+                seen.add(record.rid)
+            outputs = operator.process(record, port)
+            cost += per_record
+            if outputs:
+                router.route(outputs)
+        cost += self.flush_ready(instance)
+        return cost
+
+    def flush_ready(self, instance: InstanceRuntime) -> float:
+        cost = 0.0
+        for edge_id, dst, records, nbytes in instance.router.take_ready():
+            cost += self._send_data(instance, edge_id, dst, records, nbytes)
+        return cost
+
+    def flush_all(self, instance: InstanceRuntime) -> float:
+        cost = 0.0
+        for edge_id, dst, records, nbytes in instance.router.take_all():
+            cost += self._send_data(instance, edge_id, dst, records, nbytes)
+        return cost
+
+    def _send_data(self, instance: InstanceRuntime, edge_id: int, dst: int,
+                   records: list[StreamRecord], payload_bytes: int) -> float:
+        channel = (edge_id, instance.index, dst)
+        seq = instance.out_seq.get(channel, 0) + 1
+        instance.out_seq[channel] = seq
+        msg = Message(
+            channel=channel,
+            seq=seq,
+            kind=DATA,
+            records=records,
+            payload_bytes=payload_bytes,
+            sent_at=self.sim.now,
+        )
+        extra_cost = self.protocol.on_send(instance, channel, msg)
+        cost = self.cost.serialize_cost(msg.total_bytes) + extra_cost
+        self.metrics.record_message(msg.payload_bytes, msg.protocol_bytes, len(records))
+        self._transmit(channel, msg)
+        return cost
+
+    def send_marker(self, instance: InstanceRuntime, round_id: int) -> float:
+        """Flush staged data, then emit a marker on every outgoing channel."""
+        cost = 0.0
+        for edge in instance.out_edges:
+            for edge_id, dst, records, nbytes in instance.router.take_edge(edge.edge_id):
+                cost += self._send_data(instance, edge_id, dst, records, nbytes)
+            for dst in self.edge_channel_dsts(edge, instance.index):
+                channel = (edge.edge_id, instance.index, dst)
+                msg = Message(
+                    channel=channel,
+                    seq=0,
+                    kind=MARKER,
+                    records=None,
+                    payload_bytes=0,
+                    protocol_bytes=self.cost.marker_bytes,
+                    # (round, sender's send-cursor): the cursor lets the
+                    # unaligned variant identify in-flight channel state
+                    meta=(round_id, instance.out_seq.get(channel, 0)),
+                    sent_at=self.sim.now,
+                )
+                cost += self.cost.serialize_cost(msg.protocol_bytes)
+                self.metrics.record_message(0, msg.protocol_bytes, 0)
+                self._transmit(channel, msg)
+        return cost
+
+    def _transmit(self, channel: ChannelId, msg: Message) -> None:
+        arrival = self.sim.now + self.cost.network_delay(msg.total_bytes)
+        last = self._chan_last_arrival.get(channel, 0.0)
+        if arrival <= last:
+            arrival = last + self.cost.channel_epsilon
+        self._chan_last_arrival[channel] = arrival
+        self.sim.schedule_at(arrival, self._deliver, channel, msg)
+
+    def _deliver(self, channel: ChannelId, msg: Message) -> None:
+        if self.recovering:
+            return
+        worker = self.workers[channel[2]]
+        worker.deliver(channel, msg)
+
+    # ------------------------------------------------------------------ #
+    # Sources
+    # ------------------------------------------------------------------ #
+
+    def start_source_polls(self) -> None:
+        jitter = self.rng.stream("source-poll")
+        for spec in self.graph.sources():
+            for idx in range(self.parallelism):
+                instance = self.instance((spec.name, idx))
+                offset = jitter.uniform(0, self.cost.source_poll_interval)
+                self.sim.schedule(offset, self._enqueue_poll, instance)
+
+    def _enqueue_poll(self, instance: InstanceRuntime) -> None:
+        worker = instance.worker
+        if worker.alive and not self.recovering:
+            worker.enqueue(("poll", instance))
+
+    def run_source_poll(self, instance: InstanceRuntime) -> float:
+        """Poll task: pull available records, run them through the source op."""
+        topic = instance.spec.source_topic
+        partition = self.inputs[topic].partition(instance.index)
+        log_records = partition.poll(
+            instance.source_cursor, self.sim.now, self.cost.source_max_poll
+        )
+        cost = 1e-5
+        if log_records:
+            self.metrics.record_ingest(self.sim.now, len(log_records))
+            records = [
+                StreamRecord(
+                    rid=source_rid(topic, instance.index, r.offset),
+                    payload=r.payload,
+                    source_ts=r.available_at,
+                    size_bytes=r.size_bytes,
+                )
+                for r in log_records
+            ]
+            instance.source_cursor = log_records[-1].offset + 1
+            cost += self.process_records(instance, records, "in")
+        self.sim.schedule(self.cost.source_poll_interval, self._enqueue_poll, instance)
+        return cost
+
+    # ------------------------------------------------------------------ #
+    # Timers and linger flushes
+    # ------------------------------------------------------------------ #
+
+    def register_timer(self, instance: InstanceRuntime, at: float, tag: Any) -> None:
+        epoch = self.epoch
+
+        def fire() -> None:
+            worker = instance.worker
+            if worker.alive and not self.recovering and epoch == self.epoch:
+                worker.enqueue(("timer", instance, tag, epoch))
+
+        self.sim.schedule_at(max(at, self.sim.now), fire)
+
+    def _start_linger_chains(self) -> None:
+        for worker in self.workers:
+            self._linger_tick(worker)
+
+    def _linger_tick(self, worker: WorkerRuntime) -> None:
+        if worker.alive and not self.recovering and worker.staged_records():
+            worker.enqueue(("flush",))
+        self.sim.schedule(self.cost.linger, self._linger_tick, worker)
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint execution (shared by every protocol)
+    # ------------------------------------------------------------------ #
+
+    def enqueue_checkpoint(self, instance: InstanceRuntime, kind: str,
+                           round_id: int | None = None,
+                           priority: bool = False) -> None:
+        task = ("ckpt", instance, kind, round_id)
+        if priority:
+            instance.worker.enqueue_front(task)
+        else:
+            instance.worker.enqueue(task)
+
+    def execute_checkpoint(self, instance: InstanceRuntime, kind: str,
+                           round_id: int | None) -> float:
+        """Take a snapshot now; returns the synchronous CPU cost.
+
+        Staged router buffers are flushed *before* capturing state so the
+        sent-cursor covers every record produced from pre-checkpoint input
+        (otherwise those records would be dropped by a rollback — see the
+        no-dropping half of the consistency definition).
+        """
+        cost = self.flush_all(instance)
+        cost += self.protocol.on_checkpoint_started(instance, kind, round_id)
+        state_bytes = instance.state_bytes
+        cost += self.cost.snapshot_sync_cost(state_bytes)
+        snapshot = instance.capture_snapshot()
+        instance.checkpoint_counter += 1
+        meta = CheckpointMeta(
+            instance=instance.key,
+            checkpoint_id=instance.checkpoint_counter,
+            kind=kind,
+            round_id=round_id,
+            started_at=self.sim.now,
+            durable_at=-1.0,  # replaced below
+            state_bytes=state_bytes,
+            blob_key=f"{instance.key[0]}/{instance.key[1]}/{instance.checkpoint_counter}",
+            last_sent=dict(instance.out_seq),
+            last_received=dict(instance.last_received),
+            source_offset=instance.source_cursor if instance.spec.is_source else None,
+            clock=self.protocol.instance_clock(instance),
+        )
+        upload_done = cost + self.cost.blob_upload_delay(state_bytes)
+        self.sim.schedule(upload_done, self._checkpoint_durable, meta, snapshot)
+        return cost
+
+    def _checkpoint_durable(self, meta: CheckpointMeta, snapshot: dict) -> None:
+        durable = CheckpointMeta(
+            instance=meta.instance,
+            checkpoint_id=meta.checkpoint_id,
+            kind=meta.kind,
+            round_id=meta.round_id,
+            started_at=meta.started_at,
+            durable_at=self.sim.now,
+            state_bytes=meta.state_bytes,
+            blob_key=meta.blob_key,
+            last_sent=meta.last_sent,
+            last_received=meta.last_received,
+            source_offset=meta.source_offset,
+            clock=meta.clock,
+        )
+        self.coordinator.blobstore.put(
+            durable.blob_key, snapshot, durable.state_bytes, self.sim.now
+        )
+        self.metrics.record_checkpoint(
+            CheckpointEvent(
+                instance=durable.instance,
+                kind=durable.kind,
+                started_at=durable.started_at,
+                durable_at=durable.durable_at,
+                state_bytes=durable.state_bytes,
+                round_id=durable.round_id,
+            )
+        )
+        self.coordinator.send_metadata(durable)
+
+    # ------------------------------------------------------------------ #
+    # Failure and recovery
+    # ------------------------------------------------------------------ #
+
+    def _on_fail(self, worker_index: int) -> None:
+        if self.recovering:
+            return  # the pipeline is already down; fold into this recovery
+        if self.metrics.failure_at < 0:
+            self.metrics.failure_at = self.sim.now
+        self.workers[worker_index].kill()
+
+    def _on_detect(self, worker_index: int) -> None:
+        if self.recovering or self.workers[worker_index].alive:
+            return  # folded into an in-flight recovery / already replaced
+        plan = self.protocol.build_recovery_plan(self.sim.now)
+        # the paper's failure metrics describe the FIRST failure of a run;
+        # later failures still recover but do not overwrite the stamps
+        if self.metrics.detected_at < 0:
+            self.metrics.detected_at = self.sim.now
+            self.metrics.invalid_checkpoints = plan.invalid_checkpoints
+            self.metrics.total_checkpoints_at_failure = plan.total_checkpoints
+            self.metrics.replayed_messages = plan.replayed_messages
+            self.metrics.replayed_records = plan.replayed_records
+        self.recovering = True
+        self.epoch += 1
+        for worker in self.workers:
+            worker.reset_for_recovery()
+        restart = self._restart_duration(plan)
+        self.sim.schedule(restart, self._apply_recovery, plan)
+
+    def _restart_duration(self, plan: RecoveryPlan) -> float:
+        """How long until every worker is restored and ready (paper Fig. 11)."""
+        cost_model = self.cost
+        per_worker = [0.0] * self.parallelism
+        for key, meta in plan.line.items():
+            if meta.kind != "initial":
+                per_worker[key[1]] += cost_model.blob_restore_delay(meta.state_bytes)
+        for channel, messages in plan.replay.items():
+            if not messages:
+                continue
+            dst_worker = channel[2]
+            nbytes = sum(m.total_bytes for m in messages)
+            per_worker[dst_worker] += nbytes / cost_model.log_fetch_bandwidth
+            per_worker[dst_worker] += len(messages) * cost_model.replay_prep_per_message
+        orchestration = cost_model.restart_base + cost_model.restart_per_worker * self.parallelism
+        return orchestration + max(per_worker)
+
+    def _apply_recovery(self, plan: RecoveryPlan) -> None:
+        for key, meta in plan.line.items():
+            instance = self.instance(key)
+            if meta.kind == "initial":
+                instance.reset_to_virgin()
+            else:
+                snapshot = self.coordinator.blobstore.get(meta.blob_key)
+                instance.restore_snapshot(snapshot)
+        self._chan_last_arrival.clear()
+        for worker in self.workers:
+            worker.alive = True  # replacement container
+        if self.metrics.restart_completed_at < 0:
+            self.metrics.restart_completed_at = self.sim.now
+        self.recovering = False
+        self.protocol.on_recovery_applied(plan)
+        # replay in-flight messages (UNC/CIC): deterministic channel order
+        for channel in sorted(plan.replay):
+            for msg in plan.replay[channel]:
+                self._transmit(channel, msg)
+        # resume sources and worker CPUs
+        for spec in self.graph.sources():
+            for idx in range(self.parallelism):
+                self._enqueue_poll(self.instance((spec.name, idx)))
+        for worker in self.workers:
+            worker.kick()
+
+    # ------------------------------------------------------------------ #
+    # Run loop
+    # ------------------------------------------------------------------ #
+
+    def run(self, rate: float = 0.0, query_name: str = "") -> RunResult:
+        """Execute the job for warmup + duration virtual seconds."""
+        config = self.config
+        self.protocol.on_job_start()
+        self.start_source_polls()
+        self._start_linger_chains()
+        plans = []
+        if config.failure_at is not None:
+            plans.append(FailurePlan(at=config.warmup + config.failure_at,
+                                     worker_index=config.failure_worker))
+        for offset, worker_index in config.extra_failures:
+            plans.append(FailurePlan(at=config.warmup + offset,
+                                     worker_index=worker_index))
+        for plan in plans:
+            injector = FailureInjector(
+                self.sim, plan,
+                detection_delay=self.cost.detection_delay,
+                on_fail=self._on_fail,
+                on_detect=self._on_detect,
+            )
+            injector.arm()
+        self.sim.run_until(config.warmup + config.duration)
+        return RunResult(
+            query=query_name or self.graph.name,
+            protocol=self.protocol.name,
+            parallelism=self.parallelism,
+            rate=rate,
+            warmup=config.warmup,
+            duration=config.duration,
+            metrics=self.metrics,
+            checkpoint_interval=config.checkpoint_interval,
+            completed_rounds=set(self.completed_rounds),
+        )

@@ -1,0 +1,180 @@
+"""Operator state backends with byte-size accounting.
+
+Checkpoint and restore durations in the cost model scale with state size, so
+every backend tracks an approximate byte footprint.  Snapshots are shallow
+copies: operators must *replace* stored values instead of mutating them in
+place (the query implementations in :mod:`repro.workloads` follow this rule;
+:class:`KeyedListState` copies lists on snapshot so appends stay safe).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+
+class ValueState:
+    """A single mutable value with an explicit byte size."""
+
+    __slots__ = ("_value", "_size")
+
+    def __init__(self, initial: Any = None, size_bytes: int = 0):
+        self._value = initial
+        self._size = size_bytes
+
+    def get(self) -> Any:
+        return self._value
+
+    def set(self, value: Any, size_bytes: int) -> None:
+        self._value = value
+        self._size = size_bytes
+
+    @property
+    def size_bytes(self) -> int:
+        return self._size
+
+    def snapshot(self) -> tuple[Any, int]:
+        return (self._value, self._size)
+
+    def restore(self, snap: tuple[Any, int]) -> None:
+        self._value, self._size = snap
+
+
+class KeyedMapState:
+    """A keyed map; each entry carries its own byte size."""
+
+    __slots__ = ("_data", "_sizes", "_total")
+
+    def __init__(self) -> None:
+        self._data: dict[Any, Any] = {}
+        self._sizes: dict[Any, int] = {}
+        self._total = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._data
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        return self._data.get(key, default)
+
+    def put(self, key: Any, value: Any, size_bytes: int) -> None:
+        self._total += size_bytes - self._sizes.get(key, 0)
+        self._data[key] = value
+        self._sizes[key] = size_bytes
+
+    def delete(self, key: Any) -> None:
+        if key in self._data:
+            self._total -= self._sizes.pop(key)
+            del self._data[key]
+
+    def keys(self) -> Iterator[Any]:
+        return iter(self._data)
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        return iter(self._data.items())
+
+    def clear(self) -> None:
+        self._data.clear()
+        self._sizes.clear()
+        self._total = 0
+
+    @property
+    def size_bytes(self) -> int:
+        return self._total
+
+    def snapshot(self) -> tuple[dict, dict, int]:
+        return (dict(self._data), dict(self._sizes), self._total)
+
+    def restore(self, snap: tuple[dict, dict, int]) -> None:
+        data, sizes, total = snap
+        self._data = dict(data)
+        self._sizes = dict(sizes)
+        self._total = total
+
+
+class KeyedListState:
+    """A keyed multimap (key -> list); lists are copied on snapshot."""
+
+    __slots__ = ("_data", "_entry_bytes", "_total")
+
+    def __init__(self, entry_bytes: int = 48):
+        self._data: dict[Any, list] = {}
+        self._entry_bytes = entry_bytes
+        self._total = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def append(self, key: Any, value: Any, size_bytes: int | None = None) -> None:
+        self._data.setdefault(key, []).append(value)
+        self._total += self._entry_bytes if size_bytes is None else size_bytes
+
+    def get(self, key: Any) -> list:
+        return self._data.get(key, [])
+
+    def delete(self, key: Any) -> None:
+        values = self._data.pop(key, None)
+        if values is not None:
+            self._total -= len(values) * self._entry_bytes
+
+    def remove_value(self, key: Any, predicate) -> int:
+        """Drop entries matching ``predicate``; returns how many were removed."""
+        values = self._data.get(key)
+        if not values:
+            return 0
+        kept = [v for v in values if not predicate(v)]
+        removed = len(values) - len(kept)
+        if removed:
+            self._total -= removed * self._entry_bytes
+            if kept:
+                self._data[key] = kept
+            else:
+                del self._data[key]
+        return removed
+
+    def keys(self) -> Iterator[Any]:
+        return iter(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+        self._total = 0
+
+    @property
+    def size_bytes(self) -> int:
+        return self._total
+
+    def snapshot(self) -> tuple[dict, int]:
+        return ({k: list(v) for k, v in self._data.items()}, self._total)
+
+    def restore(self, snap: tuple[dict, int]) -> None:
+        data, total = snap
+        self._data = {k: list(v) for k, v in data.items()}
+        self._total = total
+
+
+class StateRegistry:
+    """All named states of one operator instance; snapshot/restore as a unit."""
+
+    def __init__(self) -> None:
+        self._states: dict[str, Any] = {}
+
+    def register(self, name: str, state: Any) -> Any:
+        if name in self._states:
+            raise ValueError(f"duplicate state name {name!r}")
+        self._states[name] = state
+        return state
+
+    def __getitem__(self, name: str) -> Any:
+        return self._states[name]
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(s.size_bytes for s in self._states.values())
+
+    def snapshot(self) -> dict[str, Any]:
+        return {name: state.snapshot() for name, state in self._states.items()}
+
+    def restore(self, snap: dict[str, Any]) -> None:
+        for name, state in self._states.items():
+            state.restore(snap[name])

@@ -1,0 +1,288 @@
+"""Simulated workers and operator instances.
+
+Each worker models one CPU (the paper pins one CPU per worker): tasks —
+message processing, checkpoints, timers, source polls, linger flushes — run
+one at a time for a virtual duration computed from the cost model.  The
+worker also owns channel blocking for COOR alignment: data arriving on a
+blocked channel is buffered and re-enqueued in order on unblock.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+from repro.dataflow.channels import ChannelId, Message, RouterBuffer, DATA, MARKER
+from repro.dataflow.graph import EdgeSpec, OperatorSpec
+from repro.dataflow.operators import OperatorContext
+from repro.dataflow.records import StreamRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dataflow.runtime import Job
+
+
+class InstanceRuntime(OperatorContext):
+    """One parallel instance of an operator, hosted on one worker."""
+
+    def __init__(self, job: "Job", spec: OperatorSpec, index: int, worker: "WorkerRuntime"):
+        self.job = job
+        self.spec = spec
+        self.index = index
+        self.worker = worker
+        self.key = (spec.name, index)
+        self.op_name = spec.name
+        self.parallelism = job.parallelism
+
+        self.operator = spec.factory()
+        self.in_channels: list[ChannelId] = []
+        self.in_port_by_edge: dict[int, str] = {}
+        self.out_edges: list[EdgeSpec] = []
+        self.router: RouterBuffer | None = None  # wired by the job
+
+        #: per outbound channel: last assigned message sequence number
+        self.out_seq: dict[ChannelId, int] = {}
+        #: per inbound channel: last processed message sequence number
+        self.last_received: dict[ChannelId, int] = {}
+        #: lineage ids already applied to state (UNC/CIC dedup)
+        self.processed_rids: set[int] = set()
+        self.checkpoint_counter = 0
+        #: next offset to read from the source partition (sources only)
+        self.source_cursor = 0
+        #: protocol-private per-instance structure (e.g. HMNR vectors)
+        self.proto: Any = None
+
+    # -- OperatorContext ------------------------------------------------- #
+
+    def now(self) -> float:
+        return self.job.sim.now
+
+    def register_timer(self, at: float, tag: Any) -> None:
+        self.job.register_timer(self, at, tag)
+
+    def record_output(self, record: StreamRecord) -> None:
+        self.job.metrics.record_output(self.job.sim.now, record.source_ts)
+
+    # -- bookkeeping -------------------------------------------------------- #
+
+    @property
+    def state_bytes(self) -> int:
+        """Approximate checkpoint payload: operator state + dedup set + cursors."""
+        base = self.operator.state_bytes
+        base += len(self.processed_rids) * 8
+        base += (len(self.out_seq) + len(self.last_received)) * 12
+        return base
+
+    def open(self) -> None:
+        self.operator.open(self)
+
+    def reset_to_virgin(self) -> None:
+        """Reinstall a fresh operator and clear all cursors (initial state)."""
+        self.operator = self.spec.factory()
+        self.operator.open(self)
+        self.out_seq.clear()
+        self.last_received.clear()
+        self.processed_rids.clear()
+        self.source_cursor = 0
+        if self.router is not None:
+            self.router.clear()
+
+    def capture_snapshot(self) -> dict[str, Any]:
+        """Copy everything a rollback needs to reinstall this instance."""
+        return {
+            "states": self.operator.states.snapshot(),
+            "out_seq": dict(self.out_seq),
+            "last_received": dict(self.last_received),
+            "processed_rids": set(self.processed_rids),
+            "source_cursor": self.source_cursor,
+            "extra": self.job.protocol.capture_extra(self),
+        }
+
+    def restore_snapshot(self, snapshot: dict[str, Any]) -> None:
+        self.operator = self.spec.factory()
+        self.operator.open(self)
+        self.operator.states.restore(snapshot["states"])
+        self.out_seq = dict(snapshot["out_seq"])
+        self.last_received = dict(snapshot["last_received"])
+        self.processed_rids = set(snapshot["processed_rids"])
+        self.source_cursor = snapshot["source_cursor"]
+        if self.router is not None:
+            self.router.clear()
+        self.job.protocol.restore_extra(self, snapshot["extra"])
+        self.operator.on_restore()
+
+
+class WorkerRuntime:
+    """One simulated machine: a CPU, its operator instances, its channel state."""
+
+    def __init__(self, job: "Job", index: int):
+        self.job = job
+        self.index = index
+        self.alive = True
+        self.instances: dict[str, InstanceRuntime] = {}
+        self._tasks: deque[tuple] = deque()
+        self._busy = False
+        self.blocked: set[ChannelId] = set()
+        self._blocked_buf: dict[ChannelId, deque[Message]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Delivery and channel blocking
+    # ------------------------------------------------------------------ #
+
+    def deliver(self, channel: ChannelId, msg: Message) -> None:
+        """A message arrived over the network for an instance on this worker."""
+        if not self.alive or self.job.recovering:
+            return
+        if msg.kind == MARKER:
+            instance = self.job.channel_dst[channel]
+            self.job.protocol.on_marker(instance, channel, msg)
+            return
+        if channel in self.blocked:
+            self._blocked_buf.setdefault(channel, deque()).append(msg)
+            return
+        self.enqueue(("data", channel, msg))
+
+    def block_channel(self, channel: ChannelId) -> None:
+        self.blocked.add(channel)
+
+    def unblock_channel(self, channel: ChannelId) -> None:
+        """Release a channel and re-enqueue everything buffered on it, in order."""
+        self.blocked.discard(channel)
+        buffered = self._blocked_buf.pop(channel, None)
+        if buffered:
+            for msg in buffered:
+                self.enqueue(("data", channel, msg))
+
+    # ------------------------------------------------------------------ #
+    # CPU loop
+    # ------------------------------------------------------------------ #
+
+    def enqueue(self, task: tuple) -> None:
+        if not self.alive:
+            return
+        self._tasks.append(task)
+        if not self._busy and not self.job.recovering:
+            self._start_next()
+
+    def enqueue_front(self, task: tuple) -> None:
+        """Jump the queue (unaligned checkpoints charge their CPU this way)."""
+        if not self.alive:
+            return
+        self._tasks.appendleft(task)
+        if not self._busy and not self.job.recovering:
+            self._start_next()
+
+    def charge_cpu(self, duration: float) -> None:
+        """Charge CPU time for work whose effects already happened.
+
+        Used by control-plane actions (e.g. an unaligned snapshot captured
+        at marker arrival): the state capture is immediate, but the worker
+        still pays the time before resuming normal tasks.
+        """
+        self.enqueue_front(("cpu", duration))
+
+    def kick(self) -> None:
+        """Resume task processing (after recovery)."""
+        if not self._busy and self._tasks:
+            self._start_next()
+
+    @property
+    def queued_tasks(self) -> int:
+        return len(self._tasks)
+
+    def pending_data_messages(self, channel: ChannelId) -> list[Message]:
+        """Arrived-but-unprocessed data messages of one channel, in order.
+
+        Unaligned checkpoints persist these as channel state: they were sent
+        before the upstream snapshot (FIFO puts them ahead of the marker)
+        but their effects are not in this instance's snapshot yet.
+        """
+        queued = [
+            task[2] for task in self._tasks
+            if task[0] == "data" and task[1] == channel
+        ]
+        buffered = self._blocked_buf.get(channel)
+        if buffered:
+            queued.extend(buffered)
+        return queued
+
+    def _start_next(self) -> None:
+        if not self.alive or self.job.recovering or not self._tasks:
+            self._busy = False
+            return
+        self._busy = True
+        task = self._tasks.popleft()
+        duration = self._run(task)
+        self.job.sim.schedule(duration, self._complete)
+
+    def _complete(self) -> None:
+        self._busy = False
+        if self.alive and not self.job.recovering:
+            self._start_next()
+
+    def _run(self, task: tuple) -> float:
+        kind = task[0]
+        if kind == "data":
+            return self._run_data(task[1], task[2])
+        if kind == "ckpt":
+            _, instance, ckpt_kind, round_id = task
+            return self.job.execute_checkpoint(instance, ckpt_kind, round_id)
+        if kind == "timer":
+            return self._run_timer(task[1], task[2], task[3])
+        if kind == "poll":
+            return self.job.run_source_poll(task[1])
+        if kind == "flush":
+            return self._run_flush()
+        if kind == "cpu":
+            return task[1]
+        raise AssertionError(f"unknown task kind {kind!r}")
+
+    def _run_data(self, channel: ChannelId, msg: Message) -> float:
+        job = self.job
+        instance = job.channel_dst[channel]
+        cost = job.cost.serialize_cost(msg.total_bytes)
+        cost += job.protocol.on_data_received(instance, channel, msg)
+        previous = instance.last_received.get(channel, 0)
+        if msg.seq > previous:
+            instance.last_received[channel] = msg.seq
+        port = instance.in_port_by_edge[channel[0]]
+        cost += job.process_records(instance, msg.records, port)
+        return cost
+
+    def _run_timer(self, instance: InstanceRuntime, tag: Any, epoch: int) -> float:
+        if epoch != self.job.epoch:
+            return 1e-6  # stale timer from before a rollback
+        outputs = instance.operator.on_timer(tag)
+        cost = 0.0002
+        if outputs:
+            instance.router.route(outputs)
+        cost += self.job.flush_ready(instance)
+        return cost
+
+    def _run_flush(self) -> float:
+        cost = 1e-5
+        for instance in self.instances.values():
+            cost += self.job.flush_all(instance)
+        return cost
+
+    # ------------------------------------------------------------------ #
+    # Failure / recovery support
+    # ------------------------------------------------------------------ #
+
+    def kill(self) -> None:
+        """The failure injector stops this worker instantly."""
+        self.alive = False
+        self._tasks.clear()
+        self._busy = False
+
+    def reset_for_recovery(self) -> None:
+        """Drop all queued work and channel buffers before the rollback."""
+        self._tasks.clear()
+        self._busy = False
+        self.blocked.clear()
+        self._blocked_buf.clear()
+        for instance in self.instances.values():
+            if instance.router is not None:
+                instance.router.clear()
+
+    def staged_records(self) -> int:
+        return sum(i.router.staged_records for i in self.instances.values() if i.router)

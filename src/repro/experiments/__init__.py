@@ -1,0 +1,12 @@
+"""Experiment harness: one entry point per paper table and figure.
+
+See :mod:`repro.experiments.figures` for the experiment functions and
+DESIGN.md section 5 for the experiment index.  Scale selection (quick /
+default / full parameter grids) is controlled by the ``CHECKMATE_SCALE``
+environment variable (:mod:`repro.experiments.config`).
+"""
+
+from repro.experiments.config import ExperimentScale, current_scale
+from repro.experiments.runner import run_query
+
+__all__ = ["ExperimentScale", "current_scale", "run_query"]

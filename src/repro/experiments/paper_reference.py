@@ -1,0 +1,131 @@
+"""Values the paper reports, for side-by-side comparison in the benches.
+
+Tables II, III and IV are copied verbatim from the paper.  Figures 7-13 are
+published as plots only, so their entries are *digitised approximations*
+plus the qualitative shape assertions the reproduction must satisfy
+(DESIGN.md section 5).
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------- #
+# Table II — message overhead ratio vs checkpoint-free execution
+# ---------------------------------------------------------------------- #
+
+TABLE2_OVERHEAD = {
+    # (protocol, workers, query) -> ratio
+    ("coor", 10): {"q1": 1.00, "q3": 1.00, "q8": 1.00, "q12": 1.00},
+    ("coor", 50): {"q1": 1.00, "q3": 1.00, "q8": 1.00, "q12": 1.00},
+    ("unc", 10): {"q1": 1.00, "q3": 1.00, "q8": 1.00, "q12": 1.00},
+    ("unc", 50): {"q1": 1.00, "q3": 1.01, "q8": 1.01, "q12": 1.00},
+    ("cic", 10): {"q1": 2.10, "q3": 1.82, "q8": 1.74, "q12": 1.79},
+    ("cic", 50): {"q1": 2.53, "q3": 2.58, "q8": 2.49, "q12": 2.58},
+}
+
+# ---------------------------------------------------------------------- #
+# Table III — total checkpoints and invalid percentage
+# ---------------------------------------------------------------------- #
+
+TABLE3_CHECKPOINTS = {
+    # (workers, query, protocol) -> (total, invalid_percent)
+    (10, "q1", "unc"): (303, 0.0), (10, "q1", "cic"): (285, 0.0), (10, "q1", "coor"): (240, 0.0),
+    (10, "q3", "unc"): (455, 4.0), (10, "q3", "cic"): (471, 3.0), (10, "q3", "coor"): (400, 0.0),
+    (10, "q8", "unc"): (384, 2.0), (10, "q8", "cic"): (386, 3.0), (10, "q8", "coor"): (360, 0.0),
+    (10, "q12", "unc"): (282, 3.0), (10, "q12", "cic"): (282, 4.0), (10, "q12", "coor"): (240, 0.0),
+    (50, "q1", "unc"): (1437, 0.0), (50, "q1", "cic"): (1428, 0.0), (50, "q1", "coor"): (1200, 0.0),
+    (50, "q3", "unc"): (2399, 3.0), (50, "q3", "cic"): (2517, 4.0), (50, "q3", "coor"): (2000, 0.0),
+    (50, "q8", "unc"): (1924, 2.0), (50, "q8", "cic"): (1920, 3.0), (50, "q8", "coor"): (1800, 0.0),
+    (50, "q12", "unc"): (1446, 3.0), (50, "q12", "cic"): (1451, 3.0), (50, "q12", "coor"): (1200, 0.0),
+}
+
+# ---------------------------------------------------------------------- #
+# Table IV — cyclic query: checkpoint time, restart time, invalid %
+# ---------------------------------------------------------------------- #
+
+TABLE4_CYCLIC = {
+    # (protocol, workers) -> (checkpoint_time_ms, restart_time_ms, invalid_pct)
+    ("unc", 5): (0.01, 620.0, 1.4),
+    ("unc", 10): (1.38, 344.0, 1.4),
+    ("cic", 5): (2.73, 347.0, 1.7),
+    ("cic", 10): (8.39, 399.0, 1.6),
+}
+
+# ---------------------------------------------------------------------- #
+# Figure 7 — normalized maximum sustainable throughput (digitised)
+# ---------------------------------------------------------------------- #
+
+FIG7_NORMALIZED_MST = {
+    # (protocol, workers) -> {query: approx normalized MST}
+    ("coor", 10): {"q1": 1.00, "q3": 0.85, "q8": 1.00, "q12": 1.00},
+    ("unc", 10): {"q1": 0.90, "q3": 0.78, "q8": 0.90, "q12": 0.90},
+    ("cic", 10): {"q1": 0.72, "q3": 0.60, "q8": 0.70, "q12": 0.70},
+    ("coor", 50): {"q1": 1.00, "q3": 0.75, "q8": 0.90, "q12": 1.00},
+    ("unc", 50): {"q1": 0.90, "q3": 0.70, "q8": 0.82, "q12": 0.90},
+    ("cic", 50): {"q1": 0.60, "q3": 0.45, "q8": 0.55, "q12": 0.60},
+}
+
+#: shape assertions for Fig. 7 (checked by tests and printed by benches)
+FIG7_SHAPE = (
+    "COOR >= UNC on every query (gap ~10%)",
+    "UNC >= CIC everywhere",
+    "CIC degrades with parallelism (below ~0.75 at 10+ workers)",
+)
+
+# ---------------------------------------------------------------------- #
+# Figure 8 — average checkpointing time (digitised, milliseconds)
+# ---------------------------------------------------------------------- #
+
+FIG8_CHECKPOINT_TIME_MS = {
+    ("unc", 10): {"q1": 2.0, "q3": 4.0, "q8": 4.0, "q12": 4.0},
+    ("cic", 10): {"q1": 2.5, "q3": 5.0, "q8": 5.0, "q12": 5.0},
+    ("coor", 10): {"q1": 8.0, "q3": 150.0, "q8": 60.0, "q12": 50.0},
+}
+
+FIG8_SHAPE = (
+    "UNC and CIC stay at a few ms on every query and parallelism",
+    "COOR is 1-2 orders of magnitude higher on shuffling queries (Q3/Q8/Q12)",
+    "COOR grows with parallelism",
+)
+
+# ---------------------------------------------------------------------- #
+# Figures 9/10 — latency series around the failure (qualitative)
+# ---------------------------------------------------------------------- #
+
+FIG9_SHAPE = (
+    "pre-failure p50 similar across protocols (CIC slightly higher at p=50)",
+    "failure produces a latency spike, then recovery",
+    "COOR returns to the stable band fastest (UNC/CIC replay messages)",
+)
+
+FIG10_SHAPE = (
+    "p99 follows the same pattern as p50 with larger spikes",
+)
+
+# ---------------------------------------------------------------------- #
+# Figure 11 — restart time after failure (digitised, milliseconds)
+# ---------------------------------------------------------------------- #
+
+FIG11_RESTART_MS = {
+    ("coor", 10): {"q1": 150.0, "q3": 300.0, "q8": 250.0, "q12": 200.0},
+    ("unc", 10): {"q1": 400.0, "q3": 900.0, "q8": 700.0, "q12": 600.0},
+    ("cic", 10): {"q1": 400.0, "q3": 800.0, "q8": 700.0, "q12": 600.0},
+}
+
+FIG11_SHAPE = (
+    "COOR restarts fastest at every parallelism",
+    "UNC/CIC pay replay preparation: up to ~10x COOR at high parallelism",
+)
+
+# ---------------------------------------------------------------------- #
+# Figures 12/13 — skewed workloads (qualitative)
+# ---------------------------------------------------------------------- #
+
+FIG12_SHAPE = (
+    "under skew COOR is the worst: p50 latency and checkpoint time grow by "
+    ">= an order of magnitude as the hot ratio rises",
+    "UNC and CIC keep both metrics comparatively low at every hot ratio",
+)
+
+FIG13_SHAPE = (
+    "restart-time differences between protocols vanish under skew",
+)

@@ -1,0 +1,45 @@
+"""Run one (query, protocol, parallelism, rate, skew, failure) configuration."""
+
+from __future__ import annotations
+
+from repro.dataflow.runtime import Job, RunResult
+from repro.sim.costs import CostModel, RuntimeConfig
+from repro.workloads.spec import QuerySpec
+
+
+def run_query(
+    spec: QuerySpec,
+    protocol: str,
+    parallelism: int,
+    rate: float,
+    duration: float = 60.0,
+    warmup: float = 10.0,
+    failure_at: float | None = None,
+    failure_worker: int = 0,
+    hot_ratio: float = 0.0,
+    checkpoint_interval: float = 5.0,
+    seed: int = 7,
+    cost_model: CostModel | None = None,
+) -> RunResult:
+    """Deploy ``spec`` under ``protocol`` and execute one measured run.
+
+    ``rate`` is the aggregate input rate (records/second across all source
+    partitions); input logs are pre-generated to cover the full run plus a
+    safety margin so sources never starve artificially.
+    """
+    config = RuntimeConfig(
+        checkpoint_interval=checkpoint_interval,
+        duration=duration,
+        warmup=warmup,
+        failure_at=failure_at,
+        failure_worker=failure_worker,
+        seed=seed,
+    )
+    if cost_model is not None:
+        config.cost_model = cost_model
+    inputs = spec.make_job_inputs(
+        rate, warmup + duration + 1.0, parallelism, hot_ratio, seed
+    )
+    graph = spec.build_graph(parallelism)
+    job = Job(graph, protocol, parallelism, inputs, config)
+    return job.run(rate=rate, query_name=spec.name)

@@ -1,0 +1,14 @@
+"""Metrics for evaluating checkpointing protocols (paper Section V)."""
+
+from repro.metrics.collectors import MetricsCollector, CheckpointEvent
+from repro.metrics.series import LatencySeries, percentile
+
+# NOTE: repro.metrics.mst is intentionally not imported here — it depends on
+# the runtime, which depends on this package (import it directly).
+
+__all__ = [
+    "MetricsCollector",
+    "CheckpointEvent",
+    "LatencySeries",
+    "percentile",
+]

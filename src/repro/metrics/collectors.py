@@ -1,0 +1,120 @@
+"""Raw measurement collection during a run.
+
+The collector is deliberately dumb: it records timestamped observations and
+counters; all interpretation (percentile series, sustainability checks,
+recovery detection) happens in :mod:`repro.metrics.series` and
+:mod:`repro.experiments` after the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CheckpointEvent:
+    """One durable checkpoint (or completed coordinated round)."""
+
+    instance: tuple[str, int] | None
+    kind: str  # 'local' | 'forced' | 'coor' | 'round'
+    started_at: float
+    durable_at: float
+    state_bytes: int
+    round_id: int | None = None
+
+    @property
+    def duration(self) -> float:
+        return self.durable_at - self.started_at
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates everything a run produces."""
+
+    # -- latency / throughput ------------------------------------------- #
+    #: per-second sink latencies: second -> list of end-to-end latencies
+    latencies: dict[int, list[float]] = field(default_factory=dict)
+    #: per-second count of records reaching sinks
+    sink_counts: dict[int, int] = field(default_factory=dict)
+    #: per-second count of records ingested by sources
+    ingest_counts: dict[int, int] = field(default_factory=dict)
+
+    # -- bytes ------------------------------------------------------------ #
+    data_bytes: int = 0
+    protocol_bytes: int = 0
+    messages_sent: int = 0
+    records_sent: int = 0
+
+    # -- checkpointing ------------------------------------------------------ #
+    checkpoints: list[CheckpointEvent] = field(default_factory=list)
+    forced_checkpoints: int = 0
+    duplicates_skipped: int = 0
+
+    # -- failure / recovery --------------------------------------------------- #
+    failure_at: float = -1.0
+    detected_at: float = -1.0
+    restart_completed_at: float = -1.0
+    invalid_checkpoints: int = -1
+    total_checkpoints_at_failure: int = -1
+    replayed_messages: int = 0
+    replayed_records: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+
+    def record_output(self, now: float, source_ts: float) -> None:
+        second = int(now)
+        self.latencies.setdefault(second, []).append(now - source_ts)
+        self.sink_counts[second] = self.sink_counts.get(second, 0) + 1
+
+    def record_ingest(self, now: float, count: int) -> None:
+        second = int(now)
+        self.ingest_counts[second] = self.ingest_counts.get(second, 0) + count
+
+    def record_message(self, payload_bytes: int, protocol_bytes: int, n_records: int) -> None:
+        self.data_bytes += payload_bytes
+        self.protocol_bytes += protocol_bytes
+        self.messages_sent += 1
+        self.records_sent += n_records
+
+    def record_checkpoint(self, event: CheckpointEvent) -> None:
+        self.checkpoints.append(event)
+
+    # ------------------------------------------------------------------ #
+    # Derived values
+    # ------------------------------------------------------------------ #
+
+    @property
+    def restart_time(self) -> float:
+        """Detection -> ready-to-process duration (paper's restart time)."""
+        if self.restart_completed_at < 0 or self.detected_at < 0:
+            return -1.0
+        return self.restart_completed_at - self.detected_at
+
+    def overhead_ratio(self) -> float:
+        """(data + protocol bytes) / data bytes — Table II's metric."""
+        if self.data_bytes == 0:
+            return float("inf") if self.protocol_bytes else 1.0
+        return (self.data_bytes + self.protocol_bytes) / self.data_bytes
+
+    def avg_checkpoint_time(self, kinds: tuple[str, ...] | None = None) -> float:
+        """Mean checkpoint duration in seconds over the selected kinds."""
+        events = [
+            e for e in self.checkpoints if kinds is None or e.kind in kinds
+        ]
+        if not events:
+            return 0.0
+        return sum(e.duration for e in events) / len(events)
+
+    def total_sink_records(self, start: float = 0.0, end: float = float("inf")) -> int:
+        return sum(
+            count for second, count in self.sink_counts.items() if start <= second < end
+        )
+
+    def throughput(self, start: float, end: float) -> float:
+        """Average sink records/second over [start, end)."""
+        span = end - start
+        if span <= 0:
+            return 0.0
+        return self.total_sink_records(start, end) / span

@@ -1,0 +1,81 @@
+"""Export run results as CSV / JSON for external plotting.
+
+The benchmark harness renders ASCII tables; anyone regenerating the
+paper's actual plots (matplotlib, gnuplot, a spreadsheet) can dump the
+raw series instead.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dataflow.runtime import RunResult
+
+
+def run_summary(result: "RunResult") -> dict[str, Any]:
+    """Flat summary of one run (everything the paper's metrics cover)."""
+    metrics = result.metrics
+    return {
+        "query": result.query,
+        "protocol": result.protocol,
+        "parallelism": result.parallelism,
+        "rate": result.rate,
+        "duration": result.duration,
+        "sink_records": sum(metrics.sink_counts.values()),
+        "ingested_records": sum(metrics.ingest_counts.values()),
+        "avg_checkpoint_time_s": result.avg_checkpoint_time(),
+        "total_checkpoints": result.total_checkpoints(),
+        "forced_checkpoints": metrics.forced_checkpoints,
+        "overhead_ratio": metrics.overhead_ratio(),
+        "data_bytes": metrics.data_bytes,
+        "protocol_bytes": metrics.protocol_bytes,
+        "restart_time_s": result.restart_time(),
+        "recovery_time_s": result.recovery_time(),
+        "invalid_checkpoints": metrics.invalid_checkpoints,
+        "checkpoints_at_failure": metrics.total_checkpoints_at_failure,
+        "replayed_messages": metrics.replayed_messages,
+        "replayed_records": metrics.replayed_records,
+        "duplicates_skipped": metrics.duplicates_skipped,
+    }
+
+
+def latency_series_csv(result: "RunResult") -> str:
+    """CSV with one row per measured second: second, p50, p99, sink count."""
+    series = result.latency_series()
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["second", "p50_s", "p99_s", "sink_records"])
+    warmup = int(result.warmup)
+    for second, p50, p99 in zip(series.seconds, series.p50, series.p99):
+        count = result.metrics.sink_counts.get(second + warmup, 0)
+        writer.writerow([second, f"{p50:.6f}", f"{p99:.6f}", count])
+    return buffer.getvalue()
+
+
+def run_json(result: "RunResult", include_series: bool = True) -> str:
+    """JSON document with the summary and (optionally) the latency series."""
+    document: dict[str, Any] = {"summary": run_summary(result)}
+    if include_series:
+        series = result.latency_series()
+        document["series"] = {
+            "seconds": series.seconds,
+            "p50": series.p50,
+            "p99": series.p99,
+        }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def results_csv(results: list["RunResult"]) -> str:
+    """One summary row per run — convenient for sweeps."""
+    if not results:
+        return ""
+    rows = [run_summary(r) for r in results]
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0]))
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()

@@ -1,0 +1,122 @@
+"""Maximum sustainable throughput (MST) search (paper Section V).
+
+MST is the largest input rate the system sustains without backpressure:
+latency must not grow monotonically and the sources must keep pace with the
+offered rate.  The search seeds a bracket from the query's analytic
+capacity hint, expands it geometrically until it straddles the boundary,
+then bisects with short probe runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.dataflow.runtime import Job, RunResult
+from repro.sim.costs import RuntimeConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.workloads.spec import QuerySpec
+
+
+@dataclass
+class MstResult:
+    """Outcome of one MST search."""
+
+    query: str
+    protocol: str
+    parallelism: int
+    mst: float
+    probes: list[tuple[float, bool]] = field(default_factory=list)
+
+
+def estimate_capacity(spec: "QuerySpec", parallelism: int) -> float:
+    """Analytic seed for the bracket: per-worker capacity x workers."""
+    return spec.capacity_per_worker * parallelism
+
+
+def probe_run(
+    spec: "QuerySpec",
+    protocol: str,
+    parallelism: int,
+    rate: float,
+    duration: float = 14.0,
+    warmup: float = 6.0,
+    hot_ratio: float = 0.0,
+    seed: int = 7,
+    config: RuntimeConfig | None = None,
+) -> RunResult:
+    """One fixed-rate run used as a sustainability probe."""
+    run_config = config or RuntimeConfig()
+    run_config.duration = duration
+    run_config.warmup = warmup
+    run_config.failure_at = None
+    inputs = spec.make_job_inputs(
+        rate, warmup + duration + 1.0, parallelism, hot_ratio, seed
+    )
+    graph = spec.build_graph(parallelism)
+    job = Job(graph, protocol, parallelism, inputs, run_config)
+    return job.run(rate=rate, query_name=spec.name)
+
+
+def find_mst(
+    spec: "QuerySpec",
+    protocol: str,
+    parallelism: int,
+    probe_duration: float = 14.0,
+    warmup: float = 6.0,
+    iterations: int = 4,
+    seed: int = 7,
+    config: RuntimeConfig | None = None,
+) -> MstResult:
+    """Bracket + bisect the sustainability boundary."""
+
+    probes: list[tuple[float, bool]] = []
+
+    def sustainable(rate: float) -> bool:
+        run_config = RuntimeConfig(**_clone_args(config)) if config else None
+        result = probe_run(
+            spec, protocol, parallelism, rate,
+            duration=probe_duration, warmup=warmup, seed=seed, config=run_config,
+        )
+        ok = result.sustainable(rate)
+        probes.append((rate, ok))
+        return ok
+
+    seed_rate = estimate_capacity(spec, parallelism)
+    low, high = None, None
+    rate = seed_rate
+    for _ in range(6):
+        if sustainable(rate):
+            low = rate
+            rate *= 1.3
+        else:
+            high = rate
+            rate /= 1.3
+        if low is not None and high is not None:
+            break
+    if low is None:
+        low = rate  # pessimistic floor: everything probed was unsustainable
+    if high is None:
+        high = low * 1.3
+    for _ in range(iterations):
+        mid = (low + high) / 2
+        if sustainable(mid):
+            low = mid
+        else:
+            high = mid
+    return MstResult(
+        query=spec.name, protocol=protocol, parallelism=parallelism,
+        mst=low, probes=probes,
+    )
+
+
+def _clone_args(config: RuntimeConfig) -> dict:
+    """Fresh kwargs for a RuntimeConfig copy (probe runs mutate duration)."""
+    return {
+        "checkpoint_interval": config.checkpoint_interval,
+        "checkpoint_jitter": config.checkpoint_jitter,
+        "unc_checkpoint_stateless": config.unc_checkpoint_stateless,
+        "seed": config.seed,
+        "cost_model": config.cost_model,
+    }

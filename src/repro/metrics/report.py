@@ -1,0 +1,52 @@
+"""ASCII rendering of experiment results (paper-style rows and series)."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: str = "") -> str:
+    """Render a fixed-width table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == -1.0:
+            return "n/a"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_series(label: str, seconds: Sequence[int], values: Sequence[float],
+                  unit: str = "ms", scale: float = 1000.0, step: int = 5) -> str:
+    """Render a compact per-second series (used for Figs. 9/10 output)."""
+    points = [
+        f"t={s:>3}s {v * scale:8.1f}{unit}"
+        for s, v in zip(seconds, values)
+        if s % step == 0
+    ]
+    return f"{label}\n  " + "\n  ".join(points)
+
+
+def shape_report(title: str, assertions: Sequence[tuple[str, bool]]) -> str:
+    """Render pass/fail lines for the paper's qualitative shape claims."""
+    lines = [title]
+    for claim, ok in assertions:
+        lines.append(f"  [{'PASS' if ok else 'FAIL'}] {claim}")
+    return "\n".join(lines)

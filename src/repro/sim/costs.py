@@ -1,0 +1,156 @@
+"""Calibrated cost model for the simulated testbed.
+
+Every virtual duration in the system comes from this module, so calibration
+lives in one place.  The constants are chosen so the *relative* magnitudes
+of the paper's results hold (DESIGN.md section 7): COOR's round time grows
+with topology depth and parallelism, UNC pays a per-record logging tax of
+roughly 10% throughput, CIC's piggyback roughly doubles message sizes at 10
+workers and reaches ~2.5x at 50.
+
+Units: seconds and bytes.  These are *virtual* seconds — see repro.sim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CostModel:
+    """CPU, network and storage cost constants for the simulation."""
+
+    # -- network -------------------------------------------------------- #
+    #: one-way propagation latency between any two workers
+    network_latency: float = 0.0005
+    #: bytes/second on an inter-worker link
+    network_bandwidth: float = 200e6
+    #: minimum spacing between deliveries on one channel (FIFO clamp)
+    channel_epsilon: float = 1e-7
+
+    # -- serialization (charged to the sending/receiving worker CPU) ----- #
+    # The testbed (Styx) is a Python system: (de)serialization CPU scales
+    # with message bytes and is a first-order cost.  This constant is what
+    # turns CIC's piggyback into its Figure-7 throughput collapse.
+    #: fixed CPU cost to serialize or deserialize one message
+    serialize_message_base: float = 0.00025
+    #: CPU cost per payload byte (serialize and deserialize each)
+    serialize_per_byte: float = 5e-6
+
+    # -- message logging (UNC / CIC upstream backup) ---------------------- #
+    #: CPU cost to append one record to the durable send log
+    log_append_per_record: float = 0.00035
+    #: CPU cost per logged byte
+    log_append_per_byte: float = 2e-9
+
+    # -- checkpointing ---------------------------------------------------- #
+    #: CPU cost to start a snapshot (sync part: fork state, write manifest)
+    snapshot_base: float = 0.001
+    #: CPU cost per byte of state serialized synchronously
+    snapshot_per_byte: float = 1.5e-9
+    #: blob store round-trip latency (upload ack / download first byte)
+    blob_latency: float = 0.003
+    #: blob store bandwidth, bytes/second (upload and restore)
+    blob_bandwidth: float = 400e6
+    #: size in bytes of a checkpoint-metadata control message
+    metadata_message_bytes: int = 96
+    #: size in bytes of a COOR marker message
+    marker_bytes: int = 24
+
+    # -- CIC piggyback (HMNR clocks and vectors) -------------------------- #
+    # The simulator batches records for transport efficiency, but the paper's
+    # system (Styx) ships one record per message, each carrying the HMNR
+    # piggyback.  CIC therefore charges the piggyback PER RECORD.  The two
+    # constants are calibrated against Table II (~1.7-2.1x overhead at 10
+    # workers rising to ~2.5x at 50) given our NexMark record sizes.
+    #: fixed piggyback header per record-message (clock + flags + framing)
+    cic_header_bytes: float = 80.0
+    #: additional piggyback bytes per operator instance in the pipeline
+    cic_per_instance_bytes: float = 0.5
+
+    # -- failure handling -------------------------------------------------- #
+    #: heartbeat-based failure detection delay
+    detection_delay: float = 1.0
+    #: coordinator orchestration cost per worker during restart
+    restart_per_worker: float = 0.004
+    #: fixed restart overhead (redeploy tasks, reopen channels)
+    restart_base: float = 0.080
+    #: bandwidth for fetching replay logs during restart, bytes/second
+    log_fetch_bandwidth: float = 60e6
+    #: per replayed message preparation cost during restart
+    replay_prep_per_message: float = 0.00012
+
+    # -- sources ------------------------------------------------------------ #
+    #: source poll interval (Kafka consumer poll loop)
+    source_poll_interval: float = 0.050
+    #: max records pulled per poll per source instance
+    source_max_poll: int = 500
+
+    # -- batching / routing -------------------------------------------------- #
+    #: max records buffered per outbound (edge, destination) before flush
+    batch_max_records: int = 32
+    #: linger before flushing non-full outbound buffers
+    linger: float = 0.050
+
+    def network_delay(self, size_bytes: int) -> float:
+        """One-way delivery delay for a message of ``size_bytes``."""
+        return self.network_latency + size_bytes / self.network_bandwidth
+
+    def serialize_cost(self, size_bytes: int) -> float:
+        """CPU cost to serialize *or* deserialize one message."""
+        return self.serialize_message_base + size_bytes * self.serialize_per_byte
+
+    def log_append_cost(self, n_records: int, size_bytes: int) -> float:
+        """CPU cost to append a batch to the durable send log."""
+        return n_records * self.log_append_per_record + size_bytes * self.log_append_per_byte
+
+    def snapshot_sync_cost(self, state_bytes: int) -> float:
+        """Synchronous (CPU-blocking) part of taking a snapshot."""
+        return self.snapshot_base + state_bytes * self.snapshot_per_byte
+
+    def blob_upload_delay(self, size_bytes: int) -> float:
+        """Asynchronous upload duration until the store acks durability."""
+        return self.blob_latency + size_bytes / self.blob_bandwidth
+
+    def blob_restore_delay(self, size_bytes: int) -> float:
+        """Duration to fetch a checkpoint blob during restart."""
+        return self.blob_latency + size_bytes / self.blob_bandwidth
+
+    def cic_piggyback_bytes(self, n_instances: int) -> int:
+        """Per-record HMNR piggyback size for a pipeline of ``n_instances``."""
+        return int(self.cic_header_bytes + n_instances * self.cic_per_instance_bytes)
+
+
+@dataclass
+class RuntimeConfig:
+    """Knobs of one experiment run (paper Section VII-A)."""
+
+    #: checkpoint interval for all protocols (coordinated round period /
+    #: local timer period), seconds
+    checkpoint_interval: float = 5.0
+    #: jitter fraction applied to UNC/CIC local timers (phase offsets)
+    checkpoint_jitter: float = 0.25
+    #: whether stateless non-source operators take UNC checkpoints
+    unc_checkpoint_stateless: bool = True
+    #: per-operator (interval, phase) overrides for UNC/CIC local timers —
+    #: the paper's Section III-B flexibility: e.g. schedule a windowed
+    #: aggregation right after its window closes, when its state is minimal
+    per_operator_schedules: dict | None = None
+    #: processing guarantee for the uncoordinated family (paper Defs. 1-3):
+    #: 'exactly-once' = logging + replay + dedup (the paper's evaluated mode),
+    #: 'at-least-once' = logging + replay, no dedup (duplicates possible),
+    #: 'at-most-once'  = bare checkpoints, no logs, no replay (gap recovery)
+    unc_semantics: str = "exactly-once"
+    #: measured run duration (paper: 60 s)
+    duration: float = 60.0
+    #: warmup before measurement starts (paper: 30 s)
+    warmup: float = 10.0
+    #: inject a failure at this offset into the measured window, or None
+    failure_at: float | None = None
+    #: index of the worker to kill
+    failure_worker: int = 0
+    #: additional (offset, worker) failures after the first; each must leave
+    #: enough room for the previous recovery to finish (detection + restart)
+    extra_failures: tuple = ()
+    #: random seed for generators and jitter
+    seed: int = 7
+    cost_model: CostModel = field(default_factory=CostModel)

@@ -1,0 +1,84 @@
+"""Event primitives for the discrete-event simulator.
+
+Events are callbacks scheduled at a virtual timestamp.  Ties are broken by a
+monotonically increasing sequence number so that execution order is fully
+deterministic for a given schedule order — a requirement for reproducible
+experiments and for the exactly-once recovery tests, which re-run the same
+workload twice and compare state.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+
+class EventHandle:
+    """Handle returned by scheduling calls; supports cancellation.
+
+    Cancellation is lazy: the entry stays in the heap and is skipped when it
+    surfaces.  This keeps scheduling O(log n) without heap surgery.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it."""
+        self.cancelled = True
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:.6f}, seq={self.seq}, {state})"
+
+
+class EventQueue:
+    """A priority queue of :class:`EventHandle` with deterministic ordering."""
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: list[EventHandle] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, fn: Callable[..., Any], args: tuple = ()) -> EventHandle:
+        """Schedule ``fn(*args)`` at virtual time ``time``."""
+        handle = EventHandle(time, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def pop(self) -> EventHandle | None:
+        """Remove and return the next non-cancelled event, or None if empty."""
+        heap = self._heap
+        while heap:
+            handle = heapq.heappop(heap)
+            if not handle.cancelled:
+                return handle
+        return None
+
+    def peek_time(self) -> float | None:
+        """Return the timestamp of the next live event without removing it."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        if not heap:
+            return None
+        return heap[0].time
+
+    def clear(self) -> None:
+        self._heap.clear()

@@ -1,0 +1,32 @@
+"""Seeded random-number streams.
+
+Each component gets its own named stream derived from the experiment seed,
+so adding a new consumer of randomness never perturbs existing ones — a
+property the regression tests rely on.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+
+class RngRegistry:
+    """Hands out independent :class:`random.Random` streams by name."""
+
+    def __init__(self, seed: int):
+        self._seed = seed
+        self._streams: dict[str, random.Random] = {}
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it deterministically."""
+        rng = self._streams.get(name)
+        if rng is None:
+            derived = (self._seed * 1000003) ^ zlib.crc32(name.encode("utf-8"))
+            rng = random.Random(derived)
+            self._streams[name] = rng
+        return rng

@@ -1,0 +1,6 @@
+"""Durable substrates: a Kafka-like replayable log and a Minio-like blob store."""
+
+from repro.storage.kafka import LogRecord, PartitionedLog, Partition
+from repro.storage.blobstore import BlobStore, BlobMeta
+
+__all__ = ["LogRecord", "PartitionedLog", "Partition", "BlobStore", "BlobMeta"]

@@ -1,0 +1,65 @@
+"""Checkpoint blob store — the simulation's Minio.
+
+Checkpoints are opaque blobs keyed by ``(instance, checkpoint_id)``.  The
+store models upload/restore durations through the cost model (latency +
+size/bandwidth); the runtime charges those durations in virtual time.  The
+store itself is infallible and durable, matching the paper's assumption
+that Minio survives worker failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class BlobMeta:
+    """Descriptor of one stored blob."""
+
+    key: str
+    size_bytes: int
+    stored_at: float
+
+
+@dataclass
+class BlobStore:
+    """In-memory durable blob store with size accounting."""
+
+    _blobs: dict[str, Any] = field(default_factory=dict)
+    _meta: dict[str, BlobMeta] = field(default_factory=dict)
+    bytes_written: int = 0
+    bytes_read: int = 0
+
+    def put(self, key: str, value: Any, size_bytes: int, now: float) -> BlobMeta:
+        """Store ``value`` under ``key``; overwrites are allowed."""
+        if size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+        meta = BlobMeta(key, size_bytes, now)
+        self._blobs[key] = value
+        self._meta[key] = meta
+        self.bytes_written += size_bytes
+        return meta
+
+    def get(self, key: str) -> Any:
+        """Fetch a blob; KeyError if missing (a bug in the caller)."""
+        value = self._blobs[key]
+        self.bytes_read += self._meta[key].size_bytes
+        return value
+
+    def meta(self, key: str) -> BlobMeta:
+        return self._meta[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._blobs
+
+    def __len__(self) -> int:
+        return len(self._blobs)
+
+    def delete(self, key: str) -> None:
+        """Remove a blob (checkpoint garbage collection)."""
+        del self._blobs[key]
+        del self._meta[key]
+
+    def total_bytes(self) -> int:
+        return sum(m.size_bytes for m in self._meta.values())

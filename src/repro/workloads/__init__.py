@@ -1,0 +1,12 @@
+"""Streaming query workloads (paper Section VI).
+
+* :mod:`repro.workloads.nexmark` — NexMark e-commerce queries Q1, Q3, Q8,
+  Q12 with a deterministic generator supporting uniform and hot-item
+  (skewed) modes.
+* :mod:`repro.workloads.cyclic` — the reachability query of Figure 6 (the
+  FFP-style fixpoint query) with its link/source-node generator.
+"""
+
+from repro.workloads.spec import QuerySpec
+
+__all__ = ["QuerySpec"]

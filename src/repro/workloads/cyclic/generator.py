@@ -1,0 +1,127 @@
+"""Generator for the cyclic reachability query's two input streams.
+
+Event mix per the paper (Section VII-B, "Cyclic query"): 60% new link,
+15% new source node, 20% delete existing link, 5% delete existing source,
+over a static set of 1M nodes.  Links go to the ``links`` topic, source
+nodes to the ``srcnodes`` topic; both are round-robin partitioned.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.storage.kafka import PartitionedLog
+
+LINK_SIZE = 64
+SOURCE_SIZE = 48
+
+
+@dataclass(frozen=True, slots=True)
+class LinkEvent:
+    """A directed edge appearing (add=True) or disappearing."""
+
+    src: int
+    dst: int
+    add: bool
+
+    @property
+    def size_bytes(self) -> int:
+        return LINK_SIZE
+
+
+@dataclass(frozen=True, slots=True)
+class SourceEvent:
+    """A source node appearing or disappearing."""
+
+    node: int
+    add: bool
+
+    @property
+    def size_bytes(self) -> int:
+        return SOURCE_SIZE
+
+
+@dataclass(frozen=True)
+class CyclicConfig:
+    """Event-mix probabilities and the node id space."""
+
+    num_nodes: int = 1_000_000
+    p_new_link: float = 0.60
+    p_new_source: float = 0.15
+    p_del_link: float = 0.20
+    p_del_source: float = 0.05
+
+    def __post_init__(self) -> None:
+        total = self.p_new_link + self.p_new_source + self.p_del_link + self.p_del_source
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"probabilities must sum to 1, got {total}")
+
+
+class CyclicGenerator:
+    """Builds the ``links`` and ``srcnodes`` logs on one global timeline."""
+
+    def __init__(self, parallelism: int, seed: int = 7,
+                 config: CyclicConfig | None = None):
+        self.parallelism = parallelism
+        self.seed = seed
+        self.config = config or CyclicConfig()
+
+    def logs(self, rate: float, until: float) -> tuple[PartitionedLog, PartitionedLog]:
+        """Generate both topics at aggregate ``rate`` events/second."""
+        if rate <= 0 or until <= 0:
+            raise ValueError("rate and until must be positive")
+        cfg = self.config
+        rng = random.Random((self.seed * 15485863) ^ 0xC1C)
+        links = PartitionedLog("links", self.parallelism)
+        srcnodes = PartitionedLog("srcnodes", self.parallelism)
+        live_links: list[tuple[int, int]] = []
+        live_sources: list[int] = []
+        link_counter = 0
+        source_counter = 0
+        total = int(rate * until)
+        for k in range(total):
+            t = (k + 0.5) / rate
+            roll = rng.random()
+            if roll < cfg.p_new_link or (roll >= cfg.p_new_link + cfg.p_new_source
+                                         and not live_links and not live_sources):
+                src = rng.randrange(cfg.num_nodes)
+                dst = rng.randrange(cfg.num_nodes)
+                live_links.append((src, dst))
+                event = LinkEvent(src, dst, add=True)
+                links.partition(link_counter % self.parallelism).append(
+                    t, event, event.size_bytes
+                )
+                link_counter += 1
+            elif roll < cfg.p_new_link + cfg.p_new_source:
+                node = rng.randrange(cfg.num_nodes)
+                live_sources.append(node)
+                event = SourceEvent(node, add=True)
+                srcnodes.partition(source_counter % self.parallelism).append(
+                    t, event, event.size_bytes
+                )
+                source_counter += 1
+            elif roll < cfg.p_new_link + cfg.p_new_source + cfg.p_del_link and live_links:
+                src, dst = live_links.pop(rng.randrange(len(live_links)))
+                event = LinkEvent(src, dst, add=False)
+                links.partition(link_counter % self.parallelism).append(
+                    t, event, event.size_bytes
+                )
+                link_counter += 1
+            elif live_sources:
+                node = live_sources.pop(rng.randrange(len(live_sources)))
+                event = SourceEvent(node, add=False)
+                srcnodes.partition(source_counter % self.parallelism).append(
+                    t, event, event.size_bytes
+                )
+                source_counter += 1
+            else:  # nothing to delete yet: emit a link instead
+                src = rng.randrange(cfg.num_nodes)
+                dst = rng.randrange(cfg.num_nodes)
+                live_links.append((src, dst))
+                event = LinkEvent(src, dst, add=True)
+                links.partition(link_counter % self.parallelism).append(
+                    t, event, event.size_bytes
+                )
+                link_counter += 1
+        return links, srcnodes

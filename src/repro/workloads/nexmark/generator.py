@@ -1,0 +1,174 @@
+"""Deterministic NexMark event generator with uniform and hot-item modes.
+
+The paper extends the DS2 NexMark generator [33, 43] and uses its *hot
+items* knob for the skew experiments (Section VII-B, "Skewed NexMark").
+Our generator reproduces the two properties the experiments depend on:
+
+* **uniform mode** — routing keys (person ids, sellers, bidders) are
+  uniformly distributed across parallel instances;
+* **hot mode** — a configurable fraction ``hot_ratio`` of events reference
+  a tiny set of *hot keys*, all of which hash (``key % parallelism``) to
+  instance 0, turning worker 0 into the straggler the paper observes.
+
+Events are generated on one global timeline (so auctions can reference
+previously created persons, and bids previously opened auctions) and split
+round-robin into partitions, which keeps per-partition availability
+timestamps monotonic as the Kafka substrate requires.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.storage.kafka import PartitionedLog
+from repro.workloads.nexmark.model import (
+    Auction,
+    Bid,
+    NUM_CATEGORIES,
+    Person,
+    Q3_CATEGORY,
+    Q3_STATES,
+    US_STATES,
+)
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs of the generator."""
+
+    #: fraction of events that reference hot keys (0.0 = uniform)
+    hot_ratio: float = 0.0
+    #: how many distinct hot keys (all routed to instance 0)
+    num_hot_keys: int = 2
+    #: distinct bidders per worker (bounds Q12 keyed state)
+    bidder_space_per_worker: int = 200
+    #: bids reference one of the last N auctions
+    auction_window: int = 2000
+    #: persons share of a persons+auctions stream (NexMark ~1:3)
+    person_share: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.hot_ratio <= 1.0:
+            raise ValueError("hot_ratio must be in [0, 1]")
+        if self.num_hot_keys <= 0:
+            raise ValueError("num_hot_keys must be positive")
+
+
+class NexmarkGenerator:
+    """Builds replayable partitioned logs for the NexMark topics."""
+
+    def __init__(self, parallelism: int, seed: int = 7,
+                 config: GeneratorConfig | None = None):
+        if parallelism <= 0:
+            raise ValueError("parallelism must be positive")
+        self.parallelism = parallelism
+        self.seed = seed
+        self.config = config or GeneratorConfig()
+        #: hot keys are non-zero multiples of the parallelism so that the
+        #: modulo router sends them all to instance 0
+        self.hot_keys = [
+            parallelism * (i + 1) for i in range(self.config.num_hot_keys)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Key choices
+    # ------------------------------------------------------------------ #
+
+    def _maybe_hot(self, rng: random.Random, uniform_key: int) -> int:
+        if self.config.hot_ratio > 0 and rng.random() < self.config.hot_ratio:
+            return rng.choice(self.hot_keys)
+        return uniform_key
+
+    # ------------------------------------------------------------------ #
+    # Topic builders
+    # ------------------------------------------------------------------ #
+
+    def bids_log(self, rate: float, until: float, topic: str = "bids") -> PartitionedLog:
+        """A pure bid stream (Q1, Q12) at aggregate ``rate`` events/second."""
+        if rate <= 0 or until <= 0:
+            raise ValueError("rate and until must be positive")
+        rng = random.Random((self.seed * 7919) ^ hash(topic))
+        log = PartitionedLog(topic, self.parallelism)
+        bidder_space = self.config.bidder_space_per_worker * self.parallelism
+        total = int(rate * until)
+        auction_base = 5000
+        for k in range(total):
+            t = (k + 0.5) / rate
+            bidder = self._maybe_hot(rng, 10_000 + rng.randrange(bidder_space))
+            bid = Bid(
+                auction=auction_base + rng.randrange(self.config.auction_window),
+                bidder=bidder,
+                price=100 + rng.randrange(10_000),
+                created_at=t,
+            )
+            log.partition(k % self.parallelism).append(t, bid, bid.size_bytes)
+        return log
+
+    def person_auction_logs(
+        self, rate: float, until: float,
+        persons_topic: str = "persons", auctions_topic: str = "auctions",
+    ) -> tuple[PartitionedLog, PartitionedLog]:
+        """Interleaved persons+auctions streams (Q3, Q8) at aggregate ``rate``.
+
+        Hot mode pre-seeds the hot persons (with a Q3-passing state) so that
+        hot auctions always find their join partner, concentrating both the
+        routing load and the join state on instance 0.
+        """
+        if rate <= 0 or until <= 0:
+            raise ValueError("rate and until must be positive")
+        rng = random.Random((self.seed * 104729) ^ hash(persons_topic))
+        persons = PartitionedLog(persons_topic, self.parallelism)
+        auctions = PartitionedLog(auctions_topic, self.parallelism)
+        person_share = self.config.person_share
+        person_pool: list[int] = []
+        next_person_id = 10_000
+        next_auction_id = 1
+        person_counter = 0
+        auction_counter = 0
+        # pre-seed hot persons at t=0 so hot auctions can join immediately
+        if self.config.hot_ratio > 0:
+            for hot_id in self.hot_keys:
+                t = 0.0
+                person = Person(
+                    id=hot_id,
+                    name=f"hot-person-{hot_id}",
+                    state=next(iter(Q3_STATES)),
+                    created_at=t,
+                )
+                persons.partition(person_counter % self.parallelism).append(
+                    t, person, person.size_bytes
+                )
+                person_counter += 1
+                person_pool.append(hot_id)
+        total = int(rate * until)
+        for k in range(total):
+            t = (k + 0.5) / rate
+            if rng.random() < person_share or not person_pool:
+                person = Person(
+                    id=next_person_id,
+                    name=f"person-{next_person_id}",
+                    state=rng.choice(US_STATES),
+                    created_at=t,
+                )
+                next_person_id += 1
+                person_pool.append(person.id)
+                persons.partition(person_counter % self.parallelism).append(
+                    t, person, person.size_bytes
+                )
+                person_counter += 1
+            else:
+                uniform_seller = rng.choice(person_pool)
+                auction = Auction(
+                    id=next_auction_id,
+                    seller=self._maybe_hot(rng, uniform_seller),
+                    category=rng.randrange(NUM_CATEGORIES),
+                    initial_bid=100 + rng.randrange(1_000),
+                    created_at=t,
+                )
+                next_auction_id += 1
+                auctions.partition(auction_counter % self.parallelism).append(
+                    t, auction, auction.size_bytes
+                )
+                auction_counter += 1
+        return persons, auctions

@@ -1,0 +1,69 @@
+"""NexMark event model: persons, auctions, bids.
+
+Field sets follow the NexMark benchmark (Tucker et al. [46]) trimmed to the
+attributes the four evaluated queries touch.  ``SIZE`` constants are the
+modelled wire sizes used by the serialization/network cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+US_STATES = (
+    "AZ", "CA", "ID", "IL", "MA", "MI", "NY", "OH", "OR", "TX", "UT", "WA",
+)
+
+#: states Q3 filters on (the classic NexMark Q3 predicate)
+Q3_STATES = frozenset({"OR", "ID", "CA"})
+
+#: auction categories
+NUM_CATEGORIES = 10
+#: category Q3 filters on
+Q3_CATEGORY = 3
+
+PERSON_SIZE = 206
+AUCTION_SIZE = 152
+BID_SIZE = 100
+
+
+@dataclass(frozen=True, slots=True)
+class Person:
+    """A registered marketplace user."""
+
+    id: int
+    name: str
+    state: str
+    created_at: float
+
+    @property
+    def size_bytes(self) -> int:
+        return PERSON_SIZE
+
+
+@dataclass(frozen=True, slots=True)
+class Auction:
+    """An item put up for sale by a person."""
+
+    id: int
+    seller: int
+    category: int
+    initial_bid: int
+    created_at: float
+
+    @property
+    def size_bytes(self) -> int:
+        return AUCTION_SIZE
+
+
+@dataclass(frozen=True, slots=True)
+class Bid:
+    """A bid placed on an auction."""
+
+    auction: int
+    bidder: int
+    price: int
+    created_at: float
+
+    @property
+    def size_bytes(self) -> int:
+        return BID_SIZE

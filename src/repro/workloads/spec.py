@@ -1,0 +1,35 @@
+"""Query specification: what the experiment runner needs to deploy a query."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.dataflow.graph import LogicalGraph
+from repro.storage.kafka import PartitionedLog
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """A runnable streaming query.
+
+    ``build_graph(parallelism)`` returns the logical dataflow.
+    ``build_inputs(rate, until, parallelism, hot_ratio, seed)`` returns the
+    pre-generated replayable input logs (one topic per source), with records
+    available up to virtual time ``until`` at aggregate rate ``rate``.
+    ``capacity_per_worker`` seeds the MST bisection (records/s/worker under
+    the default cost model); the search refines it with probe runs.
+    """
+
+    name: str
+    description: str
+    build_graph: Callable[[int], LogicalGraph]
+    build_inputs: Callable[[float, float, int, float, int], dict[str, PartitionedLog]]
+    capacity_per_worker: float
+    cyclic: bool = False
+    #: is the query affected by hot-item skew (Q1 is not — non-keyed)
+    skew_sensitive: bool = True
+
+    def make_job_inputs(self, rate: float, until: float, parallelism: int,
+                        hot_ratio: float = 0.0, seed: int = 7) -> dict[str, PartitionedLog]:
+        return self.build_inputs(rate, until, parallelism, hot_ratio, seed)

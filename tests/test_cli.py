@@ -1,0 +1,61 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig7" in out and "table4" in out
+
+
+def test_query_command(capsys):
+    code = main([
+        "query", "q1", "--protocol", "coor", "--parallelism", "2",
+        "--rate", "200", "--duration", "10", "--warmup", "2",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "protocol=coor" in out
+    assert "checkpoints" in out
+
+
+def test_query_with_failure(capsys):
+    code = main([
+        "query", "q1", "--protocol", "unc", "--parallelism", "2",
+        "--rate", "200", "--duration", "14", "--warmup", "2",
+        "--failure-at", "5",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "restart time" in out
+    assert "replayed messages" in out
+
+
+def test_query_cyclic_with_unc(capsys):
+    code = main([
+        "query", "reachability", "--protocol", "unc", "--parallelism", "2",
+        "--rate", "200", "--duration", "8", "--warmup", "2",
+    ])
+    assert code == 0
+
+
+def test_run_command_writes_results(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("CHECKMATE_SCALE", "quick")
+    code = main(["run", "table4", "--out", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert "Table IV" in out
+    assert (tmp_path / "table4.txt").exists()
+    assert code in (0, 1)  # shape checks may be noisy at quick scale
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "fig99"])
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,171 @@
+"""Tests for the cyclic reachability query and its generator."""
+
+import pytest
+
+from repro.dataflow.runtime import Job
+from repro.sim.costs import RuntimeConfig
+from repro.storage.kafka import PartitionedLog
+from repro.workloads.cyclic import REACHABILITY, CyclicConfig, CyclicGenerator
+from repro.workloads.cyclic.generator import LinkEvent, SourceEvent
+from repro.workloads.cyclic.reachability import (
+    ReachFact,
+    build_reachability,
+)
+
+
+# --------------------------------------------------------------------- #
+# Generator
+# --------------------------------------------------------------------- #
+
+def test_generator_event_mix():
+    gen = CyclicGenerator(2, seed=1)
+    links, srcnodes = gen.logs(rate=2000.0, until=5.0)
+    total = len(links) + len(srcnodes)
+    assert total == 10_000
+    link_share = len(links) / total
+    assert 0.70 <= link_share <= 0.90  # 60% new + 20% delete (approx)
+
+
+def test_generator_deletes_only_live_entities():
+    gen = CyclicGenerator(1, seed=2, config=CyclicConfig(num_nodes=100))
+    links, srcnodes = gen.logs(500.0, 4.0)
+    live_links: set[tuple[int, int]] = set()
+    multiplicity: dict[tuple[int, int], int] = {}
+    for r in links.partition(0).records:
+        e = r.payload
+        if e.add:
+            multiplicity[(e.src, e.dst)] = multiplicity.get((e.src, e.dst), 0) + 1
+        else:
+            assert multiplicity.get((e.src, e.dst), 0) > 0
+            multiplicity[(e.src, e.dst)] -= 1
+
+
+def test_generator_probabilities_validated():
+    with pytest.raises(ValueError):
+        CyclicConfig(p_new_link=0.9, p_new_source=0.9, p_del_link=0.1,
+                     p_del_source=0.1)
+
+
+def test_generator_determinism():
+    a = CyclicGenerator(2, seed=5).logs(300.0, 2.0)
+    b = CyclicGenerator(2, seed=5).logs(300.0, 2.0)
+    assert [r.payload for r in a[0].partition(0).records] == \
+           [r.payload for r in b[0].partition(0).records]
+
+
+# --------------------------------------------------------------------- #
+# Query semantics
+# --------------------------------------------------------------------- #
+
+def small_world_inputs(parallelism=2):
+    """Hand-crafted inputs on a tiny graph to force recursion."""
+    links = PartitionedLog("links", parallelism)
+    srcnodes = PartitionedLog("srcnodes", parallelism)
+    # chain 1 -> 2 -> 3, source node 1: expect facts 1->2 and 1->2->3
+    links.partition(0).append(0.1, LinkEvent(1, 2, True), 64)
+    links.partition(1).append(0.1, LinkEvent(2, 3, True), 64)
+    srcnodes.partition(0).append(0.2, SourceEvent(1, True), 48)
+    return {"links": links, "srcnodes": srcnodes}
+
+
+def run_reachability(inputs, parallelism=2, duration=6.0):
+    config = RuntimeConfig(duration=duration, warmup=1.0, failure_at=None)
+    job = Job(build_reachability(parallelism), "unc", parallelism, inputs, config)
+    result = job.run()
+    return job, result
+
+
+def test_reachability_transitive_closure():
+    job, result = run_reachability(small_world_inputs())
+    # outputs: fact(1 reaches 2) and the recursive fact(1 reaches 3)
+    assert sum(result.metrics.sink_counts.values()) == 2
+
+
+def test_reachability_cycle_guard_exact():
+    links = PartitionedLog("links", 1)
+    srcnodes = PartitionedLog("srcnodes", 1)
+    links.partition(0).append(0.1, LinkEvent(1, 2, True), 64)
+    links.partition(0).append(0.1, LinkEvent(2, 1, True), 64)
+    srcnodes.partition(0).append(0.2, SourceEvent(1, True), 48)
+    job, result = run_reachability(
+        {"links": links, "srcnodes": srcnodes}, parallelism=1
+    )
+    # fact (1 -> 2) is emitted; extending it back to node 1 is rejected by
+    # the select (1 already on the path), so exactly one sink record
+    assert sum(result.metrics.sink_counts.values()) == 1
+
+
+def test_link_deletion_stops_future_matches():
+    links = PartitionedLog("links", 1)
+    srcnodes = PartitionedLog("srcnodes", 1)
+    links.partition(0).append(0.1, LinkEvent(1, 2, True), 64)
+    links.partition(0).append(0.2, LinkEvent(1, 2, False), 64)  # delete
+    srcnodes.partition(0).append(1.0, SourceEvent(1, True), 48)
+    job, result = run_reachability({"links": links, "srcnodes": srcnodes}, 1)
+    assert sum(result.metrics.sink_counts.values()) == 0
+
+
+def test_source_deletion_removes_facts():
+    links = PartitionedLog("links", 1)
+    srcnodes = PartitionedLog("srcnodes", 1)
+    srcnodes.partition(0).append(0.1, SourceEvent(1, True), 48)
+    srcnodes.partition(0).append(0.5, SourceEvent(1, False), 48)  # delete
+    links.partition(0).append(1.0, LinkEvent(1, 2, True), 64)
+    job, result = run_reachability({"links": links, "srcnodes": srcnodes}, 1)
+    assert sum(result.metrics.sink_counts.values()) == 0
+    join = job.instance(("join_reach", 0)).operator
+    assert len(join.states["facts"]) == 0
+
+
+def test_graph_is_cyclic_and_validates():
+    graph = build_reachability(2)
+    assert graph.has_cycle()
+    graph.validate(allow_cycles=True)
+
+
+def test_reach_fact_size_grows_with_path():
+    short = ReachFact(1, 2, (1, 2))
+    long = ReachFact(1, 5, (1, 2, 3, 4, 5))
+    assert long.size_bytes > short.size_bytes
+
+
+def test_spec_metadata():
+    assert REACHABILITY.cyclic
+    assert not REACHABILITY.skew_sensitive
+
+
+@pytest.mark.parametrize("failure_at", [None, 5.0])
+def test_exactly_once_link_state_on_cyclic_query(failure_at):
+    """Join link-state must reflect each add/delete exactly once.
+
+    Adds and deletes of one link can land on different partitions, so their
+    relative processing order is undefined (a real property of partitioned
+    streams, failure or not).  The exactly-once invariant is therefore:
+    never-deleted links are present exactly once, never-added links are
+    absent, and only add+delete *raced* pairs may go either way.
+    """
+    gen_inputs = REACHABILITY.make_job_inputs(300.0, 10.0, 2, 0.0, 7)
+    config = RuntimeConfig(checkpoint_interval=3.0, duration=14.0, warmup=2.0,
+                           failure_at=failure_at)
+    job = Job(build_reachability(2), "unc", 2, gen_inputs, config)
+    job.run()
+    added: set[tuple[int, int]] = set()
+    deleted: set[tuple[int, int]] = set()
+    for p in gen_inputs["links"].partitions:
+        for r in p.records:
+            e = r.payload
+            (added if e.add else deleted).add((e.src, e.dst))
+    measured: list[tuple[int, int]] = []
+    for idx in range(2):
+        links_state = job.instance(("join_reach", idx)).operator.states["links"]
+        for key in links_state.keys():
+            for dst, _rid in links_state.get(key):
+                measured.append((key, dst))
+    measured_set = set(measured)
+    # exactly-once: no duplicated entries at all
+    assert len(measured) == len(measured_set)
+    # every never-deleted link present; nothing never-added present
+    assert added - deleted <= measured_set
+    assert measured_set <= added
+    # divergence confined to raced (add+delete) pairs
+    assert measured_set - (added - deleted) <= deleted

@@ -1,0 +1,104 @@
+"""Smoke tests of the experiment harness at quick scale."""
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.config import ExperimentScale, current_scale, scale_by_name
+from repro.experiments.runner import run_query
+from repro.workloads.nexmark import QUERIES
+
+QUICK = scale_by_name("quick")
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    yield  # share the cache across tests in this module (it is per-process)
+
+
+def test_scales_are_well_formed():
+    for name in ("quick", "default", "full"):
+        scale = scale_by_name(name)
+        assert scale.duration > scale.failure_at
+        assert scale.probe_duration > 0
+        assert all(p > 0 for p in scale.parallelism_grid)
+
+
+def test_current_scale_env(monkeypatch):
+    monkeypatch.setenv("CHECKMATE_SCALE", "quick")
+    assert current_scale().name == "quick"
+    monkeypatch.setenv("CHECKMATE_SCALE", "bogus")
+    with pytest.raises(ValueError):
+        current_scale()
+
+
+def test_run_query_basic():
+    result = run_query(QUERIES["q1"], "coor", 2, rate=200.0,
+                       duration=8.0, warmup=2.0)
+    assert result.protocol == "coor"
+    assert sum(result.metrics.sink_counts.values()) > 0
+
+
+def test_get_mst_is_cached():
+    figures.clear_cache()
+    first = figures.get_mst("q1", "none", QUICK.parallelism_grid[0], QUICK)
+    second = figures.get_mst("q1", "none", QUICK.parallelism_grid[0], QUICK)
+    assert first == second
+    assert ("mst", "q1", "none", QUICK.parallelism_grid[0], "quick") in figures._CACHE
+
+
+def test_fig7_structure():
+    out = figures.fig7_mst(QUICK)
+    assert out["rows"]
+    assert "Figure 7" in out["text"]
+    # every (query, protocol, parallelism) combination present
+    expected = 4 * 3 * len(QUICK.parallelism_grid)
+    assert len(out["normalized"]) == expected
+    assert all(0.0 <= v <= 1.0 for v in out["normalized"].values())
+
+
+def test_table2_structure():
+    out = figures.table2_message_overhead(QUICK)
+    assert all(ratio >= 1.0 for (_, _, _), ratio in out["measured"].items())
+    assert "Table II" in out["text"]
+
+
+def test_fig8_unc_cic_fast():
+    out = figures.fig8_checkpoint_time(QUICK)
+    for (query, protocol, parallelism), ct in out["measured"].items():
+        if protocol in ("unc", "cic"):
+            assert ct < 50.0, (query, protocol, ct)
+
+
+def test_fig9_and_fig10_share_runs():
+    before = len(figures._CACHE)
+    figures.fig9_latency_p50(QUICK)
+    mid = len(figures._CACHE)
+    figures.fig10_latency_p99(QUICK)
+    after = len(figures._CACHE)
+    assert mid > before
+    assert after == mid  # p99 reuses the p50 runs
+
+
+def test_fig11_restart_positive():
+    out = figures.fig11_restart(QUICK)
+    assert all(rt > 0 for rt in out["measured"].values())
+
+
+def test_table3_coor_never_invalid():
+    out = figures.table3_invalid(QUICK)
+    for (workers, query, protocol), (total, invalid) in out["measured"].items():
+        if protocol == "coor":
+            assert invalid == 0.0
+
+
+def test_table4_runs_unc_and_cic_only():
+    out = figures.table4_cyclic(QUICK)
+    protocols = {p for p, _ in out["measured"]}
+    assert protocols == {"unc", "cic"}
+
+
+def test_all_experiments_registry():
+    assert set(figures.ALL_EXPERIMENTS) == {
+        "fig7", "table2", "fig8", "fig9", "fig10", "fig11",
+        "table3", "fig12", "fig13", "table4",
+    }

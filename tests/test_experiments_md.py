@@ -1,0 +1,30 @@
+"""Tests for the EXPERIMENTS.md assembler."""
+
+import pathlib
+
+from repro.experiments.experiments_md import assemble, write
+
+
+def test_assemble_includes_available_blocks(tmp_path):
+    (tmp_path / "fig7.txt").write_text("FIG7 CONTENT [PASS] x\n")
+    text = assemble(results_dir=str(tmp_path), scale="quick")
+    assert "FIG7 CONTENT" in text
+    assert "Figure 7" in text
+    assert "_(not regenerated in the latest run)_" in text  # missing blocks
+    assert "Scale: `quick`" in text
+
+
+def test_assemble_mentions_every_paper_artifact(tmp_path):
+    text = assemble(results_dir=str(tmp_path))
+    for title in ["Figure 7", "Table II", "Figure 8", "Figure 9", "Figure 10",
+                  "Figure 11", "Table III", "Figure 12", "Figure 13",
+                  "Table IV"]:
+        assert title in text
+
+
+def test_write_creates_file(tmp_path):
+    (tmp_path / "table4.txt").write_text("TAB4\n")
+    out = tmp_path / "EXPERIMENTS.md"
+    path = write(results_dir=str(tmp_path), output=str(out), scale="quick")
+    assert path.exists()
+    assert "TAB4" in path.read_text()

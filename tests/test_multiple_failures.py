@@ -1,0 +1,68 @@
+"""Repeated-failure hardening: recover, crash again, still exactly-once."""
+
+import pytest
+
+from repro.dataflow.runtime import Job
+from repro.sim.costs import RuntimeConfig
+
+from tests.conftest import build_count_graph, make_event_log
+
+
+def run_with_failures(protocol, failures, duration=24.0, seed=3,
+                      parallelism=3, rate=300.0):
+    first_at, first_worker = failures[0]
+    config = RuntimeConfig(
+        checkpoint_interval=3.0, duration=duration, warmup=2.0,
+        failure_at=first_at, failure_worker=first_worker,
+        extra_failures=tuple(failures[1:]), seed=seed,
+    )
+    log = make_event_log(rate, duration - 4.0, parallelism, seed=seed)
+    job = Job(build_count_graph(), protocol, parallelism, {"events": log}, config)
+    result = job.run(rate=rate)
+    expected = {}
+    for partition in log.partitions:
+        for r in partition.records:
+            expected[r.payload.key] = expected.get(r.payload.key, 0) + 1
+    measured = {}
+    for idx in range(parallelism):
+        counts = job.instance(("count", idx)).operator.states["counts"]
+        for key, value in counts.items():
+            measured[key] = measured.get(key, 0) + value
+    return job, result, expected, measured
+
+
+@pytest.mark.parametrize("protocol", ["coor", "coor-unaligned", "unc", "cic"])
+def test_two_failures_still_exactly_once(protocol):
+    _, _, expected, measured = run_with_failures(
+        protocol, [(5.0, 0), (13.0, 1)],
+    )
+    assert measured == expected
+
+
+def test_three_failures_same_worker():
+    _, _, expected, measured = run_with_failures(
+        "unc", [(4.0, 0), (10.0, 0), (16.0, 0)], duration=28.0,
+    )
+    assert measured == expected
+
+
+def test_metrics_stamp_first_failure_only():
+    _, result, _, _ = run_with_failures("unc", [(5.0, 0), (13.0, 1)])
+    m = result.metrics
+    assert m.failure_at == pytest.approx(7.0)       # warmup 2 + 5
+    assert m.detected_at == pytest.approx(8.0)      # + heartbeat
+    assert m.restart_completed_at < 15.0            # first restart, not second
+
+
+def test_failure_during_detection_window_is_folded():
+    """A second crash before the first recovery starts must not wedge."""
+    _, _, expected, measured = run_with_failures(
+        "unc", [(5.0, 0), (5.5, 1)], duration=24.0,
+    )
+    assert measured == expected
+
+
+def test_output_continues_after_last_recovery():
+    _, result, _, _ = run_with_failures("coor", [(5.0, 0), (12.0, 2)])
+    last_second = max(result.metrics.sink_counts)
+    assert last_second >= int(result.warmup + 16.0)

@@ -1,0 +1,119 @@
+"""Unit tests for the event queue primitives."""
+
+import pytest
+
+from repro.sim.events import EventHandle, EventQueue
+
+
+def test_push_pop_orders_by_time():
+    q = EventQueue()
+    order = []
+    q.push(3.0, order.append, ("c",))
+    q.push(1.0, order.append, ("a",))
+    q.push(2.0, order.append, ("b",))
+    while (h := q.pop()) is not None:
+        h.fn(*h.args)
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    q = EventQueue()
+    first = q.push(1.0, lambda: None)
+    second = q.push(1.0, lambda: None)
+    assert q.pop() is first
+    assert q.pop() is second
+
+
+def test_len_counts_entries():
+    q = EventQueue()
+    assert len(q) == 0
+    q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    assert len(q) == 2
+
+
+def test_pop_empty_returns_none():
+    assert EventQueue().pop() is None
+
+
+def test_cancelled_events_are_skipped():
+    q = EventQueue()
+    h1 = q.push(1.0, lambda: None)
+    h2 = q.push(2.0, lambda: None)
+    h1.cancel()
+    assert q.pop() is h2
+    assert q.pop() is None
+
+
+def test_cancel_all_leaves_queue_empty_on_pop():
+    q = EventQueue()
+    handles = [q.push(float(i), lambda: None) for i in range(5)]
+    for h in handles:
+        h.cancel()
+    assert q.pop() is None
+
+
+def test_peek_time_returns_next_live_time():
+    q = EventQueue()
+    h1 = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    assert q.peek_time() == 1.0
+    h1.cancel()
+    assert q.peek_time() == 2.0
+
+
+def test_peek_time_empty_is_none():
+    assert EventQueue().peek_time() is None
+
+
+def test_peek_does_not_remove():
+    q = EventQueue()
+    q.push(1.0, lambda: None)
+    assert q.peek_time() == 1.0
+    assert q.peek_time() == 1.0
+    assert q.pop() is not None
+
+
+def test_clear_drops_everything():
+    q = EventQueue()
+    q.push(1.0, lambda: None)
+    q.clear()
+    assert len(q) == 0
+    assert q.pop() is None
+
+
+def test_handle_ordering_operator():
+    a = EventHandle(1.0, 0, lambda: None, ())
+    b = EventHandle(1.0, 1, lambda: None, ())
+    c = EventHandle(0.5, 2, lambda: None, ())
+    assert c < a < b
+
+
+def test_handle_repr_mentions_state():
+    h = EventHandle(1.0, 0, lambda: None, ())
+    assert "pending" in repr(h)
+    h.cancel()
+    assert "cancelled" in repr(h)
+
+
+def test_args_are_preserved():
+    q = EventQueue()
+    seen = []
+    q.push(1.0, lambda a, b: seen.append((a, b)), (1, 2))
+    h = q.pop()
+    h.fn(*h.args)
+    assert seen == [(1, 2)]
+
+
+def test_many_events_stay_sorted():
+    q = EventQueue()
+    import random
+
+    rng = random.Random(0)
+    times = [rng.random() for _ in range(500)]
+    for t in times:
+        q.push(t, lambda: None)
+    popped = []
+    while (h := q.pop()) is not None:
+        popped.append(h.time)
+    assert popped == sorted(times)

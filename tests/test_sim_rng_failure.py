@@ -1,0 +1,78 @@
+"""Unit tests for RNG streams and failure injection."""
+
+from repro.sim.failure import FailureInjector, FailurePlan
+from repro.sim.rng import RngRegistry
+from repro.sim.simulator import Simulator
+
+
+def test_same_seed_same_stream():
+    a = RngRegistry(7).stream("x")
+    b = RngRegistry(7).stream("x")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_different_names_independent():
+    reg = RngRegistry(7)
+    xs = [reg.stream("x").random() for _ in range(3)]
+    ys = [reg.stream("y").random() for _ in range(3)]
+    assert xs != ys
+
+
+def test_different_seeds_differ():
+    a = RngRegistry(1).stream("x").random()
+    b = RngRegistry(2).stream("x").random()
+    assert a != b
+
+
+def test_stream_is_cached():
+    reg = RngRegistry(7)
+    assert reg.stream("x") is reg.stream("x")
+
+
+def test_adding_stream_does_not_perturb_existing():
+    reg1 = RngRegistry(7)
+    first = reg1.stream("x")
+    values_before = [first.random() for _ in range(3)]
+
+    reg2 = RngRegistry(7)
+    reg2.stream("unrelated")  # new consumer added first
+    second = reg2.stream("x")
+    values_after = [second.random() for _ in range(3)]
+    assert values_before == values_after
+
+
+def test_failure_fires_at_planned_time():
+    sim = Simulator()
+    events = []
+    injector = FailureInjector(
+        sim, FailurePlan(at=5.0, worker_index=2), detection_delay=1.0,
+        on_fail=lambda w: events.append(("fail", sim.now, w)),
+        on_detect=lambda w: events.append(("detect", sim.now, w)),
+    )
+    injector.arm()
+    sim.run_until(10.0)
+    assert events == [("fail", 5.0, 2), ("detect", 6.0, 2)]
+
+
+def test_failure_record_populated():
+    sim = Simulator()
+    injector = FailureInjector(
+        sim, FailurePlan(at=3.0, worker_index=1), detection_delay=0.5,
+        on_fail=lambda w: None, on_detect=lambda w: None,
+    )
+    injector.arm()
+    sim.run_until(10.0)
+    assert injector.record.failed_at == 3.0
+    assert injector.record.detected_at == 3.5
+    assert injector.record.worker_index == 1
+
+
+def test_unarmed_injector_does_nothing():
+    sim = Simulator()
+    injector = FailureInjector(
+        sim, FailurePlan(at=1.0), detection_delay=1.0,
+        on_fail=lambda w: (_ for _ in ()).throw(AssertionError),
+        on_detect=lambda w: None,
+    )
+    sim.run_until(5.0)
+    assert injector.record.failed_at == -1.0

@@ -1,0 +1,141 @@
+"""Unit tests for the virtual-time simulator."""
+
+import pytest
+
+from repro.sim.simulator import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_schedule_and_run_until_executes_in_order():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.0, seen.append, "b")
+    sim.schedule(1.0, seen.append, "a")
+    sim.run_until(3.0)
+    assert seen == ["a", "b"]
+    assert sim.now == 3.0
+
+
+def test_run_until_executes_events_at_boundary():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, seen.append, "x")
+    sim.run_until(1.0)
+    assert seen == ["x"]
+
+
+def test_run_until_leaves_future_events():
+    sim = Simulator()
+    seen = []
+    sim.schedule(5.0, seen.append, "later")
+    sim.run_until(2.0)
+    assert seen == []
+    assert sim.pending_events == 1
+    sim.run_until(6.0)
+    assert seen == ["later"]
+
+
+def test_clock_advances_to_event_times():
+    sim = Simulator()
+    stamps = []
+    sim.schedule(0.5, lambda: stamps.append(sim.now))
+    sim.schedule(1.5, lambda: stamps.append(sim.now))
+    sim.run_until(2.0)
+    assert stamps == [0.5, 1.5]
+
+
+def test_events_can_schedule_more_events():
+    sim = Simulator()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run_until(10.0)
+    assert seen == [0, 1, 2, 3]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Simulator().schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run_until(1.0)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule_at(4.0, seen.append, "x")
+    sim.run_until(5.0)
+    assert seen == ["x"]
+    assert sim.now == 5.0
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: (seen.append(1), sim.stop()))
+    sim.schedule(2.0, seen.append, 2)
+    sim.run_until(10.0)
+    assert seen == [(1, None)] or seen[0] is not None
+    assert sim.pending_events == 1
+
+
+def test_run_drains_queue():
+    sim = Simulator()
+    seen = []
+    for i in range(3):
+        sim.schedule(float(i), seen.append, i)
+    sim.run()
+    assert seen == [0, 1, 2]
+    assert sim.pending_events == 0
+
+
+def test_events_executed_counter():
+    sim = Simulator()
+    for i in range(4):
+        sim.schedule(float(i), lambda: None)
+    sim.run_until(10.0)
+    assert sim.events_executed == 4
+
+
+def test_cancelled_event_not_executed():
+    sim = Simulator()
+    seen = []
+    handle = sim.schedule(1.0, seen.append, "no")
+    handle.cancel()
+    sim.run_until(2.0)
+    assert seen == []
+    assert sim.events_executed == 0
+
+
+def test_run_until_same_time_twice_is_safe():
+    sim = Simulator()
+    sim.run_until(5.0)
+    sim.run_until(5.0)
+    assert sim.now == 5.0
+
+
+def test_determinism_same_schedule_same_order():
+    def run_once():
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, seen.append, "a")
+        sim.schedule(1.0, seen.append, "b")
+        sim.schedule(0.5, seen.append, "c")
+        sim.run_until(2.0)
+        return seen
+
+    assert run_once() == run_once()

@@ -1,0 +1,157 @@
+"""Unit tests for the Kafka-like log and the blob store."""
+
+import pytest
+
+from repro.storage.blobstore import BlobStore
+from repro.storage.kafka import Partition, PartitionedLog
+
+
+# --------------------------------------------------------------------- #
+# Partition
+# --------------------------------------------------------------------- #
+
+def test_append_assigns_sequential_offsets():
+    p = Partition("t", 0)
+    r0 = p.append(1.0, "a", 10)
+    r1 = p.append(2.0, "b", 10)
+    assert (r0.offset, r1.offset) == (0, 1)
+
+
+def test_append_rejects_out_of_order_timestamps():
+    p = Partition("t", 0)
+    p.append(2.0, "a", 1)
+    with pytest.raises(ValueError):
+        p.append(1.0, "b", 1)
+
+
+def test_append_allows_equal_timestamps():
+    p = Partition("t", 0)
+    p.append(1.0, "a", 1)
+    p.append(1.0, "b", 1)
+    assert len(p) == 2
+
+
+def test_poll_respects_availability():
+    p = Partition("t", 0)
+    p.append(1.0, "a", 1)
+    p.append(5.0, "b", 1)
+    assert [r.payload for r in p.poll(0, now=2.0, max_records=10)] == ["a"]
+    assert [r.payload for r in p.poll(0, now=5.0, max_records=10)] == ["a", "b"]
+
+
+def test_poll_respects_offset_and_limit():
+    p = Partition("t", 0)
+    for i in range(10):
+        p.append(float(i), i, 1)
+    got = p.poll(3, now=100.0, max_records=4)
+    assert [r.payload for r in got] == [3, 4, 5, 6]
+
+
+def test_poll_past_end_returns_empty():
+    p = Partition("t", 0)
+    p.append(1.0, "a", 1)
+    assert p.poll(5, now=10.0, max_records=10) == []
+
+
+def test_poll_is_replayable_same_records():
+    """Rewinding to an old offset re-reads exactly the same records."""
+    p = Partition("t", 0)
+    for i in range(5):
+        p.append(float(i), i, 1)
+    first = p.poll(1, now=10.0, max_records=10)
+    second = p.poll(1, now=10.0, max_records=10)
+    assert first == second
+
+
+def test_available_by():
+    p = Partition("t", 0)
+    p.append(1.0, "a", 1)
+    p.append(2.0, "b", 1)
+    assert p.available_by(0.5) == 0
+    assert p.available_by(1.0) == 1
+    assert p.available_by(9.0) == 2
+
+
+def test_extend_bulk_append():
+    p = Partition("t", 0)
+    p.extend([(1.0, "a", 5), (2.0, "b", 5)])
+    assert len(p) == 2
+
+
+# --------------------------------------------------------------------- #
+# PartitionedLog
+# --------------------------------------------------------------------- #
+
+def test_partitioned_log_structure():
+    log = PartitionedLog("topic", 4)
+    assert len(log.partitions) == 4
+    assert log.partition(2).index == 2
+
+
+def test_partitioned_log_rejects_zero_partitions():
+    with pytest.raises(ValueError):
+        PartitionedLog("t", 0)
+
+
+def test_partitioned_log_totals():
+    log = PartitionedLog("t", 2)
+    log.partition(0).append(1.0, "a", 1)
+    log.partition(1).append(1.0, "b", 1)
+    log.partition(1).append(2.0, "c", 1)
+    assert len(log) == 3
+    assert log.total_available_by(1.5) == 2
+
+
+# --------------------------------------------------------------------- #
+# BlobStore
+# --------------------------------------------------------------------- #
+
+def test_blobstore_put_get_roundtrip():
+    store = BlobStore()
+    store.put("k", {"x": 1}, 100, now=1.0)
+    assert store.get("k") == {"x": 1}
+    assert "k" in store
+
+
+def test_blobstore_meta():
+    store = BlobStore()
+    store.put("k", "v", 77, now=2.5)
+    meta = store.meta("k")
+    assert meta.size_bytes == 77
+    assert meta.stored_at == 2.5
+
+
+def test_blobstore_missing_key_raises():
+    with pytest.raises(KeyError):
+        BlobStore().get("missing")
+
+
+def test_blobstore_overwrite_allowed():
+    store = BlobStore()
+    store.put("k", "v1", 10, now=1.0)
+    store.put("k", "v2", 20, now=2.0)
+    assert store.get("k") == "v2"
+    assert store.meta("k").size_bytes == 20
+
+
+def test_blobstore_byte_accounting():
+    store = BlobStore()
+    store.put("a", "x", 10, now=1.0)
+    store.put("b", "y", 30, now=1.0)
+    store.get("a")
+    assert store.bytes_written == 40
+    assert store.bytes_read == 10
+    assert store.total_bytes() == 40
+
+
+def test_blobstore_delete():
+    store = BlobStore()
+    store.put("k", "v", 10, now=1.0)
+    store.delete("k")
+    assert "k" not in store
+    assert len(store) == 0
+
+
+def test_blobstore_negative_size_rejected():
+    with pytest.raises(ValueError):
+        BlobStore().put("k", "v", -1, now=1.0)
