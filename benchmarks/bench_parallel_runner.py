@@ -1,0 +1,52 @@
+"""Parallel runner: serial vs fanned sweep, cold vs cached re-sweep.
+
+Unlike the figure benches this one measures the *harness* itself: a
+figure-style sweep of independent runs executed serially, then through
+``ParallelRunner`` (process fan-out), then again against a warm run
+cache.  On a multi-core host the fanned sweep approaches
+``serial / jobs``; the cached re-sweep is near-instant everywhere.
+"""
+
+import os
+import tempfile
+
+from repro.experiments.parallel import ParallelRunner, RunRequest, execute_request
+
+JOBS = max(2, min(4, os.cpu_count() or 1))
+
+SWEEP = [
+    RunRequest(query=query, protocol=protocol, parallelism=4,
+               rate=rate, duration=12.0, warmup=3.0, seed=7)
+    for query, rate in (("q1", 1500.0), ("q3", 900.0), ("q12", 800.0))
+    for protocol in ("coor", "unc", "cic")
+]
+
+
+def test_serial_sweep(benchmark):
+    results = benchmark.pedantic(
+        lambda: [execute_request(r) for r in SWEEP], rounds=1, iterations=1,
+    )
+    assert len(results) == len(SWEEP)
+
+
+def test_parallel_sweep(benchmark):
+    def sweep():
+        with ParallelRunner(jobs=JOBS) as runner:
+            return runner.map(SWEEP)
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert len(results) == len(SWEEP)
+
+
+def test_cached_resweep(benchmark):
+    with tempfile.TemporaryDirectory() as cache_dir:
+        ParallelRunner(jobs=1, cache_dir=cache_dir).map(SWEEP)  # warm
+
+        def resweep():
+            runner = ParallelRunner(jobs=1, cache_dir=cache_dir)
+            results = runner.map(SWEEP)
+            assert runner.hit_ratio == 1.0
+            return results
+
+        results = benchmark.pedantic(resweep, rounds=1, iterations=1)
+        assert len(results) == len(SWEEP)

@@ -4,9 +4,13 @@ Commands
 --------
 list
     Show the available experiments (paper tables/figures + ablations).
-run EXPERIMENT [--scale quick|default|full] [--out DIR]
+run EXPERIMENT [--scale quick|default|full] [--out DIR] [--jobs N]
+        [--cache-dir DIR]
     Regenerate one paper artifact and print the paper-vs-measured table.
-all [--scale ...] [--out DIR]
+    ``--jobs N`` fans independent runs (sweeps, MST bracket probes)
+    across N worker processes; ``--cache-dir`` reuses finished runs from
+    a content-addressed on-disk cache across invocations.
+all [--scale ...] [--out DIR] [--jobs N] [--cache-dir DIR]
     Regenerate every table and figure (EXPERIMENTS.md is written from
     these outputs).
 query NAME --protocol P [--parallelism N] [--rate R] [--failure-at T] ...
@@ -23,6 +27,7 @@ import time
 
 from repro.experiments import figures
 from repro.experiments.config import scale_by_name
+from repro.experiments.parallel import ParallelRunner
 from repro.experiments.runner import run_query
 from repro.metrics.series import percentile
 from repro.workloads.cyclic import REACHABILITY
@@ -68,6 +73,10 @@ def _add_common(sub: argparse.ArgumentParser) -> None:
                      help="overrides CHECKMATE_SCALE")
     sub.add_argument("--out", default="results",
                      help="directory for the rendered text blocks")
+    sub.add_argument("--jobs", type=int, default=1,
+                     help="worker processes for independent runs (default: 1)")
+    sub.add_argument("--cache-dir", default=None,
+                     help="content-addressed run cache shared across invocations")
 
 
 def _resolve_scale(args):
@@ -96,11 +105,33 @@ def _emit(out_dir: str, name: str, text: str) -> None:
     (directory / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
 
 
+def _install_runner(args) -> ParallelRunner | None:
+    """Wire a parallel executor / run cache into the figure harness."""
+    if args.jobs <= 1 and args.cache_dir is None:
+        return None
+    runner = ParallelRunner(jobs=args.jobs, cache_dir=args.cache_dir)
+    figures.set_runner(runner)
+    return runner
+
+
+def _teardown_runner(runner: ParallelRunner | None) -> None:
+    if runner is None:
+        return
+    figures.set_runner(None)
+    runner.close()
+    print(f"[cache] served={runner.hits} simulated={runner.misses} "
+          f"hit-ratio={runner.hit_ratio:.0%}")
+
+
 def _cmd_run(args) -> int:
     scale = _resolve_scale(args)
+    runner = _install_runner(args)
     fn = figures.ALL_EXPERIMENTS[args.experiment]
     started = time.time()
-    out = fn(scale)
+    try:
+        out = fn(scale)
+    finally:
+        _teardown_runner(runner)
     _emit(args.out, args.experiment, out["text"])
     print(f"[{args.experiment}] scale={scale.name} "
           f"wall={time.time() - started:.1f}s")
@@ -109,14 +140,23 @@ def _cmd_run(args) -> int:
 
 def _cmd_all(args) -> int:
     scale = _resolve_scale(args)
+    runner = _install_runner(args)
     status = 0
-    for name, fn in figures.ALL_EXPERIMENTS.items():
-        started = time.time()
-        out = fn(scale)
-        _emit(args.out, name, out["text"])
-        print(f"[{name}] scale={scale.name} wall={time.time() - started:.1f}s\n")
-        if not all(ok for _, ok in out.get("checks", [])):
-            status = 1
+    try:
+        for name, fn in figures.ALL_EXPERIMENTS.items():
+            started = time.time()
+            try:
+                out = fn(scale)
+            except Exception as exc:  # one broken figure must not kill the sweep
+                print(f"[{name}] FAILED: {exc}\n")
+                status = 1
+                continue
+            _emit(args.out, name, out["text"])
+            print(f"[{name}] scale={scale.name} wall={time.time() - started:.1f}s\n")
+            if not all(ok for _, ok in out.get("checks", [])):
+                status = 1
+    finally:
+        _teardown_runner(runner)
     return status
 
 

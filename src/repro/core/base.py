@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from repro.dataflow.channels import ChannelId, Message
+from repro.metrics.collectors import KIND_INITIAL
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
     from repro.dataflow.runtime import Job, InstanceRuntime
@@ -31,7 +32,7 @@ class CheckpointMeta:
 
     instance: InstanceKey
     checkpoint_id: int
-    kind: str  # 'coor' | 'local' | 'forced' | 'initial'
+    kind: str  # a KIND_* constant from repro.metrics.collectors
     round_id: int | None
     started_at: float
     durable_at: float
@@ -54,7 +55,7 @@ def initial_checkpoint(instance: InstanceKey) -> CheckpointMeta:
     return CheckpointMeta(
         instance=instance,
         checkpoint_id=0,
-        kind="initial",
+        kind=KIND_INITIAL,
         round_id=None,
         started_at=0.0,
         durable_at=0.0,

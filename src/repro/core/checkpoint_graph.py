@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.base import CheckpointMeta, InstanceKey
+from repro.metrics.collectors import KIND_INITIAL
 from repro.dataflow.channels import ChannelId
 
 Node = tuple[InstanceKey, int]
@@ -215,6 +216,6 @@ def invalid_checkpoint_count(
     for instance, metas in graph.checkpoints.items():
         chosen = line[instance].checkpoint_id
         count += sum(
-            1 for m in metas if m.checkpoint_id > chosen and m.kind != "initial"
+            1 for m in metas if m.checkpoint_id > chosen and m.kind != KIND_INITIAL
         )
     return count

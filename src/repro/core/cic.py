@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING
 from repro.core.base import register_protocol
 from repro.core.uncoordinated import UncoordinatedProtocol
 from repro.dataflow.channels import ChannelId, Message
+from repro.metrics.collectors import KIND_FORCED
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dataflow.worker import InstanceRuntime
@@ -154,7 +155,7 @@ class CommunicationInducedProtocol(UncoordinatedProtocol):
         state: CicState = instance.proto
         cost = 0.0
         if self._must_force(state, piggy):
-            cost += self.job.execute_checkpoint(instance, "forced", None)
+            cost += self.job.execute_checkpoint(instance, KIND_FORCED, None)
             self.job.metrics.forced_checkpoints += 1
         self._merge(state, channel, piggy)
         return cost

@@ -29,7 +29,7 @@ from repro.core.base import (
     register_protocol,
 )
 from repro.dataflow.channels import ChannelId, Message
-from repro.metrics.collectors import CheckpointEvent
+from repro.metrics.collectors import KIND_COOR, KIND_ROUND, CheckpointEvent
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dataflow.runtime import Job
@@ -86,7 +86,7 @@ class CoordinatedProtocol(CheckpointProtocol):
                 job.coordinator.send_control_to_worker(
                     idx,
                     size,
-                    (lambda inst=instance: job.enqueue_checkpoint(inst, "coor", round_id)),
+                    (lambda inst=instance: job.enqueue_checkpoint(inst, KIND_COOR, round_id)),
                 )
 
     # ------------------------------------------------------------------ #
@@ -102,11 +102,11 @@ class CoordinatedProtocol(CheckpointProtocol):
         state["got"].add(channel)
         instance.worker.block_channel(channel)
         if len(state["got"]) == len(instance.in_channels):
-            self.job.enqueue_checkpoint(instance, "coor", round_id)
+            self.job.enqueue_checkpoint(instance, KIND_COOR, round_id)
 
     def on_checkpoint_started(self, instance: "InstanceRuntime", kind: str,
                               round_id: int | None) -> float:
-        if kind != "coor":
+        if kind != KIND_COOR:
             return 0.0
         cost = self.job.send_marker(instance, round_id)
         state = self._align.pop(instance.key, None)
@@ -120,7 +120,7 @@ class CoordinatedProtocol(CheckpointProtocol):
     # ------------------------------------------------------------------ #
 
     def _on_metadata(self, meta: CheckpointMeta) -> None:
-        if meta.kind != "coor" or meta.round_id not in self._round_durable:
+        if meta.kind != KIND_COOR or meta.round_id not in self._round_durable:
             return
         round_id = meta.round_id
         self._round_durable[round_id].add(meta.instance)
@@ -135,7 +135,7 @@ class CoordinatedProtocol(CheckpointProtocol):
         job.metrics.record_checkpoint(
             CheckpointEvent(
                 instance=None,
-                kind="round",
+                kind=KIND_ROUND,
                 started_at=self._round_started[round_id],
                 durable_at=job.sim.now,
                 state_bytes=sum(m.state_bytes for m in self._round_metas[round_id].values()),

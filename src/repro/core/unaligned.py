@@ -31,7 +31,7 @@ from typing import TYPE_CHECKING, Any
 from repro.core.base import CheckpointMeta, register_protocol
 from repro.core.coordinated import CoordinatedProtocol
 from repro.dataflow.channels import ChannelId, Message
-from repro.metrics.collectors import CheckpointEvent
+from repro.metrics.collectors import KIND_COOR, KIND_INITIAL, CheckpointEvent
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dataflow.worker import InstanceRuntime
@@ -88,7 +88,7 @@ class UnalignedCoordinatedProtocol(CoordinatedProtocol):
                     idx,
                     size,
                     (lambda inst=instance: job.enqueue_checkpoint(
-                        inst, "coor", round_id, priority=True)),
+                        inst, KIND_COOR, round_id, priority=True)),
                 )
 
     # ------------------------------------------------------------------ #
@@ -131,7 +131,7 @@ class UnalignedCoordinatedProtocol(CoordinatedProtocol):
         meta = CheckpointMeta(
             instance=instance.key,
             checkpoint_id=instance.checkpoint_counter,
-            kind="coor",
+            kind=KIND_COOR,
             round_id=round_id,
             started_at=job.sim.now,
             durable_at=-1.0,
@@ -178,7 +178,7 @@ class UnalignedCoordinatedProtocol(CoordinatedProtocol):
         meta = CheckpointMeta(
             instance=pending.meta.instance,
             checkpoint_id=pending.meta.checkpoint_id,
-            kind="coor",
+            kind=KIND_COOR,
             round_id=pending.round_id,
             started_at=pending.started_at,
             durable_at=-1.0,
@@ -218,7 +218,7 @@ class UnalignedCoordinatedProtocol(CoordinatedProtocol):
 
     def on_checkpoint_started(self, instance: "InstanceRuntime", kind: str,
                               round_id: int | None) -> float:
-        if kind != "coor":
+        if kind != KIND_COOR:
             return 0.0
         # sources: snapshot (already captured by the runtime) then markers;
         # there are no inbound channels so nothing to unblock
@@ -232,7 +232,7 @@ class UnalignedCoordinatedProtocol(CoordinatedProtocol):
         plan = super().build_recovery_plan(now)
         replay: dict[ChannelId, list[Message]] = {}
         for meta in plan.line.values():
-            if meta.kind == "initial":
+            if meta.kind == KIND_INITIAL:
                 continue
             snapshot = self.job.coordinator.blobstore.get(meta.blob_key)
             for channel, messages in snapshot.get("channel_state", {}).items():

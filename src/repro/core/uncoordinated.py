@@ -34,6 +34,7 @@ from repro.core.checkpoint_graph import (
 )
 from repro.core.recovery import build_replay_sets
 from repro.dataflow.channels import ChannelId, Message
+from repro.metrics.collectors import KIND_LOCAL
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dataflow.runtime import Job
@@ -128,7 +129,7 @@ class UncoordinatedProtocol(CheckpointProtocol):
     def _timer_tick(self, instance: "InstanceRuntime", interval: float) -> None:
         job = self.job
         if instance.worker.alive and not job.recovering:
-            job.enqueue_checkpoint(instance, "local", None)
+            job.enqueue_checkpoint(instance, KIND_LOCAL, None)
         job.sim.schedule(interval, self._timer_tick, instance, interval)
 
     # ------------------------------------------------------------------ #

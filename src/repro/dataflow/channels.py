@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any
 
 from repro.dataflow.graph import EdgeSpec, Partitioning
 from repro.dataflow.records import StreamRecord
@@ -85,7 +85,7 @@ class Partitioner:
         raise AssertionError(f"unhandled partitioning {mode}")
 
 
-@dataclass
+@dataclass(slots=True)
 class _Buffer:
     records: list[StreamRecord] = field(default_factory=list)
     bytes: int = 0
@@ -97,35 +97,87 @@ class RouterBuffer:
     ``route`` stages records; ``take_ready`` drains buffers that reached the
     batch-size threshold; ``take_all`` (linger flush, markers, shutdown)
     drains everything.
+
+    Routing is precomputed per edge at construction: FORWARD and BROADCAST
+    destinations are constant, only KEY edges hash per record.  Staged and
+    batch-ready record counts are tracked incrementally, so the per-message
+    ``take_ready`` poll and the per-linger-tick staged check are O(1) when
+    nothing is due — the hot path never rescans the buffer map.
     """
+
+    __slots__ = ("_batch_max", "_buffers", "_plans", "_staged", "_n_ready")
 
     def __init__(self, edges: list[EdgeSpec], partitioners: dict[int, Partitioner],
                  src_index: int, batch_max: int):
-        self._edges = edges
-        self._partitioners = partitioners
-        self._src_index = src_index
         self._batch_max = batch_max
         self._buffers: dict[tuple[int, int], _Buffer] = {}
+        #: per edge: (edge_id, static destinations | None, key_fn, parallelism)
+        self._plans: list[tuple[int, tuple[int, ...] | None, Any, int]] = []
+        for edge in edges:
+            partitioner = partitioners[edge.edge_id]
+            if edge.partitioning is Partitioning.FORWARD:
+                static: tuple[int, ...] | None = (src_index,)
+            elif edge.partitioning is Partitioning.BROADCAST:
+                static = tuple(range(partitioner.parallelism))
+            else:
+                static = None
+            self._plans.append(
+                (edge.edge_id, static, edge.key_fn, partitioner.parallelism)
+            )
+        self._staged = 0
+        self._n_ready = 0
 
     def route(self, records: list[StreamRecord]) -> None:
         """Stage output records onto (edge, destination) buffers."""
-        src = self._src_index
-        for edge in self._edges:
-            partitioner = self._partitioners[edge.edge_id]
-            for record in records:
-                for dst in partitioner.destinations(src, record):
-                    buf = self._buffers.get((edge.edge_id, dst))
+        buffers = self._buffers
+        batch_max = self._batch_max
+        n_ready = 0
+        staged = 0
+        for edge_id, static, key_fn, parallelism in self._plans:
+            if static is None:  # KEY partitioning: hash per record
+                for record in records:
+                    key = (edge_id, hash_key(key_fn(record.payload)) % parallelism)
+                    buf = buffers.get(key)
                     if buf is None:
                         buf = _Buffer()
-                        self._buffers[(edge.edge_id, dst)] = buf
-                    buf.records.append(record)
+                        buffers[key] = buf
+                    recs = buf.records
+                    recs.append(record)
                     buf.bytes += record.size_bytes
+                    if len(recs) == batch_max:
+                        n_ready += 1
+                staged += len(records)
+            else:  # FORWARD / BROADCAST: constant destination set
+                for record in records:
+                    for dst in static:
+                        key = (edge_id, dst)
+                        buf = buffers.get(key)
+                        if buf is None:
+                            buf = _Buffer()
+                            buffers[key] = buf
+                        recs = buf.records
+                        recs.append(record)
+                        buf.bytes += record.size_bytes
+                        if len(recs) == batch_max:
+                            n_ready += 1
+                staged += len(records) * len(static)
+        self._n_ready += n_ready
+        self._staged += staged
+
+    def _on_drain(self, buf: _Buffer) -> None:
+        self._staged -= len(buf.records)
+        if len(buf.records) >= self._batch_max:
+            self._n_ready -= 1
 
     def take_ready(self) -> list[tuple[int, int, list[StreamRecord], int]]:
         """Drain buffers at/over the batch threshold -> (edge, dst, records, bytes)."""
+        if not self._n_ready:
+            return []
         ready = []
+        batch_max = self._batch_max
         for (edge_id, dst), buf in list(self._buffers.items()):
-            if len(buf.records) >= self._batch_max:
+            if len(buf.records) >= batch_max:
+                self._on_drain(buf)
                 ready.append((edge_id, dst, buf.records, buf.bytes))
                 del self._buffers[(edge_id, dst)]
         return ready
@@ -137,6 +189,8 @@ class RouterBuffer:
             for (edge_id, dst), buf in self._buffers.items()
         ]
         self._buffers.clear()
+        self._staged = 0
+        self._n_ready = 0
         return drained
 
     def take_edge(self, edge_id: int) -> list[tuple[int, int, list[StreamRecord], int]]:
@@ -144,13 +198,16 @@ class RouterBuffer:
         drained = []
         for (eid, dst), buf in list(self._buffers.items()):
             if eid == edge_id:
+                self._on_drain(buf)
                 drained.append((eid, dst, buf.records, buf.bytes))
                 del self._buffers[(eid, dst)]
         return drained
 
     @property
     def staged_records(self) -> int:
-        return sum(len(b.records) for b in self._buffers.values())
+        return self._staged
 
     def clear(self) -> None:
         self._buffers.clear()
+        self._staged = 0
+        self._n_ready = 0

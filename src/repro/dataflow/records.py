@@ -12,11 +12,25 @@ batch boundaries shift between the original run and the replay.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Any
 
 _MASK64 = (1 << 64) - 1
 _PRIME = 0x9E3779B97F4A7C15
+
+#: memoised stable name hashes — builtin hash() of a str is salted per
+#: process, which would make rids (and everything derived from them)
+#: unreproducible across worker processes and cached runs
+_NAME_HASHES: dict[str, int] = {}
+
+
+def _name_hash(name: str) -> int:
+    value = _NAME_HASHES.get(name)
+    if value is None:
+        value = zlib.crc32(name.encode("utf-8"))
+        _NAME_HASHES[name] = value
+    return value
 
 
 def mix_rid(*parts: int) -> int:
@@ -29,15 +43,36 @@ def mix_rid(*parts: int) -> int:
     return acc
 
 
+def source_rid_prefix(topic: str, partition: int) -> int:
+    """Partial rid accumulator over the constant (topic, partition) parts.
+
+    Source instances poll thousands of records per virtual second from one
+    fixed (topic, partition); precomputing the prefix leaves a single mix
+    step per record in :func:`source_rid_from_prefix`.
+    """
+    acc = 0xCBF29CE484222325
+    for part in (_name_hash(topic), (partition + 1) & _MASK64):
+        acc ^= part
+        acc = (acc * _PRIME) & _MASK64
+        acc ^= acc >> 29
+    return acc
+
+
+def source_rid_from_prefix(prefix: int, offset: int) -> int:
+    """Finish a prefixed source rid with the record's offset."""
+    acc = prefix ^ ((offset + 1) & _MASK64)
+    acc = (acc * _PRIME) & _MASK64
+    return acc ^ (acc >> 29)
+
+
 def source_rid(topic: str, partition: int, offset: int) -> int:
     """Lineage id of a raw input record."""
-    topic_hash = hash(topic) & _MASK64
-    return mix_rid(topic_hash, partition + 1, offset + 1)
+    return source_rid_from_prefix(source_rid_prefix(topic, partition), offset)
 
 
 def derived_rid(op_name: str, parent_rid: int, emission_index: int = 0) -> int:
     """Lineage id of a record produced while processing ``parent_rid``."""
-    return mix_rid(hash(op_name) & _MASK64, parent_rid, emission_index + 1)
+    return mix_rid(_name_hash(op_name), parent_rid, emission_index + 1)
 
 
 def joined_rid(op_name: str, left_rid: int, right_rid: int) -> int:
@@ -47,7 +82,7 @@ def joined_rid(op_name: str, left_rid: int, right_rid: int) -> int:
     that is depends on interleaving, so the id must not depend on it.
     """
     lo, hi = sorted((left_rid, right_rid))
-    return mix_rid(hash(op_name) & _MASK64, lo, hi)
+    return mix_rid(_name_hash(op_name), lo, hi)
 
 
 @dataclass(slots=True)

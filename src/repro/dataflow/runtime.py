@@ -36,9 +36,16 @@ from repro.dataflow.graph import (
     Partitioning,
     UnsupportedTopologyError,
 )
-from repro.dataflow.records import StreamRecord, source_rid
+from repro.dataflow.records import StreamRecord, source_rid_from_prefix
 from repro.dataflow.worker import InstanceRuntime, WorkerRuntime
-from repro.metrics.collectors import CheckpointEvent, MetricsCollector
+from repro.metrics.collectors import (
+    COORDINATED_INSTANCE_KINDS,
+    COORDINATED_ROUND_KINDS,
+    KIND_INITIAL,
+    UNCOORDINATED_KINDS,
+    CheckpointEvent,
+    MetricsCollector,
+)
 from repro.metrics.series import LatencySeries, percentile
 from repro.sim.costs import RuntimeConfig
 from repro.sim.failure import FailureInjector, FailurePlan
@@ -76,26 +83,65 @@ class RunResult:
     def is_coordinated(self) -> bool:
         return self.protocol.startswith("coor")
 
+    def _measured_rounds(self) -> set[int]:
+        """Completed coordinated rounds that became durable inside the window.
+
+        Both checkpoint metrics use this set, so a round straddling the
+        warmup boundary (e.g. a skew-stretched alignment that starts during
+        warmup and completes mid-window) is either counted whole or not at
+        all — never a partial count of its instance checkpoints.
+        """
+        return {
+            e.round_id
+            for e in self.metrics.checkpoints
+            if e.kind in COORDINATED_ROUND_KINDS
+            and e.round_id in self.completed_rounds
+            and e.durable_at >= self.warmup
+        }
+
     def avg_checkpoint_time(self) -> float:
-        """Protocol-aware average checkpoint duration (paper Section V)."""
+        """Protocol-aware average checkpoint duration (paper Section V).
+
+        Coordinated variants (aligned and unaligned) are timed per completed
+        round; the uncoordinated family per local/forced checkpoint.  Only
+        checkpoints of the measured window contribute — the same window and
+        completed-round filters as :meth:`total_checkpoints`, so the two
+        metrics always describe the same population.
+        """
         if self.is_coordinated:
-            return self.metrics.avg_checkpoint_time(kinds=("round",))
-        return self.metrics.avg_checkpoint_time(kinds=("local", "forced"))
+            rounds = self._measured_rounds()
+            events = [
+                e for e in self.metrics.checkpoints
+                if e.kind in COORDINATED_ROUND_KINDS and e.round_id in rounds
+            ]
+        else:
+            events = [
+                e for e in self.metrics.checkpoints
+                if e.kind in UNCOORDINATED_KINDS and e.durable_at >= self.warmup
+            ]
+        if not events:
+            return 0.0
+        return sum(e.duration for e in events) / len(events)
 
     def total_checkpoints(self) -> int:
         """Durable checkpoints counted the way Table III counts them.
 
-        Only checkpoints taken inside the measured window count; COOR counts
-        checkpoints of *completed* rounds (an unfinished round is unusable).
+        Only checkpoints taken inside the measured window count; both
+        coordinated variants count the per-instance checkpoints of
+        *completed* rounds (an unfinished round is unusable).
         """
-        window = [e for e in self.metrics.checkpoints if e.started_at >= self.warmup]
         if self.is_coordinated:
+            rounds = self._measured_rounds()
             return sum(
                 1
-                for e in window
-                if e.kind == "coor" and e.round_id in self.completed_rounds
+                for e in self.metrics.checkpoints
+                if e.kind in COORDINATED_INSTANCE_KINDS and e.round_id in rounds
             )
-        return sum(1 for e in window if e.kind in ("local", "forced"))
+        return sum(
+            1
+            for e in self.metrics.checkpoints
+            if e.kind in UNCOORDINATED_KINDS and e.durable_at >= self.warmup
+        )
 
     def invalid_percentage(self) -> float:
         total = self.metrics.total_checkpoints_at_failure
@@ -373,10 +419,15 @@ class Job:
     def _enqueue_poll(self, instance: InstanceRuntime) -> None:
         worker = instance.worker
         if worker.alive and not self.recovering:
-            worker.enqueue(("poll", instance))
+            worker.enqueue(instance.poll_task)
 
     def run_source_poll(self, instance: InstanceRuntime) -> float:
-        """Poll task: pull available records, run them through the source op."""
+        """Poll task: pull one batch of available records through the source op.
+
+        The (topic, partition) part of every record's lineage id is
+        precomputed on the instance, so the per-record work in this loop is
+        a single mix step plus the record construction.
+        """
         topic = instance.spec.source_topic
         partition = self.inputs[topic].partition(instance.index)
         log_records = partition.poll(
@@ -385,9 +436,10 @@ class Job:
         cost = 1e-5
         if log_records:
             self.metrics.record_ingest(self.sim.now, len(log_records))
+            prefix = instance.rid_prefix
             records = [
                 StreamRecord(
-                    rid=source_rid(topic, instance.index, r.offset),
+                    rid=source_rid_from_prefix(prefix, r.offset),
                     payload=r.payload,
                     source_ts=r.available_at,
                     size_bytes=r.size_bytes,
@@ -414,13 +466,20 @@ class Job:
         self.sim.schedule_at(max(at, self.sim.now), fire)
 
     def _start_linger_chains(self) -> None:
-        for worker in self.workers:
-            self._linger_tick(worker)
+        self._linger_tick()
 
-    def _linger_tick(self, worker: WorkerRuntime) -> None:
-        if worker.alive and not self.recovering and worker.staged_records():
-            worker.enqueue(("flush",))
-        self.sim.schedule(self.cost.linger, self._linger_tick, worker)
+    def _linger_tick(self) -> None:
+        """One batched tick for every worker (a single simulator event).
+
+        Workers are visited in index order — the same order the per-worker
+        chains used to fire in — and the staged check is an O(1) counter
+        read per instance, so an idle tick costs almost nothing.
+        """
+        if not self.recovering:
+            for worker in self.workers:
+                if worker.alive and worker.staged_records():
+                    worker.enqueue(("flush",))
+        self.sim.schedule(self.cost.linger, self._linger_tick)
 
     # ------------------------------------------------------------------ #
     # Checkpoint execution (shared by every protocol)
@@ -533,7 +592,7 @@ class Job:
         cost_model = self.cost
         per_worker = [0.0] * self.parallelism
         for key, meta in plan.line.items():
-            if meta.kind != "initial":
+            if meta.kind != KIND_INITIAL:
                 per_worker[key[1]] += cost_model.blob_restore_delay(meta.state_bytes)
         for channel, messages in plan.replay.items():
             if not messages:
@@ -548,7 +607,7 @@ class Job:
     def _apply_recovery(self, plan: RecoveryPlan) -> None:
         for key, meta in plan.line.items():
             instance = self.instance(key)
-            if meta.kind == "initial":
+            if meta.kind == KIND_INITIAL:
                 instance.reset_to_virgin()
             else:
                 snapshot = self.coordinator.blobstore.get(meta.blob_key)

@@ -12,10 +12,10 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Any
 
-from repro.dataflow.channels import ChannelId, Message, RouterBuffer, DATA, MARKER
+from repro.dataflow.channels import ChannelId, Message, RouterBuffer, MARKER
 from repro.dataflow.graph import EdgeSpec, OperatorSpec
 from repro.dataflow.operators import OperatorContext
-from repro.dataflow.records import StreamRecord
+from repro.dataflow.records import StreamRecord, source_rid_prefix
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dataflow.runtime import Job
@@ -50,6 +50,12 @@ class InstanceRuntime(OperatorContext):
         self.source_cursor = 0
         #: protocol-private per-instance structure (e.g. HMNR vectors)
         self.proto: Any = None
+        #: reusable poll task tuple + precomputed rid prefix (sources only)
+        self.poll_task = ("poll", self)
+        self.rid_prefix = (
+            source_rid_prefix(spec.source_topic, index)
+            if spec.is_source else 0
+        )
 
     # -- OperatorContext ------------------------------------------------- #
 

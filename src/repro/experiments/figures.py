@@ -13,7 +13,12 @@ from typing import Iterable
 from repro.dataflow.runtime import RunResult
 from repro.experiments import paper_reference as ref
 from repro.experiments.config import ExperimentScale, current_scale
-from repro.experiments.runner import run_query
+from repro.experiments.parallel import (
+    MstRequest,
+    ParallelRunner,
+    RunRequest,
+    execute_request,
+)
 from repro.metrics.mst import find_mst
 from repro.metrics.report import format_table, shape_report
 from repro.metrics.series import percentile
@@ -26,50 +31,134 @@ NEXMARK_ORDER = ("q1", "q3", "q8", "q12")
 #: process-level caches keyed by (kind, query, protocol, parallelism, scale, ...)
 _CACHE: dict[tuple, object] = {}
 
+#: optional parallel executor + run cache; installed by the CLI's
+#: ``--jobs/--cache-dir`` flags (or tests) via :func:`set_runner`
+_RUNNER: ParallelRunner | None = None
+
+
+def set_runner(runner: ParallelRunner | None) -> None:
+    """Route every figure/table run through ``runner`` (None = serial)."""
+    global _RUNNER
+    _RUNNER = runner
+
+
+def get_runner() -> ParallelRunner | None:
+    return _RUNNER
+
 
 def clear_cache() -> None:
     """Forget cached MSTs and runs (tests use this for isolation)."""
     _CACHE.clear()
 
 
+def _execute(request: RunRequest) -> RunResult:
+    """One run, through the installed runner (cache-first) or inline."""
+    if _RUNNER is not None:
+        return _RUNNER.run(request)
+    return execute_request(request)
+
+
+def _warm(requests: list[RunRequest]) -> None:
+    """Fan a batch of independent runs across the runner's workers.
+
+    Results land in the runner's cache, so the per-combination ``_execute``
+    calls that follow are pure cache hits.  A no-op without a multi-process
+    runner — the serial path then computes each run on first use.
+    """
+    if _RUNNER is not None and _RUNNER.jobs > 1 and len(requests) > 1:
+        _RUNNER.map(requests)
+
+
 # --------------------------------------------------------------------- #
 # Shared building blocks
 # --------------------------------------------------------------------- #
+
+def _mst_request(query: str, protocol: str, parallelism: int,
+                 scale: ExperimentScale) -> MstRequest:
+    return MstRequest(
+        query=query, protocol=protocol, parallelism=parallelism,
+        probe_duration=scale.probe_duration,
+        warmup=scale.probe_warmup,
+        iterations=scale.mst_iterations,
+        seed=scale.seed,
+    )
+
+
+def _warm_msts(combos, scale: ExperimentScale) -> None:
+    """Fan whole MST searches (one per combination) across workers."""
+    if _RUNNER is not None and _RUNNER.jobs > 1:
+        _RUNNER.map([_mst_request(q, proto, p, scale) for q, proto, p in combos])
+
 
 def get_mst(query: str, protocol: str, parallelism: int,
             scale: ExperimentScale) -> float:
     spec = REACHABILITY if query == "reachability" else QUERIES[query]
     key = ("mst", query, protocol, parallelism, scale.name)
     if key not in _CACHE:
-        result = find_mst(
-            spec, protocol, parallelism,
-            probe_duration=scale.probe_duration,
-            warmup=scale.probe_warmup,
-            iterations=scale.mst_iterations,
-            seed=scale.seed,
-        )
+        if _RUNNER is not None:
+            result = _RUNNER.run(_mst_request(query, protocol, parallelism, scale))
+        else:
+            result = find_mst(
+                spec, protocol, parallelism,
+                probe_duration=scale.probe_duration,
+                warmup=scale.probe_warmup,
+                iterations=scale.mst_iterations,
+                seed=scale.seed,
+            )
+        if result.bracket_exhausted:
+            # fail here with the real cause — an MST of 0.0 would otherwise
+            # surface as a cryptic "rate must be positive" deep in the
+            # input generator of whichever figure asked first
+            raise RuntimeError(
+                f"MST search exhausted its bracket for {query}/{protocol}"
+                f"/p={parallelism} at scale {scale.name!r}: no probed rate "
+                "was sustainable (check the cost model calibration or "
+                "lengthen the probe window)"
+            )
         _CACHE[key] = result.mst
     return _CACHE[key]  # type: ignore[return-value]
+
+
+def _failure_request(query: str, protocol: str, parallelism: int,
+                     scale: ExperimentScale, rate_fraction: float = 0.8,
+                     hot_ratio: float = 0.0) -> RunRequest:
+    mst = get_mst(query, protocol, parallelism, scale)
+    return RunRequest(
+        query=query, protocol=protocol, parallelism=parallelism,
+        rate=mst * rate_fraction,
+        duration=scale.duration,
+        warmup=scale.warmup,
+        failure_at=scale.failure_at,
+        hot_ratio=hot_ratio,
+        seed=scale.seed,
+    )
 
 
 def get_failure_run(query: str, protocol: str, parallelism: int,
                     scale: ExperimentScale, rate_fraction: float = 0.8,
                     hot_ratio: float = 0.0) -> RunResult:
     """One 'paper run': fixed fraction of that protocol's MST, with failure."""
-    spec = REACHABILITY if query == "reachability" else QUERIES[query]
     key = ("failrun", query, protocol, parallelism, scale.name, rate_fraction, hot_ratio)
     if key not in _CACHE:
-        mst = get_mst(query, protocol, parallelism, scale)
-        _CACHE[key] = run_query(
-            spec, protocol, parallelism,
-            rate=mst * rate_fraction,
-            duration=scale.duration,
-            warmup=scale.warmup,
-            failure_at=scale.failure_at,
-            hot_ratio=hot_ratio,
-            seed=scale.seed,
+        _CACHE[key] = _execute(
+            _failure_request(query, protocol, parallelism, scale,
+                             rate_fraction, hot_ratio)
         )
     return _CACHE[key]  # type: ignore[return-value]
+
+
+def _steady_request(query: str, protocol: str, parallelism: int,
+                    scale: ExperimentScale, rate_fraction: float = 0.8,
+                    hot_ratio: float = 0.0) -> RunRequest:
+    mst = get_mst(query, protocol, parallelism, scale)
+    return RunRequest(
+        query=query, protocol=protocol, parallelism=parallelism,
+        rate=mst * rate_fraction,
+        duration=min(scale.duration, 30.0),
+        warmup=min(scale.warmup, 10.0),
+        hot_ratio=hot_ratio,
+        seed=scale.seed,
+    )
 
 
 def get_steady_run(query: str, protocol: str, parallelism: int,
@@ -80,19 +169,27 @@ def get_steady_run(query: str, protocol: str, parallelism: int,
     Checkpoint-time statistics stabilise after a handful of rounds, so the
     window is capped at 30 s to keep the full parameter sweep tractable.
     """
-    spec = REACHABILITY if query == "reachability" else QUERIES[query]
     key = ("steadyrun", query, protocol, parallelism, scale.name, rate_fraction, hot_ratio)
     if key not in _CACHE:
-        mst = get_mst(query, protocol, parallelism, scale)
-        _CACHE[key] = run_query(
-            spec, protocol, parallelism,
-            rate=mst * rate_fraction,
-            duration=min(scale.duration, 30.0),
-            warmup=min(scale.warmup, 10.0),
-            hot_ratio=hot_ratio,
-            seed=scale.seed,
+        _CACHE[key] = _execute(
+            _steady_request(query, protocol, parallelism, scale,
+                            rate_fraction, hot_ratio)
         )
     return _CACHE[key]  # type: ignore[return-value]
+
+
+def _capacity_failure_request(query: str, protocol: str, parallelism: int,
+                              scale: ExperimentScale,
+                              rate_fraction: float = 0.4) -> RunRequest:
+    spec = REACHABILITY if query == "reachability" else QUERIES[query]
+    return RunRequest(
+        query=query, protocol=protocol, parallelism=parallelism,
+        rate=spec.capacity_per_worker * parallelism * rate_fraction,
+        duration=scale.duration,
+        warmup=scale.warmup,
+        failure_at=scale.failure_at,
+        seed=scale.seed,
+    )
 
 
 def get_capacity_failure_run(query: str, protocol: str, parallelism: int,
@@ -107,17 +204,11 @@ def get_capacity_failure_run(query: str, protocol: str, parallelism: int,
     high parallelism is roughly half the baseline), or its checkpoint
     tasks queue behind the backlog and never complete.
     """
-    spec = REACHABILITY if query == "reachability" else QUERIES[query]
     key = ("capfailrun", query, protocol, parallelism, scale.name, rate_fraction)
     if key not in _CACHE:
-        rate = spec.capacity_per_worker * parallelism * rate_fraction
-        _CACHE[key] = run_query(
-            spec, protocol, parallelism,
-            rate=rate,
-            duration=scale.duration,
-            warmup=scale.warmup,
-            failure_at=scale.failure_at,
-            seed=scale.seed,
+        _CACHE[key] = _execute(
+            _capacity_failure_request(query, protocol, parallelism, scale,
+                                      rate_fraction)
         )
     return _CACHE[key]  # type: ignore[return-value]
 
@@ -136,6 +227,12 @@ def fig7_mst(scale: ExperimentScale | None = None) -> dict:
     scale = scale or current_scale()
     rows = []
     normalized: dict[tuple[str, str, int], float] = {}
+    _warm_msts([
+        (query, protocol, parallelism)
+        for parallelism in scale.parallelism_grid
+        for query in NEXMARK_ORDER
+        for protocol in ("none",) + PROTOCOL_ORDER
+    ], scale)
     for parallelism in scale.parallelism_grid:
         for query in NEXMARK_ORDER:
             base = get_mst(query, "none", parallelism, scale)
@@ -179,23 +276,36 @@ def _fig7_checks(normalized: dict, scale: ExperimentScale) -> list[tuple[str, bo
 # Table II — message overhead
 # --------------------------------------------------------------------- #
 
+def _table2_request(query: str, protocol: str, workers: int,
+                    scale: ExperimentScale) -> RunRequest:
+    spec = QUERIES[query]
+    return RunRequest(
+        query=query, protocol=protocol, parallelism=workers,
+        rate=spec.capacity_per_worker * workers * 0.5,
+        duration=min(scale.duration, 20.0),
+        warmup=min(scale.warmup, 5.0),
+        seed=scale.seed,
+    )
+
+
 def table2_message_overhead(scale: ExperimentScale | None = None) -> dict:
     """Protocol message-byte overhead vs checkpoint-free (paper Table II)."""
     scale = scale or current_scale()
     rows = []
     measured: dict[tuple[str, int, str], float] = {}
+    _warm([
+        _table2_request(query, protocol, workers, scale)
+        for workers in scale.table_workers
+        for protocol in PROTOCOL_ORDER
+        for query in NEXMARK_ORDER
+    ])
     for workers in scale.table_workers:
         for protocol in PROTOCOL_ORDER:
             for query in NEXMARK_ORDER:
-                spec = QUERIES[query]
-                rate = spec.capacity_per_worker * workers * 0.5
                 key = ("table2", query, protocol, workers, scale.name)
                 if key not in _CACHE:
-                    _CACHE[key] = run_query(
-                        spec, protocol, workers, rate=rate,
-                        duration=min(scale.duration, 20.0),
-                        warmup=min(scale.warmup, 5.0),
-                        seed=scale.seed,
+                    _CACHE[key] = _execute(
+                        _table2_request(query, protocol, workers, scale)
                     )
                 result: RunResult = _CACHE[key]  # type: ignore[assignment]
                 ratio = result.metrics.overhead_ratio()
@@ -225,6 +335,18 @@ def fig8_checkpoint_time(scale: ExperimentScale | None = None) -> dict:
     scale = scale or current_scale()
     rows = []
     measured: dict[tuple[str, str, int], float] = {}
+    _warm_msts([
+        (query, protocol, parallelism)
+        for parallelism in scale.parallelism_grid
+        for query in NEXMARK_ORDER
+        for protocol in PROTOCOL_ORDER
+    ], scale)
+    _warm([
+        _steady_request(query, protocol, parallelism, scale)
+        for parallelism in scale.parallelism_grid
+        for query in NEXMARK_ORDER
+        for protocol in PROTOCOL_ORDER
+    ])
     for parallelism in scale.parallelism_grid:
         for query in NEXMARK_ORDER:
             for protocol in PROTOCOL_ORDER:
@@ -259,6 +381,18 @@ def _latency_figure(pct: int, shape: tuple, scale: ExperimentScale) -> dict:
     rows = []
     series: dict[tuple[str, str, int], list[float]] = {}
     protocols = ("none",) + PROTOCOL_ORDER
+    _warm_msts([
+        (query, protocol, parallelism)
+        for parallelism in scale.latency_grid
+        for query in NEXMARK_ORDER
+        for protocol in protocols
+    ], scale)
+    _warm([
+        _failure_request(query, protocol, parallelism, scale)
+        for parallelism in scale.latency_grid
+        for query in NEXMARK_ORDER
+        for protocol in protocols
+    ])
     for parallelism in scale.latency_grid:
         for query in NEXMARK_ORDER:
             for protocol in protocols:
@@ -305,6 +439,18 @@ def fig11_restart(scale: ExperimentScale | None = None) -> dict:
     scale = scale or current_scale()
     rows = []
     measured: dict[tuple[str, str, int], float] = {}
+    _warm_msts([
+        (query, protocol, parallelism)
+        for parallelism in scale.parallelism_grid
+        for query in NEXMARK_ORDER
+        for protocol in PROTOCOL_ORDER
+    ], scale)
+    _warm([
+        _failure_request(query, protocol, parallelism, scale)
+        for parallelism in scale.parallelism_grid
+        for query in NEXMARK_ORDER
+        for protocol in PROTOCOL_ORDER
+    ])
     for parallelism in scale.parallelism_grid:
         for query in NEXMARK_ORDER:
             for protocol in PROTOCOL_ORDER:
@@ -337,6 +483,12 @@ def table3_invalid(scale: ExperimentScale | None = None) -> dict:
     rows = []
     measured: dict[tuple[int, str, str], tuple[int, float]] = {}
     invalid_counts: dict[tuple[int, str, str], tuple[int, int]] = {}
+    _warm([
+        _capacity_failure_request(query, protocol, workers, scale)
+        for workers in scale.table_workers
+        for query in NEXMARK_ORDER
+        for protocol in ("unc", "cic", "coor")
+    ])
     for workers in scale.table_workers:
         for query in NEXMARK_ORDER:
             n_instances = len(QUERIES[query].build_graph(2).operators) * workers
@@ -381,6 +533,18 @@ def table3_invalid(scale: ExperimentScale | None = None) -> dict:
 SKEW_QUERIES = ("q3", "q8", "q12")
 
 
+def _fig12_request(query: str, protocol: str, workers: int,
+                   scale: ExperimentScale, fraction: float,
+                   hot: float) -> RunRequest:
+    mst = get_mst(query, protocol, workers, scale)
+    return RunRequest(
+        query=query, protocol=protocol, parallelism=workers,
+        rate=mst * fraction,
+        duration=scale.duration, warmup=scale.warmup,
+        hot_ratio=hot, seed=scale.seed,
+    )
+
+
 def fig12_skew(scale: ExperimentScale | None = None,
                rate_fractions: tuple[float, ...] = (0.5, 0.8)) -> dict:
     """p50 latency and avg checkpoint time under hot-item skew (Fig. 12)."""
@@ -388,18 +552,27 @@ def fig12_skew(scale: ExperimentScale | None = None,
     workers = 10 if 10 in scale.parallelism_grid else scale.parallelism_grid[0]
     rows = []
     measured: dict[tuple, tuple[float, float]] = {}
+    _warm_msts([
+        (query, protocol, workers)
+        for query in SKEW_QUERIES
+        for protocol in PROTOCOL_ORDER
+    ], scale)
+    _warm([
+        _fig12_request(query, protocol, workers, scale, fraction, hot)
+        for fraction in rate_fractions
+        for query in SKEW_QUERIES
+        for hot in scale.hot_ratios
+        for protocol in PROTOCOL_ORDER
+    ])
     for fraction in rate_fractions:
         for query in SKEW_QUERIES:
             for hot in scale.hot_ratios:
                 for protocol in PROTOCOL_ORDER:
                     key = ("fig12", query, protocol, workers, scale.name, fraction, hot)
                     if key not in _CACHE:
-                        mst = get_mst(query, protocol, workers, scale)
-                        _CACHE[key] = run_query(
-                            QUERIES[query], protocol, workers,
-                            rate=mst * fraction,
-                            duration=scale.duration, warmup=scale.warmup,
-                            hot_ratio=hot, seed=scale.seed,
+                        _CACHE[key] = _execute(
+                            _fig12_request(query, protocol, workers, scale,
+                                           fraction, hot)
                         )
                     result: RunResult = _CACHE[key]  # type: ignore[assignment]
                     lat = result.latency_series()
@@ -454,6 +627,18 @@ def fig13_skew_restart(scale: ExperimentScale | None = None) -> dict:
     workers = 10 if 10 in scale.parallelism_grid else scale.parallelism_grid[0]
     rows = []
     measured: dict[tuple, float] = {}
+    _warm_msts([
+        (query, protocol, workers)
+        for query in SKEW_QUERIES
+        for protocol in PROTOCOL_ORDER
+    ], scale)
+    _warm([
+        _failure_request(query, protocol, workers, scale,
+                         rate_fraction=0.5, hot_ratio=hot)
+        for query in SKEW_QUERIES
+        for hot in scale.hot_ratios
+        for protocol in PROTOCOL_ORDER
+    ])
     for query in SKEW_QUERIES:
         for hot in scale.hot_ratios:
             for protocol in PROTOCOL_ORDER:
@@ -488,23 +673,38 @@ def _restart_gap_small(measured, scale) -> bool:
 # Table IV — cyclic query
 # --------------------------------------------------------------------- #
 
+def _table4_request(protocol: str, workers: int,
+                    scale: ExperimentScale) -> RunRequest:
+    mst = get_mst("reachability", protocol, workers, scale)
+    return RunRequest(
+        query="reachability", protocol=protocol, parallelism=workers,
+        rate=mst * 0.75,
+        duration=scale.duration, warmup=scale.warmup,
+        failure_at=scale.duration * 0.8,
+        seed=scale.seed,
+    )
+
+
 def table4_cyclic(scale: ExperimentScale | None = None) -> dict:
     """CT / restart / invalid for the cyclic query, UNC vs CIC (Table IV)."""
     scale = scale or current_scale()
     rows = []
     measured: dict[tuple[str, int], tuple[float, float, float]] = {}
+    _warm_msts([
+        ("reachability", protocol, workers)
+        for workers in scale.cyclic_workers
+        for protocol in ("unc", "cic")
+    ], scale)
+    _warm([
+        _table4_request(protocol, workers, scale)
+        for workers in scale.cyclic_workers
+        for protocol in ("unc", "cic")
+    ])
     for workers in scale.cyclic_workers:
         for protocol in ("unc", "cic"):
             key = ("table4", protocol, workers, scale.name)
             if key not in _CACHE:
-                mst = get_mst("reachability", protocol, workers, scale)
-                _CACHE[key] = run_query(
-                    REACHABILITY, protocol, workers,
-                    rate=mst * 0.75,
-                    duration=scale.duration, warmup=scale.warmup,
-                    failure_at=scale.duration * 0.8,
-                    seed=scale.seed,
-                )
+                _CACHE[key] = _execute(_table4_request(protocol, workers, scale))
             result: RunResult = _CACHE[key]  # type: ignore[assignment]
             ct = result.avg_checkpoint_time() * 1000.0
             rt = result.restart_time() * 1000.0

@@ -1,0 +1,404 @@
+"""Parallel experiment executor with a content-addressed run cache.
+
+The paper's grid sweeps thousands of independent (query, protocol,
+parallelism, rate, failure) runs; each run is a deterministic function of
+its :class:`RunRequest`, so two things follow (DESIGN.md section 9):
+
+* independent runs can fan across worker **processes** with no loss of
+  reproducibility — the simulator is single-threaded and seeded, so a run
+  produces byte-identical metrics no matter which process executes it;
+* a finished :class:`~repro.dataflow.runtime.RunResult` can be **cached on
+  disk** under a stable hash of the request, and every later sweep, probe
+  or re-bracketing that needs the same configuration is served from the
+  cache instead of re-simulating.
+
+:class:`ParallelRunner` bundles both: ``run()`` executes one request
+(cache-first), ``map()`` executes a batch (cache-first, then fans the
+misses across a process pool).  The MST search
+(:func:`repro.metrics.mst.find_mst`) and the figure harness
+(:mod:`repro.experiments.figures`) route their runs through a runner when
+one is installed; ``python -m repro run/all --jobs N --cache-dir DIR``
+wires one up from the CLI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.sim.costs import RuntimeConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dataflow.runtime import RunResult
+    from repro.workloads.spec import QuerySpec
+
+#: bump when RunResult / metrics layout changes so stale cache entries
+#: from an older code revision are never served
+CACHE_VERSION = 1
+
+
+# --------------------------------------------------------------------- #
+# Requests
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True, eq=False)
+class RunRequest:
+    """One experiment run, by value.
+
+    The query is referenced by *name* (resolved via :func:`resolve_spec`)
+    so requests pickle cheaply across processes and hash stably for the
+    run cache.  ``config`` optionally carries the long-tail knobs
+    (schedules, semantics, cost model); the scalar fields below override
+    their counterparts in it, mirroring ``run_query``'s signature.
+    """
+
+    query: str
+    protocol: str
+    parallelism: int
+    rate: float
+    duration: float = 60.0
+    warmup: float = 10.0
+    failure_at: float | None = None
+    failure_worker: int = 0
+    hot_ratio: float = 0.0
+    checkpoint_interval: float = 5.0
+    seed: int = 7
+    config: RuntimeConfig | None = None
+
+    def effective_config(self) -> RuntimeConfig:
+        """The full :class:`RuntimeConfig` this request runs under."""
+        base = self.config if self.config is not None else RuntimeConfig()
+        return replace(
+            base,
+            checkpoint_interval=self.checkpoint_interval,
+            duration=self.duration,
+            warmup=self.warmup,
+            failure_at=self.failure_at,
+            failure_worker=self.failure_worker,
+            seed=self.seed,
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class MstRequest:
+    """One full MST search, by value (cacheable / process-shippable).
+
+    Executed through :meth:`ParallelRunner.run` the search fans its
+    bracket probes across the runner's workers; shipped to a worker via
+    :meth:`ParallelRunner.map` it runs the classic sequential search —
+    fanning across independent searches is the efficient shape for grid
+    sweeps, fanning within one bracket generation for a lone search.
+    """
+
+    query: str
+    protocol: str
+    parallelism: int
+    probe_duration: float = 14.0
+    warmup: float = 6.0
+    iterations: int = 4
+    seed: int = 7
+    config: RuntimeConfig | None = None
+
+
+def resolve_spec(name: str) -> "QuerySpec":
+    """Look up a query spec by name (NexMark queries + the cyclic query)."""
+    from repro.workloads.cyclic import REACHABILITY
+    from repro.workloads.nexmark import QUERIES
+
+    if name == REACHABILITY.name:
+        return REACHABILITY
+    try:
+        return QUERIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown query {name!r}; parallel runs resolve specs by name "
+            f"(known: {sorted(QUERIES) + [REACHABILITY.name]})"
+        ) from None
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def request_key(request: "RunRequest | MstRequest") -> str:
+    """Stable content hash of a request (the cache address)."""
+    if isinstance(request, MstRequest):
+        payload: dict[str, Any] = {
+            "v": CACHE_VERSION,
+            "task": "mst",
+            "query": request.query,
+            "protocol": request.protocol,
+            "parallelism": request.parallelism,
+            "probe_duration": request.probe_duration,
+            "warmup": request.warmup,
+            "iterations": request.iterations,
+            "seed": request.seed,
+            "config": _jsonable(asdict(request.config)) if request.config else None,
+        }
+    else:
+        payload = {
+            "v": CACHE_VERSION,
+            "task": "run",
+            "query": request.query,
+            "protocol": request.protocol,
+            "parallelism": request.parallelism,
+            "rate": request.rate,
+            "hot_ratio": request.hot_ratio,
+            "config": _jsonable(asdict(request.effective_config())),
+        }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def execute_request(request: RunRequest) -> "RunResult":
+    """Run one request to completion in this process (no cache)."""
+    return run_with_spec(resolve_spec(request.query), request)
+
+
+def execute_mst(request: MstRequest, runner: "ParallelRunner | None" = None,
+                fan_probes: bool | None = None):
+    """Run one MST search.
+
+    ``fan_probes=False`` forces the classic sequential bracket algorithm
+    even when a multi-worker runner is attached — the cached-request path
+    uses this so one cache key always maps to one algorithm's result.
+    """
+    from repro.metrics.mst import find_mst
+
+    return find_mst(
+        resolve_spec(request.query), request.protocol, request.parallelism,
+        probe_duration=request.probe_duration, warmup=request.warmup,
+        iterations=request.iterations, seed=request.seed,
+        config=request.config, runner=runner, fan_probes=fan_probes,
+    )
+
+
+def execute_any(request: "RunRequest | MstRequest") -> Any:
+    """Worker-process entry point: dispatch on the request type."""
+    if isinstance(request, MstRequest):
+        return execute_mst(request)
+    return execute_request(request)
+
+
+def run_with_spec(spec: "QuerySpec", request: RunRequest) -> "RunResult":
+    """Execute ``request`` against an explicit spec object.
+
+    ``run_query`` uses this for specs that are not in the name registry
+    (ad-hoc test pipelines); cached/parallel execution requires registered
+    names so worker processes can re-resolve them.
+    """
+    from repro.dataflow.runtime import Job
+
+    config = request.effective_config()
+    inputs = spec.make_job_inputs(
+        request.rate, request.warmup + request.duration + 1.0,
+        request.parallelism, request.hot_ratio, request.seed,
+    )
+    graph = spec.build_graph(request.parallelism)
+    job = Job(graph, request.protocol, request.parallelism, inputs, config)
+    return job.run(rate=request.rate, query_name=spec.name)
+
+
+# --------------------------------------------------------------------- #
+# On-disk cache
+# --------------------------------------------------------------------- #
+
+class RunCache:
+    """Content-addressed pickle store: one file per request hash.
+
+    Writes are atomic (tempfile + rename), so concurrent workers and
+    concurrent sweeps can share a cache directory; a corrupt or truncated
+    entry reads as a miss and is rewritten.
+    """
+
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def get(self, key: str) -> tuple[bool, Any]:
+        path = self.path(key)
+        try:
+            with open(path, "rb") as fh:
+                return True, pickle.load(fh)
+        except FileNotFoundError:
+            return False, None
+        except Exception:
+            # unpickling corrupt bytes can raise nearly anything
+            # (UnpicklingError, ValueError, EOFError, ImportError, ...);
+            # a damaged entry must always read as a miss and be rewritten
+            return False, None
+
+    def put(self, key: str, value: Any) -> None:
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self.path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.pkl"))
+
+
+# --------------------------------------------------------------------- #
+# Executor
+# --------------------------------------------------------------------- #
+
+def _mp_context():
+    """Fork keeps worker start cheap and inherits the spec registries; fall
+    back to the platform default where fork is unavailable."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+class ParallelRunner:
+    """Cache-first experiment executor fanning misses across processes.
+
+    ``jobs=1`` degrades to serial in-process execution (still cached), so
+    the same code path serves the CI smoke sweep and a 32-way grid sweep.
+    Results are additionally memoised in-process, so repeated ``run()``
+    calls inside one harness invocation never touch the disk twice.
+    """
+
+    def __init__(self, jobs: int = 1, cache_dir: str | os.PathLike | None = None):
+        self.jobs = max(1, int(jobs))
+        self.cache = RunCache(cache_dir) if cache_dir is not None else None
+        self._memory: dict[str, Any] = {}
+        self._pool: ProcessPoolExecutor | None = None
+        #: requests served from the cache (memory or disk)
+        self.hits = 0
+        #: requests that had to be simulated
+        self.misses = 0
+        #: in-batch duplicates folded into a pending simulation — served
+        #: without executing, but not from the cache, so not a hit
+        self.deduped = 0
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=_mp_context()
+            )
+        return self._pool
+
+    # -- cache plumbing ------------------------------------------------- #
+
+    def _lookup(self, key: str) -> tuple[bool, Any]:
+        if key in self._memory:
+            return True, self._memory[key]
+        if self.cache is not None:
+            found, value = self.cache.get(key)
+            if found:
+                self._memory[key] = value
+                return True, value
+        return False, None
+
+    def _store(self, key: str, value: Any) -> None:
+        self._memory[key] = value
+        if self.cache is not None:
+            self.cache.put(key, value)
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # -- execution ------------------------------------------------------ #
+
+    def run(self, request: "RunRequest | MstRequest") -> Any:
+        """Execute one request, cache-first.
+
+        A cache-missed :class:`MstRequest` runs the *sequential* bracket
+        algorithm — the same one ``map()`` ships to workers — so a cache
+        key always maps to one algorithm's result no matter which entry
+        point computed it first.  Its probes still route back through
+        this runner, landing in the shared run cache individually so a
+        later re-bracketing reuses them.  (The generation-parallel ladder
+        remains available by calling ``find_mst(..., runner=...)``
+        directly; those searches are not MstRequest-cached.)
+        """
+        key = request_key(request)
+        found, value = self._lookup(key)
+        if found:
+            self.hits += 1
+            return value
+        self.misses += 1
+        if isinstance(request, MstRequest):
+            result = execute_mst(request, runner=self, fan_probes=False)
+        else:
+            result = execute_request(request)
+        self._store(key, result)
+        return result
+
+    def map(self, requests: "list[RunRequest] | list[MstRequest]") -> list[Any]:
+        """Execute a batch; cache misses fan across worker processes.
+
+        Results come back in request order and are byte-identical to
+        serial execution — workers run the same deterministic simulator,
+        they just run it concurrently.  Duplicate requests in one batch
+        are simulated once.
+        """
+        keys = [request_key(r) for r in requests]
+        results: dict[str, Any] = {}
+        pending: list[tuple[str, RunRequest]] = []
+        pending_keys: set[str] = set()
+        for key, request in zip(keys, requests):
+            if key in pending_keys:
+                self.deduped += 1
+                continue
+            if key in results:
+                self.hits += 1
+                continue
+            found, value = self._lookup(key)
+            if found:
+                self.hits += 1
+                results[key] = value
+            else:
+                self.misses += 1
+                pending.append((key, request))
+                pending_keys.add(key)
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                pool = self._ensure_pool()
+                computed = list(
+                    pool.map(execute_any, [r for _, r in pending])
+                )
+            else:
+                computed = [execute_any(r) for _, r in pending]
+            for (key, _), result in zip(pending, computed):
+                self._store(key, result)
+                results[key] = result
+        return [results[key] for key in keys]

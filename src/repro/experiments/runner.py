@@ -1,8 +1,15 @@
-"""Run one (query, protocol, parallelism, rate, skew, failure) configuration."""
+"""Run one (query, protocol, parallelism, rate, skew, failure) configuration.
+
+``run_query`` is the classic by-value entry point; it now builds a
+:class:`~repro.experiments.parallel.RunRequest` and executes it through
+the same code path the parallel executor uses, so a serial run and a
+``--jobs N`` run of the same configuration are byte-identical.
+"""
 
 from __future__ import annotations
 
-from repro.dataflow.runtime import Job, RunResult
+from repro.dataflow.runtime import RunResult
+from repro.experiments.parallel import RunRequest, run_with_spec
 from repro.sim.costs import CostModel, RuntimeConfig
 from repro.workloads.spec import QuerySpec
 
@@ -27,19 +34,21 @@ def run_query(
     partitions); input logs are pre-generated to cover the full run plus a
     safety margin so sources never starve artificially.
     """
-    config = RuntimeConfig(
-        checkpoint_interval=checkpoint_interval,
+    config = None
+    if cost_model is not None:
+        config = RuntimeConfig(cost_model=cost_model)
+    request = RunRequest(
+        query=spec.name,
+        protocol=protocol,
+        parallelism=parallelism,
+        rate=rate,
         duration=duration,
         warmup=warmup,
         failure_at=failure_at,
         failure_worker=failure_worker,
+        hot_ratio=hot_ratio,
+        checkpoint_interval=checkpoint_interval,
         seed=seed,
+        config=config,
     )
-    if cost_model is not None:
-        config.cost_model = cost_model
-    inputs = spec.make_job_inputs(
-        rate, warmup + duration + 1.0, parallelism, hot_ratio, seed
-    )
-    graph = spec.build_graph(parallelism)
-    job = Job(graph, protocol, parallelism, inputs, config)
-    return job.run(rate=rate, query_name=spec.name)
+    return run_with_spec(spec, request)

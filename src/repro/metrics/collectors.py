@@ -10,13 +10,41 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+# --------------------------------------------------------------------- #
+# Checkpoint kinds
+#
+# Every protocol records its durable checkpoints under one of these kinds;
+# the accounting in RunResult keys off the shared tuples below, so a new
+# protocol (or a renamed kind) cannot silently fall out of one metric but
+# not the other.
+# --------------------------------------------------------------------- #
+
+#: per-instance snapshot of a coordinated round (aligned COOR and the
+#: unaligned variant both use this kind for their instance checkpoints)
+KIND_COOR = "coor"
+#: one summary event per *completed* coordinated round
+KIND_ROUND = "round"
+#: UNC/CIC local-timer checkpoint
+KIND_LOCAL = "local"
+#: CIC forced checkpoint (Z-cycle prevention)
+KIND_FORCED = "forced"
+#: the implicit virgin-state checkpoint (metadata only, never recorded here)
+KIND_INITIAL = "initial"
+
+#: instance-level events of the coordinated family (counted by Table III)
+COORDINATED_INSTANCE_KINDS = (KIND_COOR,)
+#: round-level events of the coordinated family (timed by Figure 8)
+COORDINATED_ROUND_KINDS = (KIND_ROUND,)
+#: events of the uncoordinated family (counted and timed directly)
+UNCOORDINATED_KINDS = (KIND_LOCAL, KIND_FORCED)
+
 
 @dataclass(frozen=True)
 class CheckpointEvent:
     """One durable checkpoint (or completed coordinated round)."""
 
     instance: tuple[str, int] | None
-    kind: str  # 'local' | 'forced' | 'coor' | 'round'
+    kind: str  # KIND_LOCAL | KIND_FORCED | KIND_COOR | KIND_ROUND
     started_at: float
     durable_at: float
     state_bytes: int

@@ -5,6 +5,15 @@ latency must not grow monotonically and the sources must keep pace with the
 offered rate.  The search seeds a bracket from the query's analytic
 capacity hint, expands it geometrically until it straddles the boundary,
 then bisects with short probe runs.
+
+When a :class:`~repro.experiments.parallel.ParallelRunner` is supplied,
+every *bracket generation* (the geometric ladder, then each bisection
+refinement) is probed as one batch fanned across worker processes, and the
+probe runs land in the runner's content-addressed cache so a re-bracketing
+sweep reuses them.  If every probe of the bracket phase is unsustainable
+the search keeps shrinking; a bracket that never finds a sustainable rate
+returns ``mst=0.0`` with ``bracket_exhausted=True`` instead of reporting a
+rate that was never validated.
 """
 
 from __future__ import annotations
@@ -16,7 +25,14 @@ from repro.dataflow.runtime import Job, RunResult
 from repro.sim.costs import RuntimeConfig
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.parallel import ParallelRunner
     from repro.workloads.spec import QuerySpec
+
+#: geometric step of the bracket phase
+BRACKET_FACTOR = 1.3
+#: maximum bracket probes before the search gives up (seed bug: the old
+#: 6-probe loop reported the last *unsustainable* rate as the MST)
+MAX_BRACKET_PROBES = 12
 
 
 @dataclass
@@ -28,6 +44,9 @@ class MstResult:
     parallelism: int
     mst: float
     probes: list[tuple[float, bool]] = field(default_factory=list)
+    #: True when no probed rate was ever sustainable — ``mst`` is 0.0 then,
+    #: never an unvalidated guess
+    bracket_exhausted: bool = False
 
 
 def estimate_capacity(spec: "QuerySpec", parallelism: int) -> float:
@@ -46,17 +65,27 @@ def probe_run(
     seed: int = 7,
     config: RuntimeConfig | None = None,
 ) -> RunResult:
-    """One fixed-rate run used as a sustainability probe."""
-    run_config = config or RuntimeConfig()
-    run_config.duration = duration
-    run_config.warmup = warmup
-    run_config.failure_at = None
-    inputs = spec.make_job_inputs(
-        rate, warmup + duration + 1.0, parallelism, hot_ratio, seed
+    """One fixed-rate run used as a sustainability probe.
+
+    Built from the same :class:`RunRequest` a parallel probe would ship
+    to a worker, so a probe's configuration cannot drift between the
+    serial and fanned executions of the search.  The request's
+    ``effective_config`` is a ``dataclasses.replace`` copy of ``config``
+    — every knob (schedules, semantics, cost model, ...) survives into
+    the probe; only the window, failure and seed scalars are overridden.
+    """
+    from repro.experiments.parallel import RunRequest, run_with_spec
+
+    base = config if config is not None else RuntimeConfig()
+    request = RunRequest(
+        query=spec.name, protocol=protocol, parallelism=parallelism,
+        rate=rate, duration=duration, warmup=warmup, failure_at=None,
+        hot_ratio=hot_ratio,
+        checkpoint_interval=base.checkpoint_interval,
+        failure_worker=base.failure_worker,
+        seed=seed, config=config,
     )
-    graph = spec.build_graph(parallelism)
-    job = Job(graph, protocol, parallelism, inputs, run_config)
-    return job.run(rate=rate, query_name=spec.name)
+    return run_with_spec(spec, request)
 
 
 def find_mst(
@@ -68,55 +97,152 @@ def find_mst(
     iterations: int = 4,
     seed: int = 7,
     config: RuntimeConfig | None = None,
+    runner: "ParallelRunner | None" = None,
+    fan_probes: bool | None = None,
 ) -> MstResult:
-    """Bracket + bisect the sustainability boundary."""
+    """Bracket + bisect the sustainability boundary.
+
+    Every probe — serial or fanned — is built from the same
+    :class:`RunRequest`, so the probe configuration (including every
+    ``RuntimeConfig`` knob and the ``seed``, which governs both input
+    generation and runtime jitter) is identical no matter which executor
+    runs it.  With a ``runner``, probes go through its cache; batches fan
+    across its workers.
+
+    ``fan_probes`` picks the bracket algorithm: the generation-parallel
+    ladder (default when the runner has more than one worker) or the
+    classic sequential expand-then-bisect.  The two algorithms probe
+    different rate sequences and may settle on slightly different
+    boundaries; the cached :class:`MstRequest` path always runs the
+    sequential algorithm so a cached value never depends on which
+    executor computed it.
+    """
+    from repro.experiments.parallel import RunRequest
 
     probes: list[tuple[float, bool]] = []
+    base = config if config is not None else RuntimeConfig()
 
-    def sustainable(rate: float) -> bool:
-        run_config = RuntimeConfig(**_clone_args(config)) if config else None
-        result = probe_run(
-            spec, protocol, parallelism, rate,
-            duration=probe_duration, warmup=warmup, seed=seed, config=run_config,
+    def build(rate: float) -> "RunRequest":
+        return RunRequest(
+            query=spec.name, protocol=protocol, parallelism=parallelism,
+            rate=rate, duration=probe_duration, warmup=warmup,
+            failure_at=None,
+            checkpoint_interval=base.checkpoint_interval,
+            failure_worker=base.failure_worker,
+            seed=seed, config=config,
         )
-        ok = result.sustainable(rate)
-        probes.append((rate, ok))
-        return ok
 
+    def probe_many(rates: list[float]) -> list[bool]:
+        """Probe a batch of rates; one generation of the bracket search."""
+        if runner is not None:
+            requests = [build(rate) for rate in rates]
+            results = (runner.map(requests) if len(requests) > 1
+                       else [runner.run(requests[0])])
+        else:
+            results = [
+                probe_run(
+                    spec, protocol, parallelism, rate,
+                    duration=probe_duration, warmup=warmup, seed=seed,
+                    config=config,
+                )
+                for rate in rates
+            ]
+        oks = []
+        for rate, result in zip(rates, results):
+            ok = result.sustainable(rate)
+            probes.append((rate, ok))
+            oks.append(ok)
+        return oks
+
+    def result(mst: float, exhausted: bool = False) -> MstResult:
+        return MstResult(
+            query=spec.name, protocol=protocol, parallelism=parallelism,
+            mst=mst, probes=probes, bracket_exhausted=exhausted,
+        )
+
+    if fan_probes is None:
+        fan_probes = runner is not None and runner.jobs > 1
     seed_rate = estimate_capacity(spec, parallelism)
+    if fan_probes:
+        bracket = _bracket_parallel(seed_rate, probe_many)
+    else:
+        bracket = _bracket_serial(seed_rate, probe_many)
+    if bracket is None:
+        return result(0.0, exhausted=True)
+    low, high = bracket
+
+    if fan_probes:
+        fan = max(2, min(runner.jobs, 4)) if runner is not None else 2
+        for _ in range(iterations):
+            width = high - low
+            points = [low + width * i / (fan + 1) for i in range(1, fan + 1)]
+            oks = probe_many(points)
+            sustainable = [p for p, ok in zip(points, oks) if ok]
+            if sustainable:
+                low = max(sustainable)
+            unsustainable = [p for p, ok in zip(points, oks) if not ok and p > low]
+            if unsustainable:
+                high = min(unsustainable)
+    else:
+        for _ in range(iterations):
+            mid = (low + high) / 2
+            if probe_many([mid])[0]:
+                low = mid
+            else:
+                high = mid
+    return result(low)
+
+
+def _bracket_serial(seed_rate, probe_many) -> tuple[float, float] | None:
+    """Sequential geometric bracketing; None when the bracket is exhausted."""
     low, high = None, None
     rate = seed_rate
-    for _ in range(6):
-        if sustainable(rate):
+    for _ in range(MAX_BRACKET_PROBES):
+        if probe_many([rate])[0]:
             low = rate
-            rate *= 1.3
+            rate *= BRACKET_FACTOR
         else:
             high = rate
-            rate /= 1.3
+            rate /= BRACKET_FACTOR
         if low is not None and high is not None:
             break
     if low is None:
-        low = rate  # pessimistic floor: everything probed was unsustainable
+        return None
     if high is None:
-        high = low * 1.3
-    for _ in range(iterations):
-        mid = (low + high) / 2
-        if sustainable(mid):
-            low = mid
+        high = low * BRACKET_FACTOR
+    return low, high
+
+
+def _bracket_parallel(seed_rate, probe_many) -> tuple[float, float] | None:
+    """Probe a geometric ladder per generation, shifting it until it
+    straddles the boundary (or the bracket is exhausted).
+
+    The ladder shifts in *both* directions: all-unsustainable generations
+    shift down (the exhausted-bracket case), all-sustainable generations
+    shift up — otherwise a low analytic capacity hint would silently cap
+    the reported MST at the top rung while the serial search kept
+    expanding.
+    """
+    span = 6  # rungs per generation; generations stay within the shared budget
+    ladder = [seed_rate * BRACKET_FACTOR ** k for k in range(-3, span - 3)]
+    seen: list[tuple[float, bool]] = []
+    for _ in range(max(1, MAX_BRACKET_PROBES // span)):
+        oks = probe_many(ladder)
+        seen.extend(zip(ladder, oks))
+        sustainable = [r for r, ok in seen if ok]
+        if sustainable:
+            low = max(sustainable)
+            above = [r for r, ok in seen if not ok and r > low]
+            if above:
+                return low, min(above)
+            # everything probed so far passed: the boundary is above
+            ladder = [r * BRACKET_FACTOR ** span for r in ladder]
         else:
-            high = mid
-    return MstResult(
-        query=spec.name, protocol=protocol, parallelism=parallelism,
-        mst=low, probes=probes,
-    )
-
-
-def _clone_args(config: RuntimeConfig) -> dict:
-    """Fresh kwargs for a RuntimeConfig copy (probe runs mutate duration)."""
-    return {
-        "checkpoint_interval": config.checkpoint_interval,
-        "checkpoint_jitter": config.checkpoint_jitter,
-        "unc_checkpoint_stateless": config.unc_checkpoint_stateless,
-        "seed": config.seed,
-        "cost_model": config.cost_model,
-    }
+            # everything probed so far failed: the boundary is below
+            ladder = [r / BRACKET_FACTOR ** span for r in ladder]
+    sustainable = [r for r, ok in seen if ok]
+    if sustainable:
+        # shift budget exhausted while still all-sustainable: report the
+        # highest validated rate (the serial search gives up the same way)
+        return max(sustainable), max(sustainable) * BRACKET_FACTOR
+    return None

@@ -5,6 +5,11 @@ monotonically increasing sequence number so that execution order is fully
 deterministic for a given schedule order — a requirement for reproducible
 experiments and for the exactly-once recovery tests, which re-run the same
 workload twice and compare state.
+
+The heap stores ``(time, seq, handle)`` tuples rather than the handles
+themselves: tuple comparison runs entirely in C (floats, then ints) and
+never falls back to a Python-level ``__lt__`` call, which measurably
+cheapens every push/pop on the simulator's hottest path.
 """
 
 from __future__ import annotations
@@ -49,7 +54,7 @@ class EventQueue:
     __slots__ = ("_heap", "_seq")
 
     def __init__(self) -> None:
-        self._heap: list[EventHandle] = []
+        self._heap: list[tuple[float, int, EventHandle]] = []
         self._seq = 0
 
     def __len__(self) -> int:
@@ -57,16 +62,17 @@ class EventQueue:
 
     def push(self, time: float, fn: Callable[..., Any], args: tuple = ()) -> EventHandle:
         """Schedule ``fn(*args)`` at virtual time ``time``."""
-        handle = EventHandle(time, self._seq, fn, args)
-        self._seq += 1
-        heapq.heappush(self._heap, handle)
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, fn, args)
+        heapq.heappush(self._heap, (time, seq, handle))
         return handle
 
     def pop(self) -> EventHandle | None:
         """Remove and return the next non-cancelled event, or None if empty."""
         heap = self._heap
         while heap:
-            handle = heapq.heappop(heap)
+            handle = heapq.heappop(heap)[2]
             if not handle.cancelled:
                 return handle
         return None
@@ -74,11 +80,11 @@ class EventQueue:
     def peek_time(self) -> float | None:
         """Return the timestamp of the next live event without removing it."""
         heap = self._heap
-        while heap and heap[0].cancelled:
+        while heap and heap[0][2].cancelled:
             heapq.heappop(heap)
         if not heap:
             return None
-        return heap[0].time
+        return heap[0][0]
 
     def clear(self) -> None:
         self._heap.clear()

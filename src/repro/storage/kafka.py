@@ -20,13 +20,15 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class LogRecord:
-    """One record in a partition.
+    """One record in a partition — treat as immutable once appended.
 
     ``available_at`` is the virtual time at which the record exists for
     consumers; ``payload`` is the workload event; ``size_bytes`` drives the
-    serialization/network cost model.
+    serialization/network cost model.  (Not ``frozen=True``: generators
+    construct hundreds of thousands of these per sweep and a frozen
+    dataclass pays ``object.__setattr__`` per field.)
     """
 
     offset: int

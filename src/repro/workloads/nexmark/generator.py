@@ -19,6 +19,7 @@ timestamps monotonic as the Kafka substrate requires.
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass
 
 from repro.storage.kafka import PartitionedLog
@@ -88,21 +89,38 @@ class NexmarkGenerator:
         """A pure bid stream (Q1, Q12) at aggregate ``rate`` events/second."""
         if rate <= 0 or until <= 0:
             raise ValueError("rate and until must be positive")
-        rng = random.Random((self.seed * 7919) ^ hash(topic))
+        # crc32, not hash(): str hashes are salted per process and would
+        # make generated inputs unreproducible across runs/workers
+        rng = random.Random((self.seed * 7919) ^ zlib.crc32(topic.encode()))
         log = PartitionedLog(topic, self.parallelism)
         bidder_space = self.config.bidder_space_per_worker * self.parallelism
         total = int(rate * until)
         auction_base = 5000
+        # this loop generates hundreds of thousands of events per sweep and
+        # dominates short runs, so draws use one C-level random() call each
+        # (int(random()*n) instead of randrange) and all lookups are hoisted
+        random_ = rng.random
+        parallelism = self.parallelism
+        partitions = [log.partition(i) for i in range(parallelism)]
+        appends = [p.append for p in partitions]
+        auction_window = self.config.auction_window
+        hot_ratio = self.config.hot_ratio
+        hot_keys = self.hot_keys
+        num_hot = len(hot_keys)
+        inv_rate = 1.0 / rate
         for k in range(total):
-            t = (k + 0.5) / rate
-            bidder = self._maybe_hot(rng, 10_000 + rng.randrange(bidder_space))
+            t = (k + 0.5) * inv_rate
+            if hot_ratio > 0.0 and random_() < hot_ratio:
+                bidder = hot_keys[int(random_() * num_hot)]
+            else:
+                bidder = 10_000 + int(random_() * bidder_space)
             bid = Bid(
-                auction=auction_base + rng.randrange(self.config.auction_window),
+                auction=auction_base + int(random_() * auction_window),
                 bidder=bidder,
-                price=100 + rng.randrange(10_000),
+                price=100 + int(random_() * 10_000),
                 created_at=t,
             )
-            log.partition(k % self.parallelism).append(t, bid, bid.size_bytes)
+            appends[k % parallelism](t, bid, bid.size_bytes)
         return log
 
     def person_auction_logs(
@@ -117,7 +135,7 @@ class NexmarkGenerator:
         """
         if rate <= 0 or until <= 0:
             raise ValueError("rate and until must be positive")
-        rng = random.Random((self.seed * 104729) ^ hash(persons_topic))
+        rng = random.Random((self.seed * 104729) ^ zlib.crc32(persons_topic.encode()))
         persons = PartitionedLog(persons_topic, self.parallelism)
         auctions = PartitionedLog(auctions_topic, self.parallelism)
         person_share = self.config.person_share
@@ -142,32 +160,45 @@ class NexmarkGenerator:
                 person_counter += 1
                 person_pool.append(hot_id)
         total = int(rate * until)
+        # hot loop: see bids_log — single random() draws, hoisted lookups
+        random_ = rng.random
+        parallelism = self.parallelism
+        person_appends = [persons.partition(i).append for i in range(parallelism)]
+        auction_appends = [auctions.partition(i).append for i in range(parallelism)]
+        num_states = len(US_STATES)
+        hot_ratio = self.config.hot_ratio
+        hot_keys = self.hot_keys
+        num_hot = len(hot_keys)
+        inv_rate = 1.0 / rate
         for k in range(total):
-            t = (k + 0.5) / rate
-            if rng.random() < person_share or not person_pool:
+            t = (k + 0.5) * inv_rate
+            if random_() < person_share or not person_pool:
                 person = Person(
                     id=next_person_id,
                     name=f"person-{next_person_id}",
-                    state=rng.choice(US_STATES),
+                    state=US_STATES[int(random_() * num_states)],
                     created_at=t,
                 )
                 next_person_id += 1
                 person_pool.append(person.id)
-                persons.partition(person_counter % self.parallelism).append(
+                person_appends[person_counter % parallelism](
                     t, person, person.size_bytes
                 )
                 person_counter += 1
             else:
-                uniform_seller = rng.choice(person_pool)
+                if hot_ratio > 0.0 and random_() < hot_ratio:
+                    seller = hot_keys[int(random_() * num_hot)]
+                else:
+                    seller = person_pool[int(random_() * len(person_pool))]
                 auction = Auction(
                     id=next_auction_id,
-                    seller=self._maybe_hot(rng, uniform_seller),
-                    category=rng.randrange(NUM_CATEGORIES),
-                    initial_bid=100 + rng.randrange(1_000),
+                    seller=seller,
+                    category=int(random_() * NUM_CATEGORIES),
+                    initial_bid=100 + int(random_() * 1_000),
                     created_at=t,
                 )
                 next_auction_id += 1
-                auctions.partition(auction_counter % self.parallelism).append(
+                auction_appends[auction_counter % parallelism](
                     t, auction, auction.size_bytes
                 )
                 auction_counter += 1

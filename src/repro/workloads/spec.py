@@ -2,11 +2,24 @@
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.dataflow.graph import LogicalGraph
 from repro.storage.kafka import PartitionedLog
+
+#: bounded per-process memo of generated input logs.  Generation dominates
+#: short probe runs (it is a tight RNG loop over hundreds of thousands of
+#: events), and an MST bisection re-probes nearby configurations; logs are
+#: read-only during runs (sources track their own cursors), so sharing one
+#: log object between runs is safe.  Both bounds guard memory: few entries,
+#: and no memoisation at all for full-scale logs (millions of records each
+#: — pinning several of those would add GBs of resident state per process).
+#: entries are (build_inputs callable, generated logs) — see identity check
+_INPUT_MEMO: OrderedDict[tuple, tuple[Callable, dict[str, PartitionedLog]]] = OrderedDict()
+_INPUT_MEMO_LIMIT = 3
+_INPUT_MEMO_MAX_RECORDS = 2_000_000
 
 
 @dataclass(frozen=True)
@@ -32,4 +45,20 @@ class QuerySpec:
 
     def make_job_inputs(self, rate: float, until: float, parallelism: int,
                         hot_ratio: float = 0.0, seed: int = 7) -> dict[str, PartitionedLog]:
-        return self.build_inputs(rate, until, parallelism, hot_ratio, seed)
+        key = (self.name, rate, until, parallelism, hot_ratio, seed)
+        cached = _INPUT_MEMO.get(key)
+        # the stored generator is identity-checked (and kept alive by the
+        # entry): an ad-hoc spec variant reusing a registered name must not
+        # be served another generator's logs
+        if cached is not None and cached[0] is self.build_inputs:
+            _INPUT_MEMO.move_to_end(key)
+            return cached[1]
+        inputs = self.build_inputs(rate, until, parallelism, hot_ratio, seed)
+        total_records = sum(
+            len(partition) for log in inputs.values() for partition in log.partitions
+        )
+        if total_records <= _INPUT_MEMO_MAX_RECORDS:
+            _INPUT_MEMO[key] = (self.build_inputs, inputs)
+            if len(_INPUT_MEMO) > _INPUT_MEMO_LIMIT:
+                _INPUT_MEMO.popitem(last=False)
+        return inputs

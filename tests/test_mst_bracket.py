@@ -1,0 +1,178 @@
+"""MST bracket-search edge cases and probe-config cloning.
+
+The seed code had two silent-wrongness bugs here: an exhausted bracket
+(every probe unsustainable) reported the last *unvalidated* rate as the
+MST, and probe runs rebuilt their RuntimeConfig from a hand-maintained
+field list that dropped any newer knob (schedules, semantics, ...).
+Probe configs now flow through ``RunRequest.effective_config`` — a
+``dataclasses.replace`` copy — on every execution path.
+"""
+
+from dataclasses import fields
+
+import pytest
+
+import repro.metrics.mst as mst
+from repro.experiments.parallel import RunRequest
+from repro.metrics.mst import find_mst, probe_run
+from repro.sim.costs import RuntimeConfig
+from repro.workloads.nexmark import QUERIES
+
+
+class _StubResult:
+    def __init__(self, ok: bool):
+        self._ok = ok
+
+    def sustainable(self, rate: float, latency_cap: float = 1.0) -> bool:
+        return self._ok
+
+
+def test_exhausted_bracket_reports_zero_not_a_guess(monkeypatch):
+    """Seed bug: all-unsustainable brackets returned the last probed rate."""
+    monkeypatch.setattr(mst, "probe_run", lambda *a, **k: _StubResult(False))
+    result = find_mst(QUERIES["q1"], "unc", 2, iterations=2)
+    assert result.bracket_exhausted
+    assert result.mst == 0.0
+    assert result.probes and all(not ok for _, ok in result.probes)
+
+
+def test_exhausted_bracket_keeps_shrinking_before_giving_up(monkeypatch):
+    monkeypatch.setattr(mst, "probe_run", lambda *a, **k: _StubResult(False))
+    result = find_mst(QUERIES["q1"], "unc", 2, iterations=2)
+    rates = [rate for rate, _ in result.probes]
+    assert len(rates) == mst.MAX_BRACKET_PROBES
+    assert min(rates) < rates[0] / 4  # kept descending well below the hint
+
+
+def test_returned_mst_was_probed_sustainable(monkeypatch):
+    """The reported MST must be a rate that an actual probe validated."""
+    boundary = QUERIES["q1"].capacity_per_worker * 2 * 1.1
+
+    def fake_probe(spec, protocol, parallelism, rate, **kwargs):
+        return _StubResult(rate <= boundary)
+
+    monkeypatch.setattr(mst, "probe_run", fake_probe)
+    result = find_mst(QUERIES["q1"], "unc", 2, iterations=3)
+    assert not result.bracket_exhausted
+    sustainable = [rate for rate, ok in result.probes if ok]
+    assert result.mst in sustainable
+    assert result.mst <= boundary
+
+
+def test_effective_config_preserves_every_field():
+    """The probe-config mechanism is a dataclasses.replace copy — a new
+    RuntimeConfig knob can never be silently dropped by probe runs."""
+    base = RuntimeConfig(
+        checkpoint_interval=2.5,
+        checkpoint_jitter=0.1,
+        unc_checkpoint_stateless=False,
+        per_operator_schedules={"count": (2.0, 1.0)},
+        unc_semantics="at-least-once",
+        duration=99.0,
+        warmup=33.0,
+        failure_at=5.0,
+        failure_worker=1,
+        extra_failures=((1.0, 0),),
+        seed=11,
+    )
+    request = RunRequest(
+        query="q1", protocol="unc", parallelism=2, rate=100.0,
+        duration=5.0, warmup=2.0, failure_at=None,
+        checkpoint_interval=base.checkpoint_interval,
+        failure_worker=base.failure_worker,
+        seed=base.seed, config=base,
+    )
+    clone = request.effective_config()
+    overridden = {"duration": 5.0, "warmup": 2.0, "failure_at": None}
+    for field in fields(RuntimeConfig):
+        expected = overridden.get(field.name, getattr(base, field.name))
+        assert getattr(clone, field.name) == expected, field.name
+
+
+def test_probe_run_does_not_mutate_caller_config():
+    """Seed bug: probe_run wrote duration/warmup into the caller's config."""
+    config = RuntimeConfig(duration=60.0, warmup=10.0, failure_at=7.0)
+    probe_run(QUERIES["q1"], "none", 2, rate=200.0,
+              duration=4.0, warmup=1.0, config=config)
+    assert config.duration == 60.0
+    assert config.warmup == 10.0
+    assert config.failure_at == 7.0
+
+
+def test_find_mst_still_brackets_normally():
+    result = find_mst(QUERIES["q1"], "none", 2, probe_duration=5.0,
+                      warmup=2.0, iterations=2)
+    assert result.mst > 0
+    assert not result.bracket_exhausted
+
+
+def test_fanned_bracket_expands_above_low_capacity_hint(monkeypatch):
+    """The parallel ladder must shift upward when every rung is
+    sustainable, not cap the MST at the top rung of the first ladder."""
+    from repro.metrics.mst import estimate_capacity
+
+    hint = estimate_capacity(QUERIES["q1"], 2)
+    boundary = hint * 3.0
+
+    def fake_probe(spec, protocol, parallelism, rate, **kwargs):
+        return _StubResult(rate <= boundary)
+
+    monkeypatch.setattr(mst, "probe_run", fake_probe)
+    result = find_mst(QUERIES["q1"], "unc", 2, iterations=3, fan_probes=True)
+    assert not result.bracket_exhausted
+    assert result.mst > hint * 1.8  # beyond the first ladder's top rung
+    assert result.mst <= boundary
+    sustainable = [rate for rate, ok in result.probes if ok]
+    assert result.mst in sustainable
+
+
+def test_fanned_bracket_also_reports_exhaustion(monkeypatch):
+    monkeypatch.setattr(mst, "probe_run", lambda *a, **k: _StubResult(False))
+    result = find_mst(QUERIES["q1"], "unc", 2, iterations=2, fan_probes=True)
+    assert result.bracket_exhausted
+    assert result.mst == 0.0
+
+
+def test_probe_requests_preserve_config_knobs(monkeypatch):
+    """The RunRequest a probe ships must carry the caller's config —
+    interval, failure worker and the long tail — on every path."""
+    import repro.experiments.parallel as parallel
+
+    captured = []
+
+    def spy(spec, request):
+        captured.append(request)
+        return _StubResult(False)
+
+    monkeypatch.setattr(parallel, "run_with_spec", spy)
+    config = RuntimeConfig(checkpoint_interval=2.0, failure_worker=1,
+                           unc_semantics="at-least-once")
+    probe_run(QUERIES["q1"], "unc", 2, rate=100.0,
+              duration=4.0, warmup=1.0, seed=11, config=config)
+    effective = captured[0].effective_config()
+    assert effective.checkpoint_interval == 2.0
+    assert effective.failure_worker == 1
+    assert effective.unc_semantics == "at-least-once"
+    assert effective.duration == 4.0
+    assert effective.warmup == 1.0
+    assert effective.failure_at is None
+    assert effective.seed == 11
+
+
+def test_get_mst_raises_clearly_on_exhausted_bracket(monkeypatch):
+    """An exhausted MST must not reach the figures as rate=0.0."""
+    import pytest as _pytest
+
+    from repro.experiments import figures
+    from repro.experiments.config import scale_by_name
+    from repro.metrics.mst import MstResult
+
+    figures.clear_cache()
+    monkeypatch.setattr(
+        figures, "find_mst",
+        lambda *a, **k: MstResult(query="q1", protocol="unc", parallelism=2,
+                                  mst=0.0, bracket_exhausted=True),
+    )
+    with _pytest.raises(RuntimeError, match="exhausted its bracket"):
+        figures.get_mst("q1", "unc", 2, scale_by_name("quick"))
+    figures.clear_cache()

@@ -1,0 +1,154 @@
+"""Parallel experiment executor and content-addressed run cache."""
+
+import pickle
+
+import pytest
+
+from repro.experiments.parallel import (
+    MstRequest,
+    ParallelRunner,
+    RunCache,
+    RunRequest,
+    execute_request,
+    request_key,
+    resolve_spec,
+)
+from repro.sim.costs import RuntimeConfig
+
+
+def req(**overrides) -> RunRequest:
+    base = dict(query="q1", protocol="unc", parallelism=2, rate=300.0,
+                duration=6.0, warmup=2.0, seed=7)
+    base.update(overrides)
+    return RunRequest(**base)
+
+
+# --------------------------------------------------------------------- #
+# Cache keys
+# --------------------------------------------------------------------- #
+
+def test_request_key_is_stable_and_sensitive():
+    assert request_key(req()) == request_key(req())
+    assert request_key(req()) != request_key(req(rate=301.0))
+    assert request_key(req()) != request_key(req(seed=8))
+    assert request_key(req()) != request_key(req(protocol="cic"))
+
+
+def test_request_key_sees_config_changes():
+    """A new RuntimeConfig knob can never alias an older cache entry."""
+    plain = req()
+    tweaked = req(config=RuntimeConfig(checkpoint_jitter=0.5))
+    scheduled = req(config=RuntimeConfig(
+        per_operator_schedules={"count": (2.0, 1.0)}))
+    keys = {request_key(plain), request_key(tweaked), request_key(scheduled)}
+    assert len(keys) == 3
+
+
+def test_mst_request_key_distinct_from_run_key():
+    run = req()
+    mst = MstRequest(query="q1", protocol="unc", parallelism=2, seed=7)
+    assert request_key(run) != request_key(mst)
+    assert request_key(mst) == request_key(
+        MstRequest(query="q1", protocol="unc", parallelism=2, seed=7))
+
+
+def test_resolve_spec_rejects_unknown_names():
+    with pytest.raises(ValueError, match="unknown query"):
+        resolve_spec("nope")
+
+
+# --------------------------------------------------------------------- #
+# On-disk cache
+# --------------------------------------------------------------------- #
+
+def test_run_cache_roundtrip_and_corruption(tmp_path):
+    cache = RunCache(tmp_path)
+    found, _ = cache.get("k")
+    assert not found
+    cache.put("k", {"x": 1})
+    found, value = cache.get("k")
+    assert found and value == {"x": 1}
+    # 'g' is pickle's GET opcode expecting an int line: unpickling this
+    # raises ValueError, not UnpicklingError — any corruption must read
+    # as a miss, whatever exception the pickle machinery surfaces
+    cache.path("k").write_bytes(b"garbage\n")
+    found, _ = cache.get("k")
+    assert not found  # corrupt entry reads as a miss, not an error
+    cache.put("k", {"x": 2})
+    found, value = cache.get("k")
+    assert found and value == {"x": 2}  # rewritten cleanly
+
+
+def test_runner_hits_disk_cache_across_instances(tmp_path):
+    first = ParallelRunner(jobs=1, cache_dir=tmp_path)
+    result = first.run(req())
+    assert (first.hits, first.misses) == (0, 1)
+    assert first.run(req()) is result  # in-memory memo
+    assert (first.hits, first.misses) == (1, 1)
+
+    second = ParallelRunner(jobs=1, cache_dir=tmp_path)
+    cached = second.run(req())
+    assert (second.hits, second.misses) == (1, 0)
+    assert pickle.dumps(cached.metrics) == pickle.dumps(result.metrics)
+    # a config change invalidates (different address, so a miss)
+    second.run(req(checkpoint_interval=4.0))
+    assert second.misses == 1
+
+
+# --------------------------------------------------------------------- #
+# Parallel execution parity
+# --------------------------------------------------------------------- #
+
+def test_parallel_map_matches_serial_byte_for_byte(tmp_path):
+    requests = [req(protocol=p) for p in ("none", "coor", "unc", "cic")]
+    serial = [execute_request(r) for r in requests]
+    with ParallelRunner(jobs=2, cache_dir=tmp_path) as runner:
+        parallel = runner.map(requests)
+        assert runner.misses == len(requests)
+        for a, b in zip(serial, parallel):
+            assert pickle.dumps(a.metrics) == pickle.dumps(b.metrics)
+            assert a.completed_rounds == b.completed_rounds
+
+    # a fresh runner over the same cache dir serves everything from disk
+    rerun = ParallelRunner(jobs=2, cache_dir=tmp_path)
+    again = rerun.map(requests)
+    assert (rerun.hits, rerun.misses) == (len(requests), 0)
+    assert rerun.hit_ratio >= 0.9
+    for a, b in zip(serial, again):
+        assert pickle.dumps(a.metrics) == pickle.dumps(b.metrics)
+
+
+def test_map_deduplicates_identical_requests():
+    runner = ParallelRunner(jobs=1)
+    results = runner.map([req(), req(), req()])
+    assert runner.misses == 1
+    assert runner.deduped == 2  # folded into the pending miss, not cache hits
+    assert runner.hits == 0
+    assert results[0] is results[1] is results[2]
+    # the same request later IS a cache hit
+    runner.run(req())
+    assert runner.hits == 1
+
+
+def test_map_preserves_request_order():
+    runner = ParallelRunner(jobs=1)
+    requests = [req(rate=r) for r in (250.0, 350.0, 300.0)]
+    results = runner.map(requests)
+    assert [r.rate for r in results] == [250.0, 350.0, 300.0]
+
+
+# --------------------------------------------------------------------- #
+# MST through the runner
+# --------------------------------------------------------------------- #
+
+def test_mst_request_cached_and_probes_shared(tmp_path):
+    request = MstRequest(query="q1", protocol="none", parallelism=2,
+                         probe_duration=5.0, warmup=2.0, iterations=1, seed=7)
+    with ParallelRunner(jobs=1, cache_dir=tmp_path) as runner:
+        first = runner.run(request)
+        assert first.mst > 0
+        assert not first.bracket_exhausted
+        misses_after_first = runner.misses
+        second = runner.run(request)
+        assert second.mst == first.mst
+        assert runner.misses == misses_after_first  # served from cache
