@@ -63,6 +63,10 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--failure-at", type=float, default=None)
     query.add_argument("--hot-ratio", type=float, default=0.0)
     query.add_argument("--checkpoint-interval", type=float, default=5.0)
+    query.add_argument("--state-backend", default="full",
+                       choices=["full", "changelog"],
+                       help="checkpoint state backend: full snapshots or "
+                            "incremental changelog deltas (DESIGN.md §10)")
     query.add_argument("--seed", type=int, default=7)
     return parser
 
@@ -168,6 +172,7 @@ def _cmd_query(args) -> int:
         duration=args.duration, warmup=args.warmup,
         failure_at=args.failure_at, hot_ratio=args.hot_ratio,
         checkpoint_interval=args.checkpoint_interval, seed=args.seed,
+        state_backend=args.state_backend,
     )
     series = result.latency_series()
     p50 = percentile([v for v in series.p50 if v > 0], 50)
@@ -178,6 +183,12 @@ def _cmd_query(args) -> int:
     print(f"  p50 / p99        : {p50 * 1000:.1f} ms / {p99 * 1000:.1f} ms")
     print(f"  checkpoints      : {result.total_checkpoints()} "
           f"(avg {result.avg_checkpoint_time() * 1000:.2f} ms)")
+    uploaded = result.metrics.checkpoint_bytes_uploaded
+    materialized = result.metrics.checkpoint_bytes_materialized
+    ratio = uploaded / materialized if materialized else 1.0
+    print(f"  ckpt bytes       : {uploaded} uploaded / "
+          f"{materialized} materialized ({ratio:.2f}x, "
+          f"backend={args.state_backend})")
     print(f"  message overhead : {result.metrics.overhead_ratio():.2f}x")
     if args.failure_at is not None:
         print(f"  restart time     : {result.restart_time() * 1000:.0f} ms")

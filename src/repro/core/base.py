@@ -42,6 +42,23 @@ class CheckpointMeta:
     last_received: dict[ChannelId, int]
     source_offset: int | None
     clock: int = 0
+    #: bytes actually uploaded for this checkpoint (< state_bytes for a
+    #: changelog delta); -1 means "same as state_bytes" (legacy callers)
+    upload_bytes: int = -1
+    #: blob this checkpoint's delta chains onto (None: self-contained)
+    base_key: str | None = None
+    #: delta hops back to the chain's base (0 for a full snapshot)
+    chain_length: int = 0
+    #: total bytes a restore must fetch (base + deltas); -1: state_bytes
+    restore_bytes: int = -1
+
+    @property
+    def uploaded_bytes(self) -> int:
+        return self.state_bytes if self.upload_bytes < 0 else self.upload_bytes
+
+    @property
+    def restored_bytes(self) -> int:
+        return self.state_bytes if self.restore_bytes < 0 else self.restore_bytes
 
     def sent_cursor(self, channel: ChannelId) -> int:
         return self.last_sent.get(channel, 0)

@@ -132,14 +132,16 @@ class CoordinatedProtocol(CheckpointProtocol):
         job = self.job
         job.completed_rounds.add(round_id)
         self._latest_complete = round_id
+        round_metas = self._round_metas[round_id].values()
         job.metrics.record_checkpoint(
             CheckpointEvent(
                 instance=None,
                 kind=KIND_ROUND,
                 started_at=self._round_started[round_id],
                 durable_at=job.sim.now,
-                state_bytes=sum(m.state_bytes for m in self._round_metas[round_id].values()),
+                state_bytes=sum(m.state_bytes for m in round_metas),
                 round_id=round_id,
+                upload_bytes=sum(m.uploaded_bytes for m in round_metas),
             )
         )
         if self._active_round == round_id:

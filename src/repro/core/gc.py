@@ -12,9 +12,17 @@ so
 * every logged message with ``seq <= L.receiver_cursor(channel)`` can be
   truncated from the send log (no future replay window reaches it).
 
-The property test in ``tests/test_gc.py`` checks the safety argument
+Incremental (changelog) checkpoints add one more invariant (DESIGN.md
+section 10): a reclaimable checkpoint's **blob** may still be the base (or
+an intermediate delta) of a chain some retained checkpoint restores
+through.  Reclamation therefore deletes metadata eagerly but keeps every
+blob that is *pinned* — reachable over ``base_key`` links from any
+checkpoint still registered.  Chain compaction (a fresh base every
+``changelog_max_chain`` deltas) bounds how long a pinned tail survives.
+
+The property tests in ``tests/test_gc.py`` check both safety arguments
 directly: extending a random execution never moves the recovery line below
-the old one.
+the old one, and no reachable chain link is ever deleted.
 """
 
 from __future__ import annotations
@@ -37,6 +45,24 @@ class GcStats:
     checkpoint_bytes_freed: int
     log_messages_truncated: int
     log_bytes_truncated: int
+    #: blobs actually deleted this pass; under changelog this can lag
+    #: checkpoints_deleted (a pruned checkpoint's blob survives while a
+    #: retained chain pins it) or exceed it (a later pass reclaims blobs
+    #: deferred by earlier passes once their pinning chain retires)
+    blobs_deleted: int = 0
+    #: blobs kept alive by a retained checkpoint's chain despite their
+    #: checkpoint metadata being pruned
+    blobs_pinned: int = 0
+
+
+def pinned_blob_keys(store, retained_blob_keys) -> set[str]:
+    """Blobs that must survive reclamation: every chain link (base and
+    intermediate deltas) reachable from a retained checkpoint's blob."""
+    pinned: set[str] = set()
+    for key in retained_blob_keys:
+        if key in store:
+            pinned.update(store.chain_keys(key))
+    return pinned
 
 
 def reclaimable_checkpoints(graph: CheckpointGraph) -> list[tuple[InstanceKey, int]]:
@@ -72,15 +98,41 @@ def collect(job: "Job") -> GcStats:
 
     deleted = 0
     bytes_freed = 0
+    blobs_deleted = 0
+    blobs_pinned = 0
     registry = job.registry
     store = job.coordinator.blobstore
+    pruned: list = []
     for instance in job.instance_keys():
         keep_from = line[instance].checkpoint_id
         for meta in registry.prune_older_than(instance, keep_from):
-            if meta.blob_key in store:
-                bytes_freed += store.meta(meta.blob_key).size_bytes
-                store.delete(meta.blob_key)
+            pruned.append(meta)
             deleted += 1
+    # chain pinning: every blob reachable over base_key links from a
+    # checkpoint still registered must survive, even if its own metadata
+    # was just pruned — a retained delta restores through it.  Pinned
+    # blobs are parked on the job's deferred set and re-examined by every
+    # later pass, so a chain's base is reclaimed once the last delta
+    # depending on it is pruned (no cross-pass leak).
+    deferred: set[str] = set()
+    candidates = [meta.blob_key for meta in pruned]
+    candidates.extend(sorted(job.gc_deferred_blobs))
+    pinned_keys = pinned_blob_keys(store, (
+        meta.blob_key
+        for instance in job.instance_keys()
+        for meta in registry.for_instance(instance)
+    )) if candidates else set()
+    for blob_key in candidates:
+        if blob_key not in store:
+            continue
+        if blob_key in pinned_keys:
+            blobs_pinned += 1
+            deferred.add(blob_key)
+            continue
+        bytes_freed += store.meta(blob_key).size_bytes
+        store.delete(blob_key)
+        blobs_deleted += 1
+    job.gc_deferred_blobs = deferred
 
     truncated = 0
     log_bytes = 0
@@ -96,7 +148,8 @@ def collect(job: "Job") -> GcStats:
             else:
                 kept_messages.append(message)
         job.send_log[channel] = kept_messages
-    return GcStats(deleted, bytes_freed, truncated, log_bytes)
+    return GcStats(deleted, bytes_freed, truncated, log_bytes,
+                   blobs_deleted, blobs_pinned)
 
 
 def _graph_from_registry(job: "Job") -> CheckpointGraph:

@@ -26,6 +26,7 @@ cost of checkpoints that grow with the backlog they absorb.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import TYPE_CHECKING, Any
 
 from repro.core.base import CheckpointMeta, register_protocol
@@ -124,10 +125,12 @@ class UnalignedCoordinatedProtocol(CoordinatedProtocol):
         # the snapshot is captured NOW (marker overtakes queued work); the
         # CPU time for the flush + sync capture is charged as a priority task
         cost = job.flush_all(instance)
-        state_bytes = instance.state_bytes
-        cost += job.cost.snapshot_sync_cost(state_bytes)
-        snapshot = instance.capture_snapshot()
         instance.checkpoint_counter += 1
+        blob_key = (f"{instance.key[0]}/{instance.key[1]}/"
+                    f"{instance.checkpoint_counter}")
+        captured = job.state_backend.capture(instance, blob_key)
+        cost += job.cost.snapshot_sync_cost(captured.upload_bytes)
+        snapshot = captured.payload
         meta = CheckpointMeta(
             instance=instance.key,
             checkpoint_id=instance.checkpoint_counter,
@@ -135,13 +138,16 @@ class UnalignedCoordinatedProtocol(CoordinatedProtocol):
             round_id=round_id,
             started_at=job.sim.now,
             durable_at=-1.0,
-            state_bytes=state_bytes,
-            blob_key=(f"{instance.key[0]}/{instance.key[1]}/"
-                      f"{instance.checkpoint_counter}"),
+            state_bytes=captured.state_bytes,
+            blob_key=blob_key,
             last_sent=dict(instance.out_seq),
             last_received=dict(instance.last_received),
             source_offset=(instance.source_cursor
                            if instance.spec.is_source else None),
+            upload_bytes=captured.upload_bytes,
+            base_key=captured.base_key,
+            chain_length=captured.chain_length,
+            restore_bytes=captured.restore_bytes,
         )
         # forward markers immediately — they must not wait behind the queue
         cost += job.send_marker(instance, round_id)
@@ -170,45 +176,40 @@ class UnalignedCoordinatedProtocol(CoordinatedProtocol):
                              pending: _PendingCheckpoint) -> None:
         job = self.job
         del self._pending[instance.key]
-        total_bytes = pending.meta.state_bytes + pending.channel_bytes
+        channel_bytes = pending.channel_bytes
         snapshot = dict(pending.snapshot)
         snapshot["channel_state"] = {
             ch: list(msgs) for ch, msgs in pending.channel_state.items()
         }
-        meta = CheckpointMeta(
-            instance=pending.meta.instance,
-            checkpoint_id=pending.meta.checkpoint_id,
-            kind=KIND_COOR,
+        # channel state is always persisted whole — it is new by definition —
+        # and enlarges the stored blob, so future deltas' chains include it
+        job.state_backend.note_extra_upload(instance, channel_bytes)
+        meta = replace(
+            pending.meta,
             round_id=pending.round_id,
             started_at=pending.started_at,
-            durable_at=-1.0,
-            state_bytes=total_bytes,
-            blob_key=pending.meta.blob_key,
-            last_sent=pending.meta.last_sent,
-            last_received=pending.meta.last_received,
-            source_offset=pending.meta.source_offset,
+            state_bytes=pending.meta.state_bytes + channel_bytes,
+            upload_bytes=pending.meta.upload_bytes + channel_bytes,
+            restore_bytes=pending.meta.restore_bytes + channel_bytes,
         )
-        job.sim.schedule(
-            job.cost.blob_upload_delay(total_bytes),
+        job.schedule_durable(
+            instance,
+            job.cost.blob_upload_delay(meta.upload_bytes),
             self._unaligned_durable, meta, snapshot,
         )
 
     def _unaligned_durable(self, meta: CheckpointMeta, snapshot: dict) -> None:
         job = self.job
-        durable = CheckpointMeta(
-            instance=meta.instance, checkpoint_id=meta.checkpoint_id,
-            kind=meta.kind, round_id=meta.round_id,
-            started_at=meta.started_at, durable_at=job.sim.now,
-            state_bytes=meta.state_bytes, blob_key=meta.blob_key,
-            last_sent=meta.last_sent, last_received=meta.last_received,
-            source_offset=meta.source_offset,
+        durable = replace(meta, durable_at=job.sim.now)
+        job.coordinator.blobstore.put(
+            durable.blob_key, snapshot, durable.uploaded_bytes, job.sim.now,
+            base_key=durable.base_key, chain_length=durable.chain_length,
         )
-        job.coordinator.blobstore.put(durable.blob_key, snapshot,
-                                      durable.state_bytes, job.sim.now)
         job.metrics.record_checkpoint(CheckpointEvent(
             instance=durable.instance, kind=durable.kind,
             started_at=durable.started_at, durable_at=durable.durable_at,
             state_bytes=durable.state_bytes, round_id=durable.round_id,
+            upload_bytes=durable.uploaded_bytes,
         ))
         job.coordinator.send_metadata(durable)
 

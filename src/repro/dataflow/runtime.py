@@ -18,7 +18,7 @@ The run loop:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 from repro.core.base import CheckpointMeta, RecoveryPlan, create_protocol
@@ -37,6 +37,7 @@ from repro.dataflow.graph import (
     UnsupportedTopologyError,
 )
 from repro.dataflow.records import StreamRecord, source_rid_from_prefix
+from repro.dataflow.state import create_state_backend
 from repro.dataflow.worker import InstanceRuntime, WorkerRuntime
 from repro.metrics.collectors import (
     COORDINATED_INSTANCE_KINDS,
@@ -208,9 +209,17 @@ class Job:
         self.sim = Simulator()
         self.metrics = MetricsCollector()
         self.rng = RngRegistry(self.config.seed)
+        self.state_backend = create_state_backend(
+            self.config.state_backend, self.cost,
+            max_chain=self.config.changelog_max_chain,
+        )
         self.recovering = False
         self.epoch = 0
         self.completed_rounds: set[int] = set()
+        #: blobs whose checkpoint metadata was GC-pruned while a retained
+        #: delta chain still pinned them; later GC passes re-examine these
+        #: so a retired chain's base is eventually reclaimed (core.gc)
+        self.gc_deferred_blobs: set[str] = set()
 
         self.protocol = create_protocol(protocol, self)
         if graph.has_cycle() and not self.protocol.supports_cycles:
@@ -248,6 +257,7 @@ class Job:
         for name, spec in self.graph.operators.items():
             for idx in range(self.parallelism):
                 instance = InstanceRuntime(self, spec, idx, self.workers[idx])
+                self.state_backend.prepare_instance(instance)
                 self.workers[idx].instances[name] = instance
         for edge in self.graph.edges:
             self._partitioners[edge.edge_id] = Partitioner(edge, self.parallelism)
@@ -320,6 +330,7 @@ class Job:
         operator = instance.operator
         per_record = operator.cpu_per_record
         seen = instance.processed_rids
+        journal = instance.rid_journal
         router = instance.router
         for record in records:
             if dedup:
@@ -327,6 +338,8 @@ class Job:
                     self.metrics.duplicates_skipped += 1
                     continue
                 seen.add(record.rid)
+                if journal is not None:
+                    journal.append(record.rid)
             outputs = operator.process(record, port)
             cost += per_record
             if outputs:
@@ -505,10 +518,12 @@ class Job:
         """
         cost = self.flush_all(instance)
         cost += self.protocol.on_checkpoint_started(instance, kind, round_id)
-        state_bytes = instance.state_bytes
-        cost += self.cost.snapshot_sync_cost(state_bytes)
-        snapshot = instance.capture_snapshot()
         instance.checkpoint_counter += 1
+        blob_key = f"{instance.key[0]}/{instance.key[1]}/{instance.checkpoint_counter}"
+        captured = self.state_backend.capture(instance, blob_key)
+        # the synchronous part serializes what gets written: a changelog
+        # delta forks/encodes only the dirty entries
+        cost += self.cost.snapshot_sync_cost(captured.upload_bytes)
         meta = CheckpointMeta(
             instance=instance.key,
             checkpoint_id=instance.checkpoint_counter,
@@ -516,34 +531,42 @@ class Job:
             round_id=round_id,
             started_at=self.sim.now,
             durable_at=-1.0,  # replaced below
-            state_bytes=state_bytes,
-            blob_key=f"{instance.key[0]}/{instance.key[1]}/{instance.checkpoint_counter}",
+            state_bytes=captured.state_bytes,
+            blob_key=blob_key,
             last_sent=dict(instance.out_seq),
             last_received=dict(instance.last_received),
             source_offset=instance.source_cursor if instance.spec.is_source else None,
             clock=self.protocol.instance_clock(instance),
+            upload_bytes=captured.upload_bytes,
+            base_key=captured.base_key,
+            chain_length=captured.chain_length,
+            restore_bytes=captured.restore_bytes,
         )
-        upload_done = cost + self.cost.blob_upload_delay(state_bytes)
-        self.sim.schedule(upload_done, self._checkpoint_durable, meta, snapshot)
+        upload_done = cost + self.cost.blob_upload_delay(captured.upload_bytes)
+        self.schedule_durable(instance, upload_done, self._checkpoint_durable,
+                              meta, captured.payload)
         return cost
 
+    def schedule_durable(self, instance: InstanceRuntime, delay: float,
+                         fn, *args) -> None:
+        """Schedule a durability callback, clamped to per-instance order.
+
+        A small changelog delta could finish uploading before its larger,
+        earlier-started parent; registering it first would break both the
+        registry's id monotonicity and the chain invariant (a durable delta
+        whose base is not yet fetchable).  The clamp makes durability
+        per-instance FIFO, matching an ordered upload queue.
+        """
+        at = max(self.sim.now + delay,
+                 instance.durable_floor + self.cost.channel_epsilon)
+        instance.durable_floor = at
+        self.sim.schedule_at(at, fn, *args)
+
     def _checkpoint_durable(self, meta: CheckpointMeta, snapshot: dict) -> None:
-        durable = CheckpointMeta(
-            instance=meta.instance,
-            checkpoint_id=meta.checkpoint_id,
-            kind=meta.kind,
-            round_id=meta.round_id,
-            started_at=meta.started_at,
-            durable_at=self.sim.now,
-            state_bytes=meta.state_bytes,
-            blob_key=meta.blob_key,
-            last_sent=meta.last_sent,
-            last_received=meta.last_received,
-            source_offset=meta.source_offset,
-            clock=meta.clock,
-        )
+        durable = replace(meta, durable_at=self.sim.now)
         self.coordinator.blobstore.put(
-            durable.blob_key, snapshot, durable.state_bytes, self.sim.now
+            durable.blob_key, snapshot, durable.uploaded_bytes, self.sim.now,
+            base_key=durable.base_key, chain_length=durable.chain_length,
         )
         self.metrics.record_checkpoint(
             CheckpointEvent(
@@ -553,6 +576,7 @@ class Job:
                 durable_at=durable.durable_at,
                 state_bytes=durable.state_bytes,
                 round_id=durable.round_id,
+                upload_bytes=durable.uploaded_bytes,
             )
         )
         self.coordinator.send_metadata(durable)
@@ -572,6 +596,16 @@ class Job:
         if self.recovering or self.workers[worker_index].alive:
             return  # folded into an in-flight recovery / already replaced
         plan = self.protocol.build_recovery_plan(self.sim.now)
+        self.metrics.record_recovery_line(
+            tuple(sorted(
+                (key, meta.checkpoint_id, meta.kind)
+                for key, meta in plan.line.items()
+            )),
+            tuple(sorted(
+                (channel, tuple(m.seq for m in messages))
+                for channel, messages in plan.replay.items() if messages
+            )),
+        )
         # the paper's failure metrics describe the FIRST failure of a run;
         # later failures still recover but do not overwrite the stamps
         if self.metrics.detected_at < 0:
@@ -593,7 +627,9 @@ class Job:
         per_worker = [0.0] * self.parallelism
         for key, meta in plan.line.items():
             if meta.kind != KIND_INITIAL:
-                per_worker[key[1]] += cost_model.blob_restore_delay(meta.state_bytes)
+                per_worker[key[1]] += cost_model.chain_restore_delay(
+                    meta.restored_bytes, meta.chain_length + 1
+                )
         for channel, messages in plan.replay.items():
             if not messages:
                 continue
@@ -605,13 +641,18 @@ class Job:
         return orchestration + max(per_worker)
 
     def _apply_recovery(self, plan: RecoveryPlan) -> None:
+        store = self.coordinator.blobstore
         for key, meta in plan.line.items():
             instance = self.instance(key)
             if meta.kind == KIND_INITIAL:
                 instance.reset_to_virgin()
             else:
-                snapshot = self.coordinator.blobstore.get(meta.blob_key)
-                instance.restore_snapshot(snapshot)
+                payloads = [store.get(k) for k in store.chain_keys(meta.blob_key)]
+                if len(payloads) == 1:
+                    instance.restore_snapshot(payloads[0])
+                else:
+                    instance.restore_from_chain(payloads)
+                self.state_backend.on_restored(instance)
         self._chan_last_arrival.clear()
         for worker in self.workers:
             worker.alive = True  # replacement container

@@ -1,25 +1,66 @@
 """Operator state backends with byte-size accounting.
 
 Checkpoint and restore durations in the cost model scale with state size, so
-every backend tracks an approximate byte footprint.  Snapshots are shallow
-copies: operators must *replace* stored values instead of mutating them in
-place (the query implementations in :mod:`repro.workloads` follow this rule;
-:class:`KeyedListState` copies lists on snapshot so appends stay safe).
+every state primitive tracks an approximate byte footprint.  Snapshots are
+shallow copies: operators must *replace* stored values instead of mutating
+them in place (the query implementations in :mod:`repro.workloads` follow
+this rule; :class:`KeyedListState` copies lists on snapshot so appends stay
+safe).
+
+Two checkpoint **state backends** build on the primitives (DESIGN.md
+section 10):
+
+* :class:`FullSnapshotBackend` — every checkpoint uploads the complete
+  operator state as one self-contained blob (the default, and the paper's
+  behaviour);
+* :class:`ChangelogBackend` — state primitives additionally track the keys
+  written since the last checkpoint, and a checkpoint uploads only that
+  **delta**, chained onto the previous checkpoint's blob.  Restoring a
+  delta checkpoint fetches its base snapshot plus every delta in between
+  and replays them in order; once a chain reaches ``max_chain`` deltas the
+  next checkpoint is compacted into a fresh base.
+
+Both backends produce byte-identical restored state — the differential
+suite in ``tests/test_exactly_once.py`` locks that equivalence down for
+every protocol.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dataflow.worker import InstanceRuntime
+    from repro.sim.costs import CostModel
+
+#: delta tag for "the whole state was replaced/cleared since the last clean
+#: point" — the delta degenerates to a full snapshot of this state
+FULL = "full"
+#: delta tag for a keyed diff (written entries + deleted keys)
+DIFF = "diff"
+
+#: accounting bytes per recorded key deletion inside a delta
+_DELETE_BYTES = 12
 
 
 class ValueState:
-    """A single mutable value with an explicit byte size."""
+    """A single mutable value with an explicit byte size.
 
-    __slots__ = ("_value", "_size")
+    Change tracking is **armed lazily** by the first :meth:`mark_clean` —
+    only the changelog backend ever calls it, so under the default
+    full-snapshot backend writes pay a single boolean check and no
+    tracking structures grow.  An unarmed state conservatively reports a
+    full delta.
+    """
+
+    __slots__ = ("_value", "_size", "_dirty", "_tracked")
 
     def __init__(self, initial: Any = None, size_bytes: int = 0):
         self._value = initial
         self._size = size_bytes
+        self._dirty = False
+        self._tracked = False
 
     def get(self) -> Any:
         return self._value
@@ -27,6 +68,8 @@ class ValueState:
     def set(self, value: Any, size_bytes: int) -> None:
         self._value = value
         self._size = size_bytes
+        if self._tracked:
+            self._dirty = True
 
     @property
     def size_bytes(self) -> int:
@@ -37,17 +80,48 @@ class ValueState:
 
     def restore(self, snap: tuple[Any, int]) -> None:
         self._value, self._size = snap
+        self._dirty = True
+
+    # -- changelog support ------------------------------------------------ #
+
+    def snapshot_delta(self) -> tuple | None:
+        if self._tracked and not self._dirty:
+            return None
+        return (FULL, self.snapshot())
+
+    def delta_bytes(self) -> int:
+        if self._tracked and not self._dirty:
+            return 0
+        return self._size
+
+    def mark_clean(self) -> None:
+        self._tracked = True
+        self._dirty = False
+
+    def apply_delta(self, delta: tuple) -> None:
+        _, snap = delta
+        self.restore(snap)
 
 
 class KeyedMapState:
-    """A keyed map; each entry carries its own byte size."""
+    """A keyed map; each entry carries its own byte size.
 
-    __slots__ = ("_data", "_sizes", "_total")
+    Change tracking is armed lazily by the first :meth:`mark_clean` (the
+    changelog backend's base capture); under the full-snapshot backend the
+    dirty/deleted sets never grow.
+    """
+
+    __slots__ = ("_data", "_sizes", "_total", "_dirty", "_deleted",
+                 "_all_dirty", "_tracked")
 
     def __init__(self) -> None:
         self._data: dict[Any, Any] = {}
         self._sizes: dict[Any, int] = {}
         self._total = 0
+        self._dirty: set[Any] = set()
+        self._deleted: set[Any] = set()
+        self._all_dirty = False
+        self._tracked = False
 
     def __len__(self) -> int:
         return len(self._data)
@@ -62,11 +136,17 @@ class KeyedMapState:
         self._total += size_bytes - self._sizes.get(key, 0)
         self._data[key] = value
         self._sizes[key] = size_bytes
+        if self._tracked:
+            self._dirty.add(key)
+            self._deleted.discard(key)
 
     def delete(self, key: Any) -> None:
         if key in self._data:
             self._total -= self._sizes.pop(key)
             del self._data[key]
+            if self._tracked:
+                self._dirty.discard(key)
+                self._deleted.add(key)
 
     def keys(self) -> Iterator[Any]:
         return iter(self._data)
@@ -78,6 +158,9 @@ class KeyedMapState:
         self._data.clear()
         self._sizes.clear()
         self._total = 0
+        self._dirty.clear()
+        self._deleted.clear()
+        self._all_dirty = True
 
     @property
     def size_bytes(self) -> int:
@@ -91,24 +174,89 @@ class KeyedMapState:
         self._data = dict(data)
         self._sizes = dict(sizes)
         self._total = total
+        self._dirty.clear()
+        self._deleted.clear()
+        self._all_dirty = True
+
+    # -- changelog support ------------------------------------------------ #
+
+    def snapshot_delta(self) -> tuple | None:
+        if self._all_dirty or not self._tracked:
+            return (FULL, self.snapshot())
+        if not self._dirty and not self._deleted:
+            return None
+        written = {
+            key: (self._data[key], self._sizes[key]) for key in self._dirty
+        }
+        return (DIFF, written, tuple(self._deleted), self._total)
+
+    def delta_bytes(self) -> int:
+        if self._all_dirty or not self._tracked:
+            return self._total
+        return (
+            sum(self._sizes[key] for key in self._dirty)
+            + len(self._deleted) * _DELETE_BYTES
+        )
+
+    def mark_clean(self) -> None:
+        self._tracked = True
+        self._dirty.clear()
+        self._deleted.clear()
+        self._all_dirty = False
+
+    def apply_delta(self, delta: tuple) -> None:
+        if delta[0] == FULL:
+            self.restore(delta[1])
+            return
+        _, written, deleted, total = delta
+        for key in deleted:
+            if key in self._data:
+                del self._data[key]
+                del self._sizes[key]
+        for key, (value, size) in written.items():
+            self._data[key] = value
+            self._sizes[key] = size
+        self._total = total
 
 
 class KeyedListState:
-    """A keyed multimap (key -> list); lists are copied on snapshot."""
+    """A keyed multimap (key -> list); lists are copied on snapshot.
 
-    __slots__ = ("_data", "_entry_bytes", "_total")
+    Change tracking is armed lazily by the first :meth:`mark_clean`.  While
+    tracked, per-key byte totals are maintained (honouring the explicit
+    ``size_bytes`` of each append) so a delta bills a rewritten key at its
+    actual footprint; keys last touched before arming fall back to the
+    ``entry_bytes`` estimate.
+    """
+
+    __slots__ = ("_data", "_entry_bytes", "_total", "_dirty", "_deleted",
+                 "_all_dirty", "_tracked", "_key_bytes")
 
     def __init__(self, entry_bytes: int = 48):
         self._data: dict[Any, list] = {}
         self._entry_bytes = entry_bytes
         self._total = 0
+        self._dirty: set[Any] = set()
+        self._deleted: set[Any] = set()
+        self._all_dirty = False
+        self._tracked = False
+        self._key_bytes: dict[Any, int] = {}
 
     def __len__(self) -> int:
         return len(self._data)
 
     def append(self, key: Any, value: Any, size_bytes: int | None = None) -> None:
-        self._data.setdefault(key, []).append(value)
-        self._total += self._entry_bytes if size_bytes is None else size_bytes
+        values = self._data.setdefault(key, [])
+        values.append(value)
+        added = self._entry_bytes if size_bytes is None else size_bytes
+        self._total += added
+        if self._tracked:
+            self._dirty.add(key)
+            self._deleted.discard(key)
+            prev = self._key_bytes.get(key)
+            if prev is None:  # first post-arm touch: estimate the backlog
+                prev = (len(values) - 1) * self._entry_bytes
+            self._key_bytes[key] = prev + added
 
     def get(self, key: Any) -> list:
         return self._data.get(key, [])
@@ -117,6 +265,10 @@ class KeyedListState:
         values = self._data.pop(key, None)
         if values is not None:
             self._total -= len(values) * self._entry_bytes
+            if self._tracked:
+                self._dirty.discard(key)
+                self._deleted.add(key)
+                self._key_bytes.pop(key, None)
 
     def remove_value(self, key: Any, predicate) -> int:
         """Drop entries matching ``predicate``; returns how many were removed."""
@@ -129,8 +281,18 @@ class KeyedListState:
             self._total -= removed * self._entry_bytes
             if kept:
                 self._data[key] = kept
+                if self._tracked:
+                    self._dirty.add(key)
+                    if key in self._key_bytes:
+                        self._key_bytes[key] = max(
+                            0, self._key_bytes[key] - removed * self._entry_bytes
+                        )
             else:
                 del self._data[key]
+                if self._tracked:
+                    self._dirty.discard(key)
+                    self._deleted.add(key)
+                    self._key_bytes.pop(key, None)
         return removed
 
     def keys(self) -> Iterator[Any]:
@@ -139,6 +301,10 @@ class KeyedListState:
     def clear(self) -> None:
         self._data.clear()
         self._total = 0
+        self._dirty.clear()
+        self._deleted.clear()
+        self._key_bytes.clear()
+        self._all_dirty = True
 
     @property
     def size_bytes(self) -> int:
@@ -150,6 +316,50 @@ class KeyedListState:
     def restore(self, snap: tuple[dict, int]) -> None:
         data, total = snap
         self._data = {k: list(v) for k, v in data.items()}
+        self._total = total
+        self._dirty.clear()
+        self._deleted.clear()
+        self._key_bytes.clear()
+        self._all_dirty = True
+
+    # -- changelog support ------------------------------------------------ #
+
+    def snapshot_delta(self) -> tuple | None:
+        if self._all_dirty or not self._tracked:
+            return (FULL, self.snapshot())
+        if not self._dirty and not self._deleted:
+            return None
+        # a written key re-uploads its whole list: append-only lists make
+        # this a per-key rewrite, still a large win when few keys are hot
+        written = {key: list(self._data[key]) for key in self._dirty}
+        return (DIFF, written, tuple(self._deleted), self._total)
+
+    def delta_bytes(self) -> int:
+        if self._all_dirty or not self._tracked:
+            return self._total
+        key_bytes = self._key_bytes
+        entry_bytes = self._entry_bytes
+        dirty_total = sum(
+            key_bytes.get(key, len(self._data[key]) * entry_bytes)
+            for key in self._dirty
+        )
+        return dirty_total + len(self._deleted) * _DELETE_BYTES
+
+    def mark_clean(self) -> None:
+        self._tracked = True
+        self._dirty.clear()
+        self._deleted.clear()
+        self._all_dirty = False
+
+    def apply_delta(self, delta: tuple) -> None:
+        if delta[0] == FULL:
+            self.restore(delta[1])
+            return
+        _, written, deleted, total = delta
+        for key in deleted:
+            self._data.pop(key, None)
+        for key, values in written.items():
+            self._data[key] = list(values)
         self._total = total
 
 
@@ -178,3 +388,208 @@ class StateRegistry:
     def restore(self, snap: dict[str, Any]) -> None:
         for name, state in self._states.items():
             state.restore(snap[name])
+
+    # -- changelog support ------------------------------------------------ #
+
+    def snapshot_delta(self) -> tuple[dict[str, Any], int]:
+        """Per-state deltas since the last :meth:`mark_clean` plus their size.
+
+        Unchanged states appear as ``None`` so the delta blob stays sparse.
+        """
+        deltas = {
+            name: state.snapshot_delta() for name, state in self._states.items()
+        }
+        size = sum(s.delta_bytes() for s in self._states.values())
+        return deltas, size
+
+    def mark_clean(self) -> None:
+        for state in self._states.values():
+            state.mark_clean()
+
+    def apply_delta(self, deltas: dict[str, Any]) -> None:
+        """Fold one delta (from :meth:`snapshot_delta`) into the live states."""
+        for name, delta in deltas.items():
+            if delta is not None:
+                self._states[name].apply_delta(delta)
+
+
+# --------------------------------------------------------------------- #
+# State backends (DESIGN.md section 10)
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class CapturedState:
+    """What one checkpoint capture produced, backend-independently.
+
+    ``payload`` goes to the blob store verbatim; ``upload_bytes`` is what
+    crosses the wire (and what the store bills), ``state_bytes`` is the full
+    materialized state the checkpoint represents.  ``base_key`` links a
+    delta to its predecessor blob (``None`` marks a self-contained base);
+    ``chain_length`` counts delta hops back to the base and
+    ``restore_bytes`` pre-aggregates the bytes a restore of this checkpoint
+    must fetch (base + all deltas).
+    """
+
+    payload: dict
+    upload_bytes: int
+    state_bytes: int
+    base_key: str | None
+    chain_length: int
+    restore_bytes: int
+
+
+class StateBackend:
+    """How an instance's state becomes a durable checkpoint payload."""
+
+    name = "full"
+
+    def __init__(self, cost_model: "CostModel | None" = None,
+                 max_chain: int = 0):
+        self.cost_model = cost_model
+        self.max_chain = max_chain
+
+    def prepare_instance(self, instance: "InstanceRuntime") -> None:
+        """Install per-instance tracking hooks (called at wiring time)."""
+
+    def capture(self, instance: "InstanceRuntime", blob_key: str) -> CapturedState:
+        raise NotImplementedError
+
+    def note_extra_upload(self, instance: "InstanceRuntime",
+                          extra_bytes: int) -> None:
+        """Bytes a protocol appended to the last captured blob after the
+        fact (unaligned channel state); they enlarge the live chain."""
+
+    def on_restored(self, instance: "InstanceRuntime") -> None:
+        """The instance was rolled back; reset any incremental tracking."""
+
+    def on_reset(self, instance: "InstanceRuntime") -> None:
+        """The instance was reset to virgin state (initial checkpoint)."""
+        self.on_restored(instance)
+
+
+class FullSnapshotBackend(StateBackend):
+    """Every checkpoint is a complete, self-contained snapshot blob."""
+
+    name = "full"
+
+    def capture(self, instance: "InstanceRuntime", blob_key: str) -> CapturedState:
+        payload = instance.capture_snapshot()
+        state_bytes = instance.state_bytes
+        return CapturedState(
+            payload=payload,
+            upload_bytes=state_bytes,
+            state_bytes=state_bytes,
+            base_key=None,
+            chain_length=0,
+            restore_bytes=state_bytes,
+        )
+
+
+class _ChainTrack:
+    """Per-instance changelog bookkeeping: where the live chain stands."""
+
+    __slots__ = ("parent_key", "chain_length", "chain_bytes", "force_base")
+
+    def __init__(self) -> None:
+        self.parent_key: str | None = None
+        self.chain_length = 0
+        self.chain_bytes = 0
+        self.force_base = True
+
+
+class ChangelogBackend(StateBackend):
+    """Incremental checkpoints: base snapshot + dirty-key deltas.
+
+    Between checkpoints every state primitive records which keys were
+    written and the runtime journals newly deduplicated lineage ids; a
+    checkpoint uploads only that delta, chained onto the previous
+    checkpoint's blob via ``base_key``.  After a rollback (or a virgin
+    reset) the chain is broken and the next checkpoint is forced to be a
+    fresh base; chains are also compacted into a fresh base once they reach
+    ``max_chain`` deltas, bounding both restore fan-in and the blobs GC
+    must keep pinned.
+    """
+
+    name = "changelog"
+
+    def __init__(self, cost_model: "CostModel | None" = None,
+                 max_chain: int = 4):
+        super().__init__(cost_model, max_chain=max(1, max_chain))
+        self._track: dict[tuple, _ChainTrack] = {}
+
+    def _track_for(self, instance: "InstanceRuntime") -> _ChainTrack:
+        track = self._track.get(instance.key)
+        if track is None:
+            track = self._track[instance.key] = _ChainTrack()
+        return track
+
+    def prepare_instance(self, instance: "InstanceRuntime") -> None:
+        instance.rid_journal = []
+        self._track_for(instance)
+
+    def capture(self, instance: "InstanceRuntime", blob_key: str) -> CapturedState:
+        track = self._track_for(instance)
+        if (track.force_base or track.parent_key is None
+                or track.chain_length >= self.max_chain):
+            payload = instance.capture_snapshot()
+            instance.mark_checkpoint_clean()
+            state_bytes = instance.state_bytes
+            track.parent_key = blob_key
+            track.chain_length = 0
+            track.chain_bytes = state_bytes
+            track.force_base = False
+            return CapturedState(
+                payload=payload,
+                upload_bytes=state_bytes,
+                state_bytes=state_bytes,
+                base_key=None,
+                chain_length=0,
+                restore_bytes=state_bytes,
+            )
+        payload, delta_bytes = instance.capture_delta()
+        overhead = (self.cost_model.delta_overhead_bytes
+                    if self.cost_model is not None else 64)
+        upload_bytes = delta_bytes + overhead
+        base_key = track.parent_key
+        track.parent_key = blob_key
+        track.chain_length += 1
+        track.chain_bytes += upload_bytes
+        return CapturedState(
+            payload=payload,
+            upload_bytes=upload_bytes,
+            state_bytes=instance.state_bytes,
+            base_key=base_key,
+            chain_length=track.chain_length,
+            restore_bytes=track.chain_bytes,
+        )
+
+    def note_extra_upload(self, instance: "InstanceRuntime",
+                          extra_bytes: int) -> None:
+        self._track_for(instance).chain_bytes += extra_bytes
+
+    def on_restored(self, instance: "InstanceRuntime") -> None:
+        track = self._track_for(instance)
+        track.force_base = True
+        track.parent_key = None
+        track.chain_length = 0
+        track.chain_bytes = 0
+        if instance.rid_journal is not None:
+            instance.rid_journal.clear()
+
+
+STATE_BACKENDS: dict[str, type[StateBackend]] = {
+    FullSnapshotBackend.name: FullSnapshotBackend,
+    ChangelogBackend.name: ChangelogBackend,
+}
+
+
+def create_state_backend(name: str, cost_model: "CostModel | None" = None,
+                         max_chain: int = 4) -> StateBackend:
+    """Instantiate a registered state backend ('full' | 'changelog')."""
+    try:
+        cls = STATE_BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown state backend {name!r}; known: {sorted(STATE_BACKENDS)}"
+        ) from None
+    return cls(cost_model, max_chain=max_chain)

@@ -45,7 +45,16 @@ class InstanceRuntime(OperatorContext):
         self.last_received: dict[ChannelId, int] = {}
         #: lineage ids already applied to state (UNC/CIC dedup)
         self.processed_rids: set[int] = set()
+        #: rids newly deduplicated since the last checkpoint, in order —
+        #: installed (as a list) by the changelog state backend so deltas
+        #: can ship only the new part of the dedup set; None under the
+        #: full-snapshot backend (DESIGN.md section 10)
+        self.rid_journal: list[int] | None = None
         self.checkpoint_counter = 0
+        #: monotone floor for checkpoint durability: a later checkpoint of
+        #: this instance never becomes durable before an earlier one (a
+        #: small delta must not overtake its still-uploading parent)
+        self.durable_floor = 0.0
         #: next offset to read from the source partition (sources only)
         self.source_cursor = 0
         #: protocol-private per-instance structure (e.g. HMNR vectors)
@@ -91,6 +100,7 @@ class InstanceRuntime(OperatorContext):
         self.source_cursor = 0
         if self.router is not None:
             self.router.clear()
+        self.job.state_backend.on_reset(self)
 
     def capture_snapshot(self) -> dict[str, Any]:
         """Copy everything a rollback needs to reinstall this instance."""
@@ -103,6 +113,36 @@ class InstanceRuntime(OperatorContext):
             "extra": self.job.protocol.capture_extra(self),
         }
 
+    def mark_checkpoint_clean(self) -> None:
+        """Reset changelog tracking after a full (base) capture."""
+        self.operator.states.mark_clean()
+        if self.rid_journal is not None:
+            self.rid_journal.clear()
+
+    def capture_delta(self) -> tuple[dict[str, Any], int]:
+        """Capture only what changed since the last checkpoint.
+
+        Returns ``(payload, delta_bytes)``; cursors and protocol extras are
+        small and always shipped whole, operator states as per-state deltas
+        and the dedup set as the journal of newly seen rids.  Tracking is
+        reset, so the next delta starts from this checkpoint.
+        """
+        states_delta, delta_bytes = self.operator.states.snapshot_delta()
+        new_rids = list(self.rid_journal) if self.rid_journal else []
+        payload = {
+            "delta": True,
+            "states": states_delta,
+            "new_rids": new_rids,
+            "out_seq": dict(self.out_seq),
+            "last_received": dict(self.last_received),
+            "source_cursor": self.source_cursor,
+            "extra": self.job.protocol.capture_extra(self),
+        }
+        delta_bytes += len(new_rids) * 8
+        delta_bytes += (len(self.out_seq) + len(self.last_received)) * 12
+        self.mark_checkpoint_clean()
+        return payload, delta_bytes
+
     def restore_snapshot(self, snapshot: dict[str, Any]) -> None:
         self.operator = self.spec.factory()
         self.operator.open(self)
@@ -114,6 +154,31 @@ class InstanceRuntime(OperatorContext):
         if self.router is not None:
             self.router.clear()
         self.job.protocol.restore_extra(self, snapshot["extra"])
+        self.operator.on_restore()
+
+    def restore_from_chain(self, payloads: list[dict[str, Any]]) -> None:
+        """Restore a changelog checkpoint: base payload + deltas, in order.
+
+        The base is a full snapshot; each delta folds its per-state diffs
+        and newly journaled rids on top.  Cursors and protocol extras are
+        taken from the last payload — every payload carries them whole.
+        """
+        base = payloads[0]
+        self.operator = self.spec.factory()
+        self.operator.open(self)
+        self.operator.states.restore(base["states"])
+        rids = set(base["processed_rids"])
+        for delta in payloads[1:]:
+            self.operator.states.apply_delta(delta["states"])
+            rids.update(delta["new_rids"])
+        last = payloads[-1]
+        self.out_seq = dict(last["out_seq"])
+        self.last_received = dict(last["last_received"])
+        self.processed_rids = rids
+        self.source_cursor = last["source_cursor"]
+        if self.router is not None:
+            self.router.clear()
+        self.job.protocol.restore_extra(self, last["extra"])
         self.operator.on_restore()
 
 

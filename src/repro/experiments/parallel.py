@@ -42,7 +42,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: bump when RunResult / metrics layout changes so stale cache entries
 #: from an older code revision are never served
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 
 # --------------------------------------------------------------------- #
@@ -71,6 +71,8 @@ class RunRequest:
     hot_ratio: float = 0.0
     checkpoint_interval: float = 5.0
     seed: int = 7
+    #: checkpoint state backend ('full' | 'changelog', DESIGN.md section 10)
+    state_backend: str = "full"
     config: RuntimeConfig | None = None
 
     def effective_config(self) -> RuntimeConfig:
@@ -84,6 +86,7 @@ class RunRequest:
             failure_at=self.failure_at,
             failure_worker=self.failure_worker,
             seed=self.seed,
+            state_backend=self.state_backend,
         )
 
 

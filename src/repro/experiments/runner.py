@@ -27,6 +27,7 @@ def run_query(
     checkpoint_interval: float = 5.0,
     seed: int = 7,
     cost_model: CostModel | None = None,
+    state_backend: str = "full",
 ) -> RunResult:
     """Deploy ``spec`` under ``protocol`` and execute one measured run.
 
@@ -49,6 +50,7 @@ def run_query(
         hot_ratio=hot_ratio,
         checkpoint_interval=checkpoint_interval,
         seed=seed,
+        state_backend=state_backend,
         config=config,
     )
     return run_with_spec(spec, request)

@@ -49,10 +49,18 @@ class CheckpointEvent:
     durable_at: float
     state_bytes: int
     round_id: int | None = None
+    #: bytes that actually crossed the wire for this checkpoint; equals
+    #: state_bytes for a full snapshot, the delta size for a changelog
+    #: checkpoint (-1: unknown, treated as state_bytes)
+    upload_bytes: int = -1
 
     @property
     def duration(self) -> float:
         return self.durable_at - self.started_at
+
+    @property
+    def uploaded_bytes(self) -> int:
+        return self.state_bytes if self.upload_bytes < 0 else self.upload_bytes
 
 
 @dataclass
@@ -77,6 +85,11 @@ class MetricsCollector:
     checkpoints: list[CheckpointEvent] = field(default_factory=list)
     forced_checkpoints: int = 0
     duplicates_skipped: int = 0
+    #: checkpoint bytes that crossed the wire (delta size under the
+    #: changelog backend) vs the full state those checkpoints materialize;
+    #: per-instance events only — round summaries would double-count
+    checkpoint_bytes_uploaded: int = 0
+    checkpoint_bytes_materialized: int = 0
 
     # -- failure / recovery --------------------------------------------------- #
     failure_at: float = -1.0
@@ -86,6 +99,9 @@ class MetricsCollector:
     total_checkpoints_at_failure: int = -1
     replayed_messages: int = 0
     replayed_records: int = 0
+    #: canonical (line, replay) signature of every recovery, in order —
+    #: the differential backend tests compare these across state backends
+    recovery_lines: list[tuple] = field(default_factory=list)
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -108,6 +124,13 @@ class MetricsCollector:
 
     def record_checkpoint(self, event: CheckpointEvent) -> None:
         self.checkpoints.append(event)
+        if event.kind != KIND_ROUND:
+            self.checkpoint_bytes_uploaded += event.uploaded_bytes
+            self.checkpoint_bytes_materialized += event.state_bytes
+
+    def record_recovery_line(self, line_signature: tuple,
+                             replay_signature: tuple) -> None:
+        self.recovery_lines.append((line_signature, replay_signature))
 
     # ------------------------------------------------------------------ #
     # Derived values

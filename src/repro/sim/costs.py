@@ -56,6 +56,14 @@ class CostModel:
     #: size in bytes of a COOR marker message
     marker_bytes: int = 24
 
+    # -- incremental (changelog) checkpoints ------------------------------- #
+    #: framing/manifest bytes added to every delta blob (chain pointer,
+    #: per-state headers) — keeps empty deltas from being free
+    delta_overhead_bytes: int = 64
+    #: extra restore latency per delta blob folded on top of the base
+    #: (sequential fetch issue + apply pass per changelog segment)
+    delta_replay_per_blob: float = 0.0008
+
     # -- CIC piggyback (HMNR clocks and vectors) -------------------------- #
     # The simulator batches records for transport efficiency, but the paper's
     # system (Styx) ships one record per message, each carrying the HMNR
@@ -115,6 +123,18 @@ class CostModel:
         """Duration to fetch a checkpoint blob during restart."""
         return self.blob_latency + size_bytes / self.blob_bandwidth
 
+    def chain_restore_delay(self, total_bytes: int, n_blobs: int) -> float:
+        """Duration to fetch and materialize a base+delta checkpoint chain.
+
+        ``n_blobs == 1`` degenerates to :meth:`blob_restore_delay`, so the
+        full-snapshot backend pays exactly what it always did.
+        """
+        return (
+            n_blobs * self.blob_latency
+            + total_bytes / self.blob_bandwidth
+            + (n_blobs - 1) * self.delta_replay_per_blob
+        )
+
     def cic_piggyback_bytes(self, n_instances: int) -> int:
         """Per-record HMNR piggyback size for a pipeline of ``n_instances``."""
         return int(self.cic_header_bytes + n_instances * self.cic_per_instance_bytes)
@@ -140,6 +160,13 @@ class RuntimeConfig:
     #: 'at-least-once' = logging + replay, no dedup (duplicates possible),
     #: 'at-most-once'  = bare checkpoints, no logs, no replay (gap recovery)
     unc_semantics: str = "exactly-once"
+    #: checkpoint state backend: 'full' uploads the complete operator state
+    #: every checkpoint, 'changelog' uploads only the writes since the last
+    #: checkpoint as a delta chained onto it (DESIGN.md section 10)
+    state_backend: str = "full"
+    #: changelog compaction threshold: after this many deltas the next
+    #: checkpoint is folded into a fresh self-contained base
+    changelog_max_chain: int = 4
     #: measured run duration (paper: 60 s)
     duration: float = 60.0
     #: warmup before measurement starts (paper: 30 s)

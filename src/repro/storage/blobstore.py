@@ -5,6 +5,13 @@ store models upload/restore durations through the cost model (latency +
 size/bandwidth); the runtime charges those durations in virtual time.  The
 store itself is infallible and durable, matching the paper's assumption
 that Minio survives worker failures.
+
+Incremental (changelog) checkpoints store **delta blobs** that are only
+meaningful relative to a predecessor: ``BlobMeta.base_key`` links a delta
+to the blob it chains onto and ``chain_length`` counts the hops back to the
+self-contained base (DESIGN.md section 10).  :meth:`BlobStore.chain_keys`
+walks that chain so recovery can plan a base+delta restore and GC can pin
+every ancestor a live checkpoint still depends on.
 """
 
 from __future__ import annotations
@@ -20,6 +27,10 @@ class BlobMeta:
     key: str
     size_bytes: int
     stored_at: float
+    #: predecessor blob this delta chains onto (None: self-contained base)
+    base_key: str | None = None
+    #: delta hops from this blob back to its base (0 for a base)
+    chain_length: int = 0
 
 
 @dataclass
@@ -30,12 +41,18 @@ class BlobStore:
     _meta: dict[str, BlobMeta] = field(default_factory=dict)
     bytes_written: int = 0
     bytes_read: int = 0
+    bytes_deleted: int = 0
 
-    def put(self, key: str, value: Any, size_bytes: int, now: float) -> BlobMeta:
+    def put(self, key: str, value: Any, size_bytes: int, now: float,
+            base_key: str | None = None, chain_length: int = 0) -> BlobMeta:
         """Store ``value`` under ``key``; overwrites are allowed."""
         if size_bytes < 0:
             raise ValueError("size_bytes must be non-negative")
-        meta = BlobMeta(key, size_bytes, now)
+        if base_key is not None and base_key not in self._blobs:
+            raise KeyError(
+                f"delta blob {key!r} chains onto missing base {base_key!r}"
+            )
+        meta = BlobMeta(key, size_bytes, now, base_key, chain_length)
         self._blobs[key] = value
         self._meta[key] = meta
         self.bytes_written += size_bytes
@@ -50,6 +67,9 @@ class BlobStore:
     def meta(self, key: str) -> BlobMeta:
         return self._meta[key]
 
+    def keys(self) -> list[str]:
+        return list(self._blobs)
+
     def __contains__(self, key: str) -> bool:
         return key in self._blobs
 
@@ -59,7 +79,28 @@ class BlobStore:
     def delete(self, key: str) -> None:
         """Remove a blob (checkpoint garbage collection)."""
         del self._blobs[key]
-        del self._meta[key]
+        self.bytes_deleted += self._meta.pop(key).size_bytes
 
     def total_bytes(self) -> int:
         return sum(m.size_bytes for m in self._meta.values())
+
+    # -- delta chains ----------------------------------------------------- #
+
+    def chain_keys(self, key: str) -> list[str]:
+        """The blob keys a restore of ``key`` must fetch, base first.
+
+        A self-contained blob yields ``[key]``; a delta yields its whole
+        ancestor chain down to the base.  Raises KeyError if any link is
+        missing — the GC pinning invariant makes that a caller bug.
+        """
+        chain = [key]
+        meta = self._meta[key]
+        while meta.base_key is not None:
+            chain.append(meta.base_key)
+            meta = self._meta[meta.base_key]
+        chain.reverse()
+        return chain
+
+    def chain_bytes(self, key: str) -> int:
+        """Total stored bytes a restore of ``key`` fetches (base + deltas)."""
+        return sum(self._meta[k].size_bytes for k in self.chain_keys(key))

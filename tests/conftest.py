@@ -76,7 +76,8 @@ def make_event_log(rate: float, until: float, parallelism: int,
 def run_count_job(protocol: str, parallelism: int = 3, rate: float = 300.0,
                   duration: float = 14.0, warmup: float = 2.0,
                   failure_at: float | None = 6.0, input_until: float | None = None,
-                  checkpoint_interval: float = 3.0, seed: int = 3):
+                  checkpoint_interval: float = 3.0, seed: int = 3,
+                  state_backend: str = "full", changelog_max_chain: int = 4):
     """Run the counting pipeline; input stops early so queues drain."""
     if input_until is None:
         input_until = warmup + duration - 4.0
@@ -86,11 +87,43 @@ def run_count_job(protocol: str, parallelism: int = 3, rate: float = 300.0,
         warmup=warmup,
         failure_at=failure_at,
         seed=seed,
+        state_backend=state_backend,
+        changelog_max_chain=changelog_max_chain,
     )
     log = make_event_log(rate, input_until, parallelism, seed=seed)
     job = Job(build_count_graph(), protocol, parallelism, {"events": log}, config)
     result = job.run(rate=rate, query_name="count")
     return job, result
+
+
+def _canonical(obj):
+    """Order-independent, hashable rendering of nested snapshot payloads."""
+    if isinstance(obj, dict):
+        return ("dict",) + tuple(
+            sorted(((k, _canonical(v)) for k, v in obj.items()), key=repr)
+        )
+    if isinstance(obj, (list, tuple)):
+        return ("seq",) + tuple(_canonical(v) for v in obj)
+    if isinstance(obj, set):
+        return ("set",) + tuple(sorted((_canonical(v) for v in obj), key=repr))
+    return obj
+
+
+def canonical_state_bytes(job) -> bytes:
+    """Serialized final operator state of every instance, canonicalized.
+
+    Dict iteration order depends on processing history, so snapshots are
+    sorted recursively before pickling — two runs that end in the same
+    logical state produce byte-identical output regardless of the path
+    that led there.  The differential backend tests compare these.
+    """
+    import pickle
+
+    payload = tuple(
+        (key, _canonical(job.instance(key).operator.states.snapshot()))
+        for key in job.instance_keys()
+    )
+    return pickle.dumps(payload)
 
 
 @pytest.fixture

@@ -4,11 +4,21 @@ The audit: run the keyed-counting pipeline with a mid-run failure, stop the
 input early so all queues drain, then compare the final operator state with
 the per-key counts computed directly from the input log.  Any lost message
 (dropped effect) or duplicate (double-applied effect) breaks the equality.
+
+The suite doubles as the **differential state-equivalence harness** for the
+checkpoint state backends (DESIGN.md section 10): the audits run under both
+the full-snapshot and the changelog backend, and the differential tests
+additionally assert that, on a fixed seed, the two backends converge to
+byte-identical final operator state and make identical recovery decisions
+(same recovery line, same replayed sequences) for every protocol.
 """
 
 import pytest
 
-from tests.conftest import run_count_job
+from tests.conftest import canonical_state_bytes, run_count_job
+
+BACKENDS = ["full", "changelog"]
+ALL_PROTOCOLS = ["coor", "coor-unaligned", "unc", "cic"]
 
 
 def expected_counts(job) -> dict[int, int]:
@@ -28,18 +38,68 @@ def measured_counts(job) -> dict[int, int]:
     return counts
 
 
+@pytest.mark.parametrize("state_backend", BACKENDS)
 @pytest.mark.parametrize("protocol", ["coor", "unc", "cic"])
 @pytest.mark.parametrize("failure_at", [3.0, 6.0, 9.0])
-def test_exactly_once_state_across_failure_points(protocol, failure_at):
+def test_exactly_once_state_across_failure_points(protocol, failure_at,
+                                                  state_backend):
     job, _ = run_count_job(protocol, parallelism=3, rate=300.0,
-                           duration=16.0, failure_at=failure_at)
+                           duration=16.0, failure_at=failure_at,
+                           state_backend=state_backend)
     assert measured_counts(job) == expected_counts(job)
 
 
+@pytest.mark.parametrize("state_backend", BACKENDS)
 @pytest.mark.parametrize("protocol", ["coor", "unc", "cic"])
-def test_exactly_once_state_without_failure(protocol):
-    job, _ = run_count_job(protocol, failure_at=None)
+def test_exactly_once_state_without_failure(protocol, state_backend):
+    job, _ = run_count_job(protocol, failure_at=None,
+                           state_backend=state_backend)
     assert measured_counts(job) == expected_counts(job)
+
+
+# --------------------------------------------------------------------- #
+# Differential backend equivalence (DESIGN.md section 10)
+# --------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+@pytest.mark.parametrize("failure_at", [None, 6.0])
+def test_backends_differential_equivalence(protocol, failure_at):
+    """Full-snapshot and changelog runs must be indistinguishable in state.
+
+    Byte-identical final operator state (canonicalized snapshots) and
+    identical recovery decisions: the same recovery line (per-instance
+    checkpoint ids and kinds) and the same replayed message sequences.
+    """
+    job_full, res_full = run_count_job(protocol, failure_at=failure_at)
+    job_chg, res_chg = run_count_job(protocol, failure_at=failure_at,
+                                     state_backend="changelog")
+    assert canonical_state_bytes(job_full) == canonical_state_bytes(job_chg)
+    assert res_full.metrics.recovery_lines == res_chg.metrics.recovery_lines
+    # both must also pass the exactly-once audit (not just match each other)
+    assert measured_counts(job_full) == expected_counts(job_full)
+    assert measured_counts(job_chg) == expected_counts(job_chg)
+
+
+@pytest.mark.parametrize("protocol", ["unc", "cic"])
+def test_backends_differential_under_short_chains(protocol):
+    """Aggressive compaction (max_chain=1) must not change outcomes."""
+    job_full, res_full = run_count_job(protocol, failure_at=6.0)
+    job_chg, res_chg = run_count_job(protocol, failure_at=6.0,
+                                     state_backend="changelog",
+                                     changelog_max_chain=1)
+    assert canonical_state_bytes(job_full) == canonical_state_bytes(job_chg)
+    assert res_full.metrics.recovery_lines == res_chg.metrics.recovery_lines
+
+
+def test_changelog_uploads_fewer_bytes_than_full():
+    """The dedup-set journal alone makes UNC deltas much smaller."""
+    _, res_full = run_count_job("unc", failure_at=None)
+    _, res_chg = run_count_job("unc", failure_at=None,
+                               state_backend="changelog")
+    assert (res_chg.metrics.checkpoint_bytes_uploaded
+            < 0.8 * res_full.metrics.checkpoint_bytes_uploaded)
+    assert (res_chg.metrics.checkpoint_bytes_uploaded
+            < res_chg.metrics.checkpoint_bytes_materialized)
 
 
 @pytest.mark.parametrize("worker", [0, 1, 2])

@@ -100,5 +100,19 @@ def test_table4_runs_unc_and_cic_only():
 def test_all_experiments_registry():
     assert set(figures.ALL_EXPERIMENTS) == {
         "fig7", "table2", "fig8", "fig9", "fig10", "fig11",
-        "table3", "fig12", "fig13", "table4",
+        "table3", "fig12", "fig13", "table4", "state_size",
     }
+
+
+def test_state_size_figure_structure():
+    out = figures.state_size_backends(QUICK)
+    backends = {b for (_, _, b) in out["measured"]}
+    assert backends == {"full", "changelog"}
+    # the acceptance check of the backend figure must hold at smoke scale
+    assert all(ok for _, ok in out["checks"]), out["checks"]
+    # full backend accounts uploaded == materialized exactly
+    for (_, _, backend), m in out["measured"].items():
+        if backend == "full":
+            assert m["uploaded"] == m["materialized"]
+        else:
+            assert m["uploaded"] < m["materialized"]

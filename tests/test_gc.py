@@ -136,3 +136,154 @@ def test_gc_then_failure_still_exactly_once():
         for key, value in counts.items():
             measured[key] = measured.get(key, 0) + value
     assert measured == expected
+
+
+# --------------------------------------------------------------------- #
+# Changelog chains: GC pinning and compaction safety (DESIGN.md §10)
+# --------------------------------------------------------------------- #
+
+def _delta_blob_key(store: "BlobStore", prefix: str, cid: int,
+                    base_of: str | None) -> str:
+    key = f"{prefix}/{cid}"
+    store.put(key, {"delta": base_of is not None}, 10, now=float(cid),
+              base_key=base_of,
+              chain_length=0 if base_of is None else
+              store.meta(base_of).chain_length + 1)
+    return key
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.data())
+def test_pinning_never_reclaims_a_reachable_chain_link(data):
+    """Property: deleting everything outside ``pinned_blob_keys`` of a
+    random retained set leaves every retained chain fully restorable."""
+    from repro.storage.blobstore import BlobStore
+
+    store = BlobStore()
+    keys: list[str] = []
+    parent: str | None = None
+    n = data.draw(st.integers(min_value=1, max_value=20))
+    for cid in range(n):
+        # random mix of fresh bases and deltas chained on the predecessor
+        if parent is None or data.draw(st.booleans()):
+            parent = _delta_blob_key(store, "op/0", cid, None)
+        else:
+            parent = _delta_blob_key(store, "op/0", cid, parent)
+        keys.append(parent)
+    retained = [k for k in keys if data.draw(st.booleans())]
+    pinned = gc.pinned_blob_keys(store, retained)
+    for key in keys:
+        if key not in pinned:
+            store.delete(key)
+    # every retained checkpoint's full chain must still be fetchable
+    for key in retained:
+        for link in store.chain_keys(key):  # KeyError => pinning bug
+            store.get(link)
+
+
+@pytest.mark.parametrize("max_chain", [1, 3])
+def test_changelog_gc_keeps_registered_chains_intact(max_chain):
+    job, _ = run_count_job("unc", failure_at=None, duration=16.0,
+                           state_backend="changelog",
+                           changelog_max_chain=max_chain)
+    store = job.coordinator.blobstore
+    stats = gc.collect(job)
+    assert stats.checkpoints_deleted > 0
+    assert stats.blobs_deleted <= stats.checkpoints_deleted
+    # everything still registered restores through an intact chain whose
+    # length respects the compaction bound
+    for instance in job.instance_keys():
+        for meta_ in job.registry.for_instance(instance):
+            chain = store.chain_keys(meta_.blob_key)
+            assert len(chain) <= max_chain + 1
+            for link in chain:
+                assert link in store
+    # and bytes_deleted observed what reclamation freed
+    assert store.bytes_deleted == stats.checkpoint_bytes_freed
+
+
+def test_gc_eventually_reclaims_retired_chain_bases():
+    """A base pinned at prune time is parked, not leaked: once the last
+    delta depending on it is pruned, a later pass deletes it."""
+    from repro.dataflow.runtime import Job
+    from repro.sim.costs import RuntimeConfig
+    from tests.conftest import build_count_graph, make_event_log
+
+    config = RuntimeConfig(checkpoint_interval=2.0, duration=16.0, warmup=2.0,
+                           failure_at=None, seed=3, state_backend="changelog",
+                           changelog_max_chain=2)
+    log = make_event_log(300.0, 12.0, 3, seed=3)
+    job = Job(build_count_graph(), "unc", 3, {"events": log}, config)
+    for at in (6.0, 9.0, 12.0, 15.0):
+        job.sim.schedule_at(at, lambda: gc.collect(job))
+    job.run()
+    gc.collect(job)
+    store = job.coordinator.blobstore
+    registered = {
+        meta_.blob_key
+        for instance in job.instance_keys()
+        for meta_ in job.registry.for_instance(instance)
+    }
+    pinned = gc.pinned_blob_keys(store, registered)
+    # whatever is still deferred must be pinned by a live chain
+    assert job.gc_deferred_blobs <= pinned
+    # no orphan blobs survive except uploads whose metadata is still on
+    # the wire at the horizon (registration lags durability by ~a ms)
+    horizon = job.sim.now
+    for key in store.keys():
+        if key not in pinned:
+            assert store.meta(key).stored_at >= horizon - 1.0, key
+    assert store.bytes_deleted > 0
+
+
+def test_changelog_gc_then_failure_still_exactly_once():
+    """GC passes between changelog checkpoints must not break recovery."""
+    from repro.dataflow.runtime import Job
+    from repro.sim.costs import RuntimeConfig
+    from tests.conftest import build_count_graph, make_event_log
+
+    config = RuntimeConfig(checkpoint_interval=3.0, duration=18.0, warmup=2.0,
+                           failure_at=9.0, seed=3, state_backend="changelog",
+                           changelog_max_chain=2)
+    log = make_event_log(300.0, 16.0, 3, seed=3)
+    job = Job(build_count_graph(), "unc", 3, {"events": log}, config)
+    for at in (5.0, 8.0, 14.0):
+        job.sim.schedule_at(at, lambda: gc.collect(job))
+    job.run()
+    expected: dict[int, int] = {}
+    for partition in log.partitions:
+        for r in partition.records:
+            expected[r.payload.key] = expected.get(r.payload.key, 0) + 1
+    measured: dict[int, int] = {}
+    for idx in range(3):
+        counts = job.instance(("count", idx)).operator.states["counts"]
+        for key, value in counts.items():
+            measured[key] = measured.get(key, 0) + value
+    assert measured == expected
+
+
+def test_compaction_never_moves_the_line_backwards():
+    """Observed recovery lines are monotone while chains compact."""
+    from repro.dataflow.runtime import Job
+    from repro.sim.costs import RuntimeConfig
+    from tests.conftest import build_count_graph, make_event_log
+
+    config = RuntimeConfig(checkpoint_interval=2.0, duration=16.0, warmup=2.0,
+                           failure_at=None, seed=3, state_backend="changelog",
+                           changelog_max_chain=1)
+    log = make_event_log(300.0, 12.0, 3, seed=3)
+    job = Job(build_count_graph(), "unc", 3, {"events": log}, config)
+    observed: list[dict] = []
+
+    def probe() -> None:
+        gc.collect(job)
+        plan = job.protocol.build_recovery_plan(job.sim.now)
+        observed.append({k: m.checkpoint_id for k, m in plan.line.items()})
+
+    for at in (5.0, 8.0, 11.0, 14.0):
+        job.sim.schedule_at(at, probe)
+    job.run()
+    assert len(observed) == 4
+    for earlier, later in zip(observed, observed[1:]):
+        for key, cid in earlier.items():
+            assert later[key] >= cid

@@ -1,20 +1,28 @@
-"""Repeated-failure hardening: recover, crash again, still exactly-once."""
+"""Repeated-failure hardening: recover, crash again, still exactly-once.
+
+Like the exactly-once suite, this doubles as a differential harness for
+the checkpoint state backends: repeated failures exercise the changelog
+backend's forced-base-after-restore rule several times per run, and the
+differential test asserts both backends pick identical recovery lines at
+every one of them (DESIGN.md section 10).
+"""
 
 import pytest
 
 from repro.dataflow.runtime import Job
 from repro.sim.costs import RuntimeConfig
 
-from tests.conftest import build_count_graph, make_event_log
+from tests.conftest import build_count_graph, canonical_state_bytes, make_event_log
 
 
 def run_with_failures(protocol, failures, duration=24.0, seed=3,
-                      parallelism=3, rate=300.0):
+                      parallelism=3, rate=300.0, state_backend="full"):
     first_at, first_worker = failures[0]
     config = RuntimeConfig(
         checkpoint_interval=3.0, duration=duration, warmup=2.0,
         failure_at=first_at, failure_worker=first_worker,
         extra_failures=tuple(failures[1:]), seed=seed,
+        state_backend=state_backend,
     )
     log = make_event_log(rate, duration - 4.0, parallelism, seed=seed)
     job = Job(build_count_graph(), protocol, parallelism, {"events": log}, config)
@@ -31,19 +39,51 @@ def run_with_failures(protocol, failures, duration=24.0, seed=3,
     return job, result, expected, measured
 
 
+@pytest.mark.parametrize("state_backend", ["full", "changelog"])
 @pytest.mark.parametrize("protocol", ["coor", "coor-unaligned", "unc", "cic"])
-def test_two_failures_still_exactly_once(protocol):
+def test_two_failures_still_exactly_once(protocol, state_backend):
     _, _, expected, measured = run_with_failures(
-        protocol, [(5.0, 0), (13.0, 1)],
+        protocol, [(5.0, 0), (13.0, 1)], state_backend=state_backend,
     )
     assert measured == expected
 
 
-def test_three_failures_same_worker():
+@pytest.mark.parametrize("state_backend", ["full", "changelog"])
+def test_three_failures_same_worker(state_backend):
     _, _, expected, measured = run_with_failures(
         "unc", [(4.0, 0), (10.0, 0), (16.0, 0)], duration=28.0,
+        state_backend=state_backend,
     )
     assert measured == expected
+
+
+@pytest.mark.parametrize("protocol", ["coor", "coor-unaligned", "unc", "cic"])
+def test_backends_differential_across_repeated_failures(protocol):
+    """Both backends recover along identical lines at BOTH failures and
+    end in byte-identical operator state.
+
+    At the FIRST failure the pre-failure trajectories are still in lockstep,
+    so line and replayed sequences must match exactly.  The first restart's
+    duration is backend-dependent by design (a chain restore costs more
+    than one blob fetch), which time-shifts everything after it: the second
+    round of checkpoints carries slightly different in-flight cursors, so
+    only the second recovery's *line* (checkpoint ids and kinds) — not the
+    byte-level replay sets — is required to match.
+    """
+    job_full, res_full, expected, measured_full = run_with_failures(
+        protocol, [(5.0, 0), (13.0, 1)],
+    )
+    job_chg, res_chg, _, measured_chg = run_with_failures(
+        protocol, [(5.0, 0), (13.0, 1)], state_backend="changelog",
+    )
+    assert len(res_full.metrics.recovery_lines) == 2
+    assert res_full.metrics.recovery_lines[0] == res_chg.metrics.recovery_lines[0]
+    lines_full = [line for line, _ in res_full.metrics.recovery_lines]
+    lines_chg = [line for line, _ in res_chg.metrics.recovery_lines]
+    assert lines_full == lines_chg
+    assert canonical_state_bytes(job_full) == canonical_state_bytes(job_chg)
+    assert measured_full == expected
+    assert measured_chg == expected
 
 
 def test_metrics_stamp_first_failure_only():

@@ -32,6 +32,7 @@ def test_request_key_is_stable_and_sensitive():
     assert request_key(req()) != request_key(req(rate=301.0))
     assert request_key(req()) != request_key(req(seed=8))
     assert request_key(req()) != request_key(req(protocol="cic"))
+    assert request_key(req()) != request_key(req(state_backend="changelog"))
 
 
 def test_request_key_sees_config_changes():

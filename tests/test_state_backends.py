@@ -1,0 +1,256 @@
+"""Unit tests for the state-backend layer (DESIGN.md section 10).
+
+Two levels: the dirty-tracking/delta protocol of the state primitives
+(delta folded onto a base snapshot must equal a direct snapshot, for any
+operation sequence — checked by example and by property), and the chain
+bookkeeping of the ChangelogBackend against a real job (base/delta
+cadence, compaction, forced base after recovery).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataflow.state import (
+    ChangelogBackend,
+    FullSnapshotBackend,
+    KeyedListState,
+    KeyedMapState,
+    StateRegistry,
+    ValueState,
+    create_state_backend,
+)
+
+from tests.conftest import run_count_job
+
+
+# --------------------------------------------------------------------- #
+# Delta protocol of the state primitives
+# --------------------------------------------------------------------- #
+
+def test_value_state_delta_lifecycle():
+    s = ValueState(0, 8)
+    s.mark_clean()
+    assert s.snapshot_delta() is None
+    assert s.delta_bytes() == 0
+    s.set(5, 16)
+    assert s.delta_bytes() == 16
+    replica = ValueState(0, 8)
+    replica.apply_delta(s.snapshot_delta())
+    assert replica.snapshot() == s.snapshot()
+    s.mark_clean()
+    assert s.snapshot_delta() is None
+
+
+def test_keyed_map_delta_tracks_writes_and_deletes():
+    s = KeyedMapState()
+    s.put("a", 1, 10)
+    s.put("b", 2, 10)
+    s.mark_clean()
+    assert s.snapshot_delta() is None
+    s.put("b", 3, 12)
+    s.put("c", 4, 10)
+    s.delete("a")
+    replica = KeyedMapState()
+    replica.put("a", 1, 10)
+    replica.put("b", 2, 10)
+    replica.apply_delta(s.snapshot_delta())
+    assert replica.snapshot() == s.snapshot()
+    # deleting a freshly written key removes it from the written set too
+    s.mark_clean()
+    s.put("d", 9, 10)
+    s.delete("d")
+    kind, written, deleted, _ = s.snapshot_delta()
+    assert "d" not in written and "d" in deleted
+
+
+def test_keyed_map_clear_degenerates_to_full_delta():
+    s = KeyedMapState()
+    s.put("a", 1, 10)
+    s.mark_clean()
+    s.clear()
+    s.put("b", 2, 10)
+    delta = s.snapshot_delta()
+    assert delta[0] == "full"
+    replica = KeyedMapState()
+    replica.put("zzz", 99, 10)  # stale content must vanish
+    replica.apply_delta(delta)
+    assert replica.snapshot() == s.snapshot()
+
+
+def test_keyed_list_delta_rewrites_dirty_keys():
+    s = KeyedListState(entry_bytes=10)
+    s.append("a", 1)
+    s.append("a", 2)
+    s.append("b", 3)
+    s.mark_clean()
+    s.append("a", 4)
+    s.delete("b")
+    replica = KeyedListState(entry_bytes=10)
+    replica.append("a", 1)
+    replica.append("a", 2)
+    replica.append("b", 3)
+    replica.apply_delta(s.snapshot_delta())
+    assert replica.snapshot() == s.snapshot()
+    assert s.delta_bytes() == 3 * 10 + 12  # a's 3 entries + one deletion
+
+
+def test_keyed_list_remove_value_marks_dirty():
+    s = KeyedListState(entry_bytes=10)
+    s.append("a", 1)
+    s.append("a", 2)
+    s.mark_clean()
+    removed = s.remove_value("a", lambda v: v == 1)
+    assert removed == 1
+    replica = KeyedListState(entry_bytes=10)
+    replica.append("a", 1)
+    replica.append("a", 2)
+    replica.apply_delta(s.snapshot_delta())
+    assert replica.snapshot() == s.snapshot()
+
+
+def test_registry_delta_roundtrip_and_sparseness():
+    reg = StateRegistry()
+    v = reg.register("v", ValueState(0, 8))
+    m = reg.register("m", KeyedMapState())
+    m.put("k", 1, 10)
+    reg.mark_clean()
+    v.set(7, 8)  # only "v" is dirty
+    deltas, size = reg.snapshot_delta()
+    assert deltas["m"] is None
+    assert deltas["v"] is not None
+    assert size == 8
+    replica = StateRegistry()
+    replica.register("v", ValueState(0, 8))
+    rm = replica.register("m", KeyedMapState())
+    rm.put("k", 1, 10)
+    replica.apply_delta(deltas)
+    assert replica.snapshot() == reg.snapshot()
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(0, 6),            # op
+              st.integers(0, 7),            # key
+              st.integers(0, 50)),          # value
+    min_size=0, max_size=60,
+))
+def test_map_base_plus_deltas_equals_direct_snapshot(ops):
+    """Property: base snapshot + periodic deltas == direct snapshot.
+
+    Random put/delete/clear sequences with checkpoints sprinkled between —
+    the replica only ever sees the base and the deltas, never the state.
+    """
+    state = KeyedMapState()
+    replica = KeyedMapState()
+    replica.restore(state.snapshot())
+    state.mark_clean()
+    for op, key, value in ops:
+        if op == 0:
+            state.delete(key)
+        elif op == 6 and value < 5:
+            state.clear()
+        else:
+            state.put(key, value, 8 + (value % 3))
+        if value % 7 == 0:  # checkpoint: ship a delta
+            delta = state.snapshot_delta()
+            if delta is not None:
+                replica.apply_delta(delta)
+            state.mark_clean()
+    delta = state.snapshot_delta()
+    if delta is not None:
+        replica.apply_delta(delta)
+    assert replica.snapshot() == state.snapshot()
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(0, 5), st.integers(0, 5), st.integers(0, 50)),
+    min_size=0, max_size=60,
+))
+def test_list_base_plus_deltas_equals_direct_snapshot(ops):
+    state = KeyedListState(entry_bytes=10)
+    replica = KeyedListState(entry_bytes=10)
+    replica.restore(state.snapshot())
+    state.mark_clean()
+    for op, key, value in ops:
+        if op == 0:
+            state.delete(key)
+        elif op == 1:
+            state.remove_value(key, lambda v: v % 2 == 0)
+        else:
+            state.append(key, value)
+        if value % 6 == 0:
+            delta = state.snapshot_delta()
+            if delta is not None:
+                replica.apply_delta(delta)
+            state.mark_clean()
+    delta = state.snapshot_delta()
+    if delta is not None:
+        replica.apply_delta(delta)
+    assert replica.snapshot() == state.snapshot()
+
+
+# --------------------------------------------------------------------- #
+# Backend factory and chain bookkeeping
+# --------------------------------------------------------------------- #
+
+def test_create_state_backend():
+    assert isinstance(create_state_backend("full"), FullSnapshotBackend)
+    backend = create_state_backend("changelog", max_chain=7)
+    assert isinstance(backend, ChangelogBackend)
+    assert backend.max_chain == 7
+    with pytest.raises(ValueError):
+        create_state_backend("rocksdb")
+
+
+@pytest.mark.parametrize("max_chain", [1, 2, 4])
+def test_chain_cadence_and_compaction_bound(max_chain):
+    """Blob metadata shows base / delta / ... / base with bounded chains."""
+    job, _ = run_count_job("unc", failure_at=None, duration=16.0,
+                           state_backend="changelog",
+                           changelog_max_chain=max_chain)
+    store = job.coordinator.blobstore
+    saw_delta = False
+    for instance in job.instance_keys():
+        metas = job.registry.for_instance(instance)
+        for meta in metas:
+            blob = store.meta(meta.blob_key)
+            assert blob.chain_length <= max_chain
+            assert (blob.base_key is None) == (blob.chain_length == 0)
+            saw_delta = saw_delta or blob.chain_length > 0
+            # chain metadata in the registry mirrors the store
+            assert meta.chain_length == blob.chain_length
+            assert meta.base_key == blob.base_key
+    assert saw_delta
+
+
+def test_first_checkpoint_after_recovery_is_a_base():
+    job, _ = run_count_job("unc", failure_at=6.0, duration=16.0,
+                           state_backend="changelog")
+    store = job.coordinator.blobstore
+    detected = job.metrics.detected_at
+    for instance in job.instance_keys():
+        post = [m for m in job.registry.for_instance(instance)
+                if m.started_at > detected]
+        if post:
+            first = min(post, key=lambda m: m.checkpoint_id)
+            assert first.base_key is None
+            assert first.chain_length == 0
+
+
+def test_full_backend_leaves_rid_journal_uninstalled():
+    job, _ = run_count_job("unc", failure_at=None, duration=10.0)
+    assert all(i.rid_journal is None for i in job.instances())
+    job2, _ = run_count_job("unc", failure_at=None, duration=10.0,
+                            state_backend="changelog")
+    assert all(i.rid_journal is not None for i in job2.instances())
+
+
+def test_delta_blobs_store_less_than_full_state():
+    """The store's live footprint shrinks under the changelog backend."""
+    job_full, _ = run_count_job("unc", failure_at=None, duration=16.0)
+    job_chg, _ = run_count_job("unc", failure_at=None, duration=16.0,
+                               state_backend="changelog")
+    full_store = job_full.coordinator.blobstore
+    chg_store = job_chg.coordinator.blobstore
+    assert chg_store.bytes_written < full_store.bytes_written

@@ -144,6 +144,33 @@ def test_blobstore_byte_accounting():
     assert store.total_bytes() == 40
 
 
+def test_blobstore_accounting_across_overwrite_get_delete():
+    """Every counter over a realistic put/overwrite/get/delete sequence."""
+    store = BlobStore()
+    store.put("a", "v1", 100, now=1.0)
+    store.put("a", "v2", 60, now=2.0)   # overwrite: both writes billed
+    store.put("b", "w", 40, now=2.0)
+    store.get("a")                       # reads the overwritten size
+    store.get("a")
+    store.delete("b")
+    assert store.bytes_written == 200
+    assert store.bytes_read == 120
+    assert store.bytes_deleted == 40
+    assert store.total_bytes() == 60     # only the live overwrite remains
+    assert len(store) == 1
+
+
+def test_blobstore_bytes_deleted_observes_gc_reclamation():
+    store = BlobStore()
+    for i in range(5):
+        store.put(f"ckpt/{i}", i, 100, now=float(i))
+    for i in range(3):
+        store.delete(f"ckpt/{i}")
+    assert store.bytes_deleted == 300
+    assert store.total_bytes() == 200
+    assert store.bytes_written == 500
+
+
 def test_blobstore_delete():
     store = BlobStore()
     store.put("k", "v", 10, now=1.0)
@@ -155,3 +182,25 @@ def test_blobstore_delete():
 def test_blobstore_negative_size_rejected():
     with pytest.raises(ValueError):
         BlobStore().put("k", "v", -1, now=1.0)
+
+
+# --------------------------------------------------------------------- #
+# Delta chains (changelog state backend, DESIGN.md §10)
+# --------------------------------------------------------------------- #
+
+def test_chain_keys_walks_base_links_base_first():
+    store = BlobStore()
+    store.put("base", {"full": True}, 100, now=1.0)
+    store.put("d1", {"delta": 1}, 10, now=2.0, base_key="base", chain_length=1)
+    store.put("d2", {"delta": 2}, 10, now=3.0, base_key="d1", chain_length=2)
+    assert store.chain_keys("d2") == ["base", "d1", "d2"]
+    assert store.chain_keys("base") == ["base"]
+    assert store.chain_bytes("d2") == 120
+    assert store.meta("d2").chain_length == 2
+    assert store.meta("base").base_key is None
+
+
+def test_delta_put_requires_existing_base():
+    store = BlobStore()
+    with pytest.raises(KeyError):
+        store.put("d1", {}, 10, now=1.0, base_key="missing")
