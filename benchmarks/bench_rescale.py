@@ -1,0 +1,76 @@
+"""Rescaled-restore cost vs plain restore (recovery-path perf tracking).
+
+Like ``bench_parallel_runner`` this one measures the *runtime* rather than
+a paper figure: the same failure run is recovered three ways — at the
+checkpoint's parallelism, scaled down, scaled up — and the bench records
+both the simulated restart/recovery premiums and the wall-clock cost of
+executing the rescaled restore (chain folding + group split/merge + replay
+re-routing).  The numbers land in ``results/BENCH_rescale.json`` so the
+perf trajectory tracks recovery, not just steady state.
+"""
+
+import json
+
+from repro.experiments.parallel import RunRequest, execute_request
+from repro.workloads.nexmark import QUERIES
+
+from benchmarks._common import RESULTS_DIR, emit
+
+PARALLELISM = 4
+PROTOCOLS = ("coor", "coor-unaligned", "unc", "cic")
+FACTORS = {"plain": None, "down": PARALLELISM // 2, "up": PARALLELISM + 2}
+
+
+def _request(protocol: str, rescale_to: int | None) -> RunRequest:
+    spec = QUERIES["q3"]
+    return RunRequest(
+        query="q3", protocol=protocol, parallelism=PARALLELISM,
+        rate=spec.capacity_per_worker * (PARALLELISM // 2) * 0.4,
+        duration=24.0, warmup=6.0, failure_at=10.0, seed=7,
+        rescale_to=rescale_to,
+    )
+
+
+def test_rescaled_restore_premium(benchmark):
+    def sweep():
+        return {
+            (protocol, factor): execute_request(_request(protocol, target))
+            for protocol in PROTOCOLS
+            for factor, target in FACTORS.items()
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    payload = {}
+    for protocol in PROTOCOLS:
+        plain = results[(protocol, "plain")]
+        for factor in FACTORS:
+            result = results[(protocol, factor)]
+            restart_ms = result.restart_time() * 1000.0
+            premium = (restart_ms / (plain.restart_time() * 1000.0)
+                       if plain.restart_time() > 0 else 0.0)
+            rows.append(
+                f"  {protocol:<14} {factor:<6} "
+                f"{PARALLELISM}->{result.final_parallelism}  "
+                f"restart {restart_ms:8.1f} ms  "
+                f"recovery {result.recovery_time():6.2f} s  "
+                f"premium {premium:5.2f}x"
+            )
+            payload[f"{protocol}/{factor}"] = {
+                "final_parallelism": result.final_parallelism,
+                "restart_ms": restart_ms,
+                "recovery_s": result.recovery_time(),
+                "restart_premium_vs_plain": premium,
+            }
+            # a rescaled restore must cost more than the plain one but
+            # stay the same order of magnitude (the figure's shape check)
+            if factor != "plain":
+                assert restart_ms >= plain.restart_time() * 1000.0
+                assert restart_ms <= 20.0 * plain.restart_time() * 1000.0
+    emit("bench_rescale",
+         "Rescaled-restore cost vs plain restore (q3, failure at t=10s)\n"
+         + "\n".join(rows))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_rescale.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Elastic rescale-on-recovery: crash at p=4, come back at p=2 / 4 / 6.
+
+Production stream processors decouple the logical key space from physical
+parallelism (key groups) precisely so a restore can repartition state.
+This example runs NexMark Q12 (windowed count, keyed shuffle) under each
+protocol, kills worker 0 mid-run, and lets the recovery redeploy the job
+at a different parallelism:
+
+* keyed state moves along its key groups (crc32 group -> owning instance),
+* the four input-log partitions re-spread over the new source instances,
+* in-flight messages are re-routed through the new partitioners,
+* a synthetic baseline checkpoint anchors the new topology's recoveries.
+
+Printed per (protocol, factor): restart time, recovery time, post-recovery
+throughput, and the per-group state balance after repartitioning.
+
+Run:  python examples/rescale_recovery.py
+"""
+
+from repro.experiments.runner import run_query
+from repro.metrics.report import format_table
+from repro.workloads.nexmark import QUERIES
+
+
+def main() -> None:
+    spec = QUERIES["q12"]
+    parallelism = 4
+    rate = spec.capacity_per_worker * 2 * 0.4  # sustainable even at p=2
+    rows = []
+    for protocol in ["coor", "coor-unaligned", "unc", "cic"]:
+        for target in [2, None, 6]:
+            result = run_query(
+                spec, protocol, parallelism,
+                rate=rate,
+                duration=30.0, warmup=5.0,
+                failure_at=10.0,
+                rescale_to=target,
+            )
+            m = result.metrics
+            post = m.total_sink_records(start=m.restart_completed_at + 1.0)
+            span = result.warmup + result.duration - (m.restart_completed_at + 1.0)
+            rows.append([
+                protocol,
+                f"{parallelism}->{result.final_parallelism}",
+                result.restart_time() * 1000.0,
+                result.recovery_time(),
+                post / max(span, 1e-9),
+                f"{m.group_imbalance():.2f}x" if result.rescaled else "-",
+            ])
+    print(format_table(
+        ["protocol", "workers", "restart (ms)", "recovery (s)",
+         "post-recovery rec/s", "group imbalance"],
+        rows,
+        title="Q12, failure at t=10s — recovery restores at a new parallelism",
+    ))
+    print(
+        "\nThe rescaled restores pay an orchestration + ranged-fetch premium"
+        "\nover the plain restore, yet every variant drains the same input"
+        "\nexactly once — state re-sharded along key groups, source offsets"
+        "\nre-bound per input partition."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -67,6 +67,16 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=["full", "changelog"],
                        help="checkpoint state backend: full snapshots or "
                             "incremental changelog deltas (DESIGN.md §10)")
+    query.add_argument("--rescale-to", type=int, default=None,
+                       help="restore the recovery at this parallelism "
+                            "instead of the checkpoint's (requires "
+                            "--failure-at; DESIGN.md §11)")
+    query.add_argument("--rescale-at", type=int, default=1,
+                       help="which recovery applies the rescale (default: "
+                            "the first failure's)")
+    query.add_argument("--max-key-groups", type=int, default=128,
+                       help="size of the key-group address space keyed "
+                            "routing and state are partitioned over")
     query.add_argument("--seed", type=int, default=7)
     return parser
 
@@ -167,18 +177,26 @@ def _cmd_all(args) -> int:
 def _cmd_query(args) -> int:
     spec = REACHABILITY if args.name == "reachability" else QUERIES[args.name]
     rate = args.rate or spec.capacity_per_worker * args.parallelism * 0.6
+    if args.rescale_to is not None and args.failure_at is None:
+        print("--rescale-to requires --failure-at (the rescale is applied "
+              "by a recovery)", file=sys.stderr)
+        return 2
     result = run_query(
         spec, args.protocol, args.parallelism, rate=rate,
         duration=args.duration, warmup=args.warmup,
         failure_at=args.failure_at, hot_ratio=args.hot_ratio,
         checkpoint_interval=args.checkpoint_interval, seed=args.seed,
         state_backend=args.state_backend,
+        rescale_to=args.rescale_to, rescale_at=args.rescale_at,
+        max_key_groups=args.max_key_groups,
     )
     series = result.latency_series()
     p50 = percentile([v for v in series.p50 if v > 0], 50)
     p99 = percentile([v for v in series.p99 if v > 0], 50)
+    workers = (f"{result.parallelism}->{result.final_parallelism}"
+               if result.rescaled else f"{result.parallelism}")
     print(f"query={result.query} protocol={result.protocol} "
-          f"workers={result.parallelism} rate={rate:.0f} rec/s")
+          f"workers={workers} rate={rate:.0f} rec/s")
     print(f"  sink records     : {sum(result.metrics.sink_counts.values())}")
     print(f"  p50 / p99        : {p50 * 1000:.1f} ms / {p99 * 1000:.1f} ms")
     print(f"  checkpoints      : {result.total_checkpoints()} "
@@ -196,6 +214,11 @@ def _cmd_query(args) -> int:
         print(f"  invalid ckpts    : {result.metrics.invalid_checkpoints} "
               f"of {result.metrics.total_checkpoints_at_failure}")
         print(f"  replayed messages: {result.metrics.replayed_messages}")
+    if result.rescaled:
+        m = result.metrics
+        print(f"  rescaled         : {m.rescale_from} -> {m.rescale_to} "
+              f"workers at t={m.rescaled_at:.1f}s "
+              f"(group imbalance {m.group_imbalance():.2f}x)")
     return 0
 
 

@@ -40,7 +40,8 @@ class CheckpointMeta:
     blob_key: str
     last_sent: dict[ChannelId, int]
     last_received: dict[ChannelId, int]
-    source_offset: int | None
+    #: per owned input partition: next offset to read (sources; None else)
+    source_offsets: dict[int, int] | None
     clock: int = 0
     #: bytes actually uploaded for this checkpoint (< state_bytes for a
     #: changelog delta); -1 means "same as state_bytes" (legacy callers)
@@ -80,7 +81,7 @@ def initial_checkpoint(instance: InstanceKey) -> CheckpointMeta:
         blob_key="",
         last_sent={},
         last_received={},
-        source_offset=0,
+        source_offsets={},
     )
 
 
@@ -127,6 +128,11 @@ class CheckpointRegistry:
     def instances(self) -> list[InstanceKey]:
         return list(self._by_instance)
 
+    def clear(self) -> None:
+        """Forget every checkpoint (a rescaled redeploy starts a new epoch:
+        pre-rescale metadata describes instances that no longer exist)."""
+        self._by_instance.clear()
+
 
 @dataclass
 class RecoveryPlan:
@@ -141,6 +147,9 @@ class RecoveryPlan:
     #: durable checkpoints existing when the plan was computed
     total_checkpoints: int = 0
     computed_at: float = 0.0
+    #: restore at this parallelism instead of the line's (elastic
+    #: rescale-on-recovery); None keeps the checkpoint's parallelism
+    rescale_to: int | None = None
 
     @property
     def replayed_messages(self) -> int:
@@ -159,6 +168,9 @@ class CheckpointProtocol:
     requires_logging = False
     #: can the protocol run on cyclic dataflow graphs?
     supports_cycles = True
+    #: do checkpoint blobs persist in-flight channel state the runtime must
+    #: carry into the synthetic baseline of a rescaled restore?
+    channel_state_in_snapshot = False
 
     def __init__(self, job: "Job"):
         self.job = job
@@ -226,6 +238,26 @@ class CheckpointProtocol:
 
     def on_recovery_applied(self, plan: RecoveryPlan) -> None:
         """Reset protocol-internal runtime structures after a rollback."""
+
+    # -- rescale-on-recovery --------------------------------------------- #
+
+    def on_rescaled(self, plan: RecoveryPlan) -> None:
+        """The job was redeployed at a new parallelism mid-recovery.
+
+        Per-instance protocol structures (timers, vector clocks) refer to
+        instances that no longer exist; subclasses rebuild them here.
+        Called after the new topology is wired and restored, before the
+        replay re-injection.
+        """
+
+    def install_rescale_baseline(self, metas: "dict[InstanceKey, CheckpointMeta]") -> None:
+        """Register the synthetic post-rescale checkpoints as the new
+        recovery floor (pre-rescale metadata was dropped with the old
+        topology).  The uncoordinated family only needs the registry; the
+        coordinated family additionally records them as a completed round.
+        """
+        for key in sorted(metas):
+            self.job.registry.register(metas[key])
 
 
 class NoCheckpointProtocol(CheckpointProtocol):

@@ -125,12 +125,26 @@ class CommunicationInducedProtocol(UncoordinatedProtocol):
     name = "cic"
 
     def on_job_start(self) -> None:
+        self._install_states()
+        super().on_job_start()
+
+    def _install_states(self) -> None:
         n = self.job.n_instances
         for instance in self.job.instances():
             instance.proto = CicState(
                 ordinal=self.job.instance_ordinal(instance.key), n=n
             )
-        super().on_job_start()
+
+    def on_rescaled(self, plan) -> None:
+        """HMNR vectors are sized by instance count: rebuild them fresh.
+
+        The rescaled restore is a globally consistent cut (everything
+        rolls back together and the baseline checkpoint re-anchors every
+        clock), so restarting the clocks at zero is safe — Z-cycle
+        prevention only reasons about messages of the new epoch.
+        """
+        self._install_states()
+        super().on_rescaled(plan)
 
     # ------------------------------------------------------------------ #
     # Data-path hooks

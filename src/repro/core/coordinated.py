@@ -173,3 +173,30 @@ class CoordinatedProtocol(CheckpointProtocol):
         # abort any round that was in flight when the failure hit
         self._align.clear()
         self._active_round = None
+
+    # ------------------------------------------------------------------ #
+    # Rescale-on-recovery
+    # ------------------------------------------------------------------ #
+
+    def on_rescaled(self, plan: RecoveryPlan) -> None:
+        """The alignment state referenced instances that no longer exist."""
+        self._align.clear()
+        self._active_round = None
+
+    def install_rescale_baseline(self, metas) -> None:
+        """Record the synthetic baseline as a *completed* round.
+
+        COOR recovery lines are completed rounds; without this, a failure
+        arriving before the first post-rescale round completes would fall
+        back past the rescaled restore point.
+        """
+        super().install_rescale_baseline(metas)
+        job = self.job
+        self._round += 1
+        round_id = self._round
+        self._round_started[round_id] = job.sim.now
+        self._round_durable[round_id] = set(metas)
+        self._round_metas[round_id] = dict(metas)
+        job.completed_rounds.add(round_id)
+        self._latest_complete = round_id
+        self._active_round = None

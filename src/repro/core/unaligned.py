@@ -62,6 +62,9 @@ class UnalignedCoordinatedProtocol(CoordinatedProtocol):
     name = "coor-unaligned"
     requires_logging = False
     supports_cycles = False
+    #: checkpoint blobs persist in-flight channel state; a rescaled
+    #: restore must carry the re-routed replay into its baseline blobs
+    channel_state_in_snapshot = True
 
     def __init__(self, job):
         super().__init__(job)
@@ -142,8 +145,8 @@ class UnalignedCoordinatedProtocol(CoordinatedProtocol):
             blob_key=blob_key,
             last_sent=dict(instance.out_seq),
             last_received=dict(instance.last_received),
-            source_offset=(instance.source_cursor
-                           if instance.spec.is_source else None),
+            source_offsets=(dict(instance.source_cursors)
+                            if instance.spec.is_source else None),
             upload_bytes=captured.upload_bytes,
             base_key=captured.base_key,
             chain_length=captured.chain_length,
@@ -195,11 +198,14 @@ class UnalignedCoordinatedProtocol(CoordinatedProtocol):
         job.schedule_durable(
             instance,
             job.cost.blob_upload_delay(meta.upload_bytes),
-            self._unaligned_durable, meta, snapshot,
+            self._unaligned_durable, meta, snapshot, job.deploy_epoch,
         )
 
-    def _unaligned_durable(self, meta: CheckpointMeta, snapshot: dict) -> None:
+    def _unaligned_durable(self, meta: CheckpointMeta, snapshot: dict,
+                           deploy_epoch: int = 0) -> None:
         job = self.job
+        if deploy_epoch != job.deploy_epoch:
+            return  # upload outlived a rescaled redeploy; its instance is gone
         durable = replace(meta, durable_at=job.sim.now)
         job.coordinator.blobstore.put(
             durable.blob_key, snapshot, durable.uploaded_bytes, job.sim.now,
@@ -245,4 +251,8 @@ class UnalignedCoordinatedProtocol(CoordinatedProtocol):
 
     def on_recovery_applied(self, plan) -> None:
         super().on_recovery_applied(plan)
+        self._pending.clear()
+
+    def on_rescaled(self, plan) -> None:
+        super().on_rescaled(plan)
         self._pending.clear()

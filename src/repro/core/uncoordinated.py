@@ -122,15 +122,27 @@ class UncoordinatedProtocol(CheckpointProtocol):
         return interval, phase
 
     def on_job_start(self) -> None:
+        self._start_timers()
+
+    def _start_timers(self) -> None:
         for instance in self._participating_instances():
             interval, phase = self._schedule_for(instance)
-            self.job.sim.schedule(phase, self._timer_tick, instance, interval)
+            self.job.sim.schedule(phase, self._timer_tick, instance, interval,
+                                  self.job.deploy_epoch)
 
-    def _timer_tick(self, instance: "InstanceRuntime", interval: float) -> None:
+    def _timer_tick(self, instance: "InstanceRuntime", interval: float,
+                    deploy_epoch: int = 0) -> None:
         job = self.job
+        if deploy_epoch != job.deploy_epoch:
+            return  # timer chain of a pre-rescale deployment; let it die
         if instance.worker.alive and not job.recovering:
             job.enqueue_checkpoint(instance, KIND_LOCAL, None)
-        job.sim.schedule(interval, self._timer_tick, instance, interval)
+        job.sim.schedule(interval, self._timer_tick, instance, interval,
+                         deploy_epoch)
+
+    def on_rescaled(self, plan: RecoveryPlan) -> None:
+        """Start local checkpoint timers for the replacement instances."""
+        self._start_timers()
 
     # ------------------------------------------------------------------ #
     # Message logging (upstream backup)

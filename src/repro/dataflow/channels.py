@@ -17,7 +17,8 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.dataflow.graph import EdgeSpec, Partitioning
+from repro.dataflow.graph import EdgeSpec, GraphError, Partitioning
+from repro.dataflow.keygroups import DEFAULT_MAX_KEY_GROUPS, key_group
 from repro.dataflow.records import StreamRecord
 
 ChannelId = tuple[int, int, int]
@@ -67,11 +68,19 @@ def hash_key(key: Any) -> int:
 
 
 class Partitioner:
-    """Maps an output record to destination instance indices for one edge."""
+    """Maps an output record to destination instance indices for one edge.
 
-    def __init__(self, edge: EdgeSpec, parallelism: int):
+    KEY edges route in two hops — ``key -> crc32 group -> owning instance``
+    (:mod:`repro.dataflow.keygroups`) — so the same record lands on whoever
+    owns its group at the *current* parallelism; a rescaled deployment only
+    moves group ranges, never re-hashes keys.
+    """
+
+    def __init__(self, edge: EdgeSpec, parallelism: int,
+                 max_key_groups: int = DEFAULT_MAX_KEY_GROUPS):
         self.edge = edge
         self.parallelism = parallelism
+        self.max_key_groups = max_key_groups
 
     def destinations(self, src_index: int, record: StreamRecord) -> list[int]:
         mode = self.edge.partitioning
@@ -79,10 +88,11 @@ class Partitioner:
             return [src_index]
         if mode is Partitioning.KEY:
             key = self.edge.key_fn(record.payload)
-            return [hash_key(key) % self.parallelism]
+            group = key_group(hash_key(key), self.max_key_groups)
+            return [group * self.parallelism // self.max_key_groups]
         if mode is Partitioning.BROADCAST:
             return list(range(self.parallelism))
-        raise AssertionError(f"unhandled partitioning {mode}")
+        raise GraphError(f"unhandled partitioning {mode}")
 
 
 @dataclass(slots=True)
@@ -111,8 +121,10 @@ class RouterBuffer:
                  src_index: int, batch_max: int):
         self._batch_max = batch_max
         self._buffers: dict[tuple[int, int], _Buffer] = {}
-        #: per edge: (edge_id, static destinations | None, key_fn, parallelism)
-        self._plans: list[tuple[int, tuple[int, ...] | None, Any, int]] = []
+        #: per edge: (edge_id, static destinations | None, key_fn,
+        #: parallelism, max_key_groups, key -> destination memo)
+        self._plans: list[tuple[int, tuple[int, ...] | None, Any, int, int,
+                               dict]] = []
         for edge in edges:
             partitioner = partitioners[edge.edge_id]
             if edge.partitioning is Partitioning.FORWARD:
@@ -122,7 +134,8 @@ class RouterBuffer:
             else:
                 static = None
             self._plans.append(
-                (edge.edge_id, static, edge.key_fn, partitioner.parallelism)
+                (edge.edge_id, static, edge.key_fn, partitioner.parallelism,
+                 partitioner.max_key_groups, {})
             )
         self._staged = 0
         self._n_ready = 0
@@ -133,10 +146,24 @@ class RouterBuffer:
         batch_max = self._batch_max
         n_ready = 0
         staged = 0
-        for edge_id, static, key_fn, parallelism in self._plans:
+        for edge_id, static, key_fn, parallelism, max_groups, memo in self._plans:
             if static is None:  # KEY partitioning: hash per record
+                # the routing key -> destination map is deterministic per
+                # deployment, so it is memoised: the crc32 double hash
+                # (hash_key + key_group) runs once per distinct key, not
+                # once per record.  Routers are rebuilt on rescale, which
+                # invalidates the memo with them; the cap bounds memory
+                # against pathological key cardinalities.
                 for record in records:
-                    key = (edge_id, hash_key(key_fn(record.payload)) % parallelism)
+                    routing_key = key_fn(record.payload)
+                    dst = memo.get(routing_key)
+                    if dst is None:
+                        group = key_group(hash_key(routing_key), max_groups)
+                        dst = group * parallelism // max_groups
+                        if len(memo) >= 1 << 17:
+                            memo.clear()
+                        memo[routing_key] = dst
+                    key = (edge_id, dst)
                     buf = buffers.get(key)
                     if buf is None:
                         buf = _Buffer()

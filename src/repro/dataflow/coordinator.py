@@ -47,9 +47,12 @@ class Coordinator:
         size = cost_model.metadata_message_bytes
         self.job.metrics.record_message(0, size, 0)
         delay = cost_model.network_delay(size)
-        self.job.sim.schedule(delay, self._on_metadata, meta)
+        self.job.sim.schedule(delay, self._on_metadata, meta,
+                              self.job.deploy_epoch)
 
-    def _on_metadata(self, meta: CheckpointMeta) -> None:
+    def _on_metadata(self, meta: CheckpointMeta, deploy_epoch: int = 0) -> None:
+        if deploy_epoch != self.job.deploy_epoch:
+            return  # metadata of a pre-rescale instance that no longer exists
         self.registry.register(meta)
         for listener in self._metadata_listeners:
             listener(meta)

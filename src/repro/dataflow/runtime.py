@@ -28,6 +28,7 @@ from repro.dataflow.channels import (
     MARKER,
     Message,
     Partitioner,
+    hash_key,
 )
 from repro.dataflow.coordinator import Coordinator
 from repro.dataflow.graph import (
@@ -35,7 +36,9 @@ from repro.dataflow.graph import (
     LogicalGraph,
     Partitioning,
     UnsupportedTopologyError,
+    validate_rescale,
 )
+from repro.dataflow.keygroups import group_range, key_group, validate_key_space
 from repro.dataflow.records import StreamRecord, source_rid_from_prefix
 from repro.dataflow.state import create_state_backend
 from repro.dataflow.worker import InstanceRuntime, WorkerRuntime
@@ -43,13 +46,14 @@ from repro.metrics.collectors import (
     COORDINATED_INSTANCE_KINDS,
     COORDINATED_ROUND_KINDS,
     KIND_INITIAL,
+    KIND_RESCALE,
     UNCOORDINATED_KINDS,
     CheckpointEvent,
     MetricsCollector,
 )
 from repro.metrics.series import LatencySeries, percentile
 from repro.sim.costs import RuntimeConfig
-from repro.sim.failure import FailureInjector, FailurePlan
+from repro.sim.failure import FailureInjector, FailurePlan, RescalePlan
 from repro.sim.rng import RngRegistry
 from repro.sim.simulator import Simulator
 from repro.storage.kafka import PartitionedLog
@@ -70,6 +74,17 @@ class RunResult:
     metrics: MetricsCollector
     checkpoint_interval: float
     completed_rounds: set[int] = field(default_factory=set)
+    #: parallelism the job ended at (an elastic recovery may have rescaled
+    #: it away from ``parallelism``, the deployment's initial value)
+    final_parallelism: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.final_parallelism:
+            self.final_parallelism = self.parallelism
+
+    @property
+    def rescaled(self) -> bool:
+        return self.final_parallelism != self.parallelism
 
     def latency_series(self) -> LatencySeries:
         """Per-second p50/p99 with seconds relative to the measured window."""
@@ -203,8 +218,22 @@ class Job:
             raise ValueError("parallelism must be positive")
         self.graph = graph
         self.parallelism = parallelism
+        self.initial_parallelism = parallelism
         self.config = config or RuntimeConfig()
         self.cost = self.config.cost_model
+        self.max_key_groups = self.config.max_key_groups
+        validate_key_space(parallelism, self.max_key_groups, context="job deployment")
+        #: input-log partitions per topic are fixed at deployment time; a
+        #: rescaled recovery re-spreads them over the new source instances
+        self.num_source_partitions = parallelism
+        self.rescale_plan: RescalePlan | None = None
+        if self.config.rescale_to is not None:
+            self.rescale_plan = RescalePlan(
+                rescale_to=self.config.rescale_to,
+                at_recovery=self.config.rescale_at,
+            )
+            validate_rescale(graph, parallelism, self.rescale_plan.rescale_to,
+                             self.max_key_groups)
         self.inputs = inputs
         self.sim = Simulator()
         self.metrics = MetricsCollector()
@@ -215,6 +244,10 @@ class Job:
         )
         self.recovering = False
         self.epoch = 0
+        #: bumped on every rescaled redeploy; stale durability callbacks
+        #: from the previous topology check it and drop themselves
+        self.deploy_epoch = 0
+        self.recoveries_applied = 0
         self.completed_rounds: set[int] = set()
         #: blobs whose checkpoint metadata was GC-pruned while a retained
         #: delta chain still pinned them; later GC passes re-examine these
@@ -260,7 +293,9 @@ class Job:
                 self.state_backend.prepare_instance(instance)
                 self.workers[idx].instances[name] = instance
         for edge in self.graph.edges:
-            self._partitioners[edge.edge_id] = Partitioner(edge, self.parallelism)
+            self._partitioners[edge.edge_id] = Partitioner(
+                edge, self.parallelism, self.max_key_groups
+            )
         for worker in self.workers:
             for instance in worker.instances.values():
                 out_edges = self.graph.out_edges(instance.op_name)
@@ -409,11 +444,13 @@ class Job:
         if arrival <= last:
             arrival = last + self.cost.channel_epsilon
         self._chan_last_arrival[channel] = arrival
-        self.sim.schedule_at(arrival, self._deliver, channel, msg)
+        self.sim.schedule_at(arrival, self._deliver, channel, msg,
+                             self.deploy_epoch)
 
-    def _deliver(self, channel: ChannelId, msg: Message) -> None:
-        if self.recovering:
-            return
+    def _deliver(self, channel: ChannelId, msg: Message,
+                 deploy_epoch: int = 0) -> None:
+        if self.recovering or deploy_epoch != self.deploy_epoch:
+            return  # dropped, or addressed to a pre-rescale topology
         worker = self.workers[channel[2]]
         worker.deliver(channel, msg)
 
@@ -437,19 +474,23 @@ class Job:
     def run_source_poll(self, instance: InstanceRuntime) -> float:
         """Poll task: pull one batch of available records through the source op.
 
-        The (topic, partition) part of every record's lineage id is
-        precomputed on the instance, so the per-record work in this loop is
-        a single mix step plus the record construction.
+        The instance polls every input partition it owns — exactly one
+        before a rescale, a contiguous balanced range after one.  The
+        (topic, partition) part of every record's lineage id is precomputed
+        per owned partition, so the per-record work in this loop is a
+        single mix step plus the record construction.
         """
         topic = instance.spec.source_topic
-        partition = self.inputs[topic].partition(instance.index)
-        log_records = partition.poll(
-            instance.source_cursor, self.sim.now, self.cost.source_max_poll
-        )
+        log = self.inputs[topic]
         cost = 1e-5
-        if log_records:
+        for part_index, cursor in instance.source_cursors.items():
+            log_records = log.partition(part_index).poll(
+                cursor, self.sim.now, self.cost.source_max_poll
+            )
+            if not log_records:
+                continue
             self.metrics.record_ingest(self.sim.now, len(log_records))
-            prefix = instance.rid_prefix
+            prefix = instance.rid_prefixes[part_index]
             records = [
                 StreamRecord(
                     rid=source_rid_from_prefix(prefix, r.offset),
@@ -459,7 +500,7 @@ class Job:
                 )
                 for r in log_records
             ]
-            instance.source_cursor = log_records[-1].offset + 1
+            instance.source_cursors[part_index] = log_records[-1].offset + 1
             cost += self.process_records(instance, records, "in")
         self.sim.schedule(self.cost.source_poll_interval, self._enqueue_poll, instance)
         return cost
@@ -535,7 +576,8 @@ class Job:
             blob_key=blob_key,
             last_sent=dict(instance.out_seq),
             last_received=dict(instance.last_received),
-            source_offset=instance.source_cursor if instance.spec.is_source else None,
+            source_offsets=(dict(instance.source_cursors)
+                            if instance.spec.is_source else None),
             clock=self.protocol.instance_clock(instance),
             upload_bytes=captured.upload_bytes,
             base_key=captured.base_key,
@@ -544,7 +586,7 @@ class Job:
         )
         upload_done = cost + self.cost.blob_upload_delay(captured.upload_bytes)
         self.schedule_durable(instance, upload_done, self._checkpoint_durable,
-                              meta, captured.payload)
+                              meta, captured.payload, self.deploy_epoch)
         return cost
 
     def schedule_durable(self, instance: InstanceRuntime, delay: float,
@@ -562,7 +604,10 @@ class Job:
         instance.durable_floor = at
         self.sim.schedule_at(at, fn, *args)
 
-    def _checkpoint_durable(self, meta: CheckpointMeta, snapshot: dict) -> None:
+    def _checkpoint_durable(self, meta: CheckpointMeta, snapshot: dict,
+                            deploy_epoch: int = 0) -> None:
+        if deploy_epoch != self.deploy_epoch:
+            return  # upload outlived a rescaled redeploy; its instance is gone
         durable = replace(meta, durable_at=self.sim.now)
         self.coordinator.blobstore.put(
             durable.blob_key, snapshot, durable.uploaded_bytes, self.sim.now,
@@ -590,12 +635,24 @@ class Job:
             return  # the pipeline is already down; fold into this recovery
         if self.metrics.failure_at < 0:
             self.metrics.failure_at = self.sim.now
-        self.workers[worker_index].kill()
+        # a planned kill may target an index beyond a downscaled deployment
+        self.workers[worker_index % self.parallelism].kill()
+
+    def _pending_rescale_target(self) -> int | None:
+        """The target parallelism if the upcoming recovery must rescale."""
+        plan = self.rescale_plan
+        if plan is None or self.recoveries_applied + 1 != plan.at_recovery:
+            return None
+        if plan.rescale_to == self.parallelism:
+            return None
+        return plan.rescale_to
 
     def _on_detect(self, worker_index: int) -> None:
+        worker_index %= self.parallelism
         if self.recovering or self.workers[worker_index].alive:
             return  # folded into an in-flight recovery / already replaced
         plan = self.protocol.build_recovery_plan(self.sim.now)
+        plan.rescale_to = self._pending_rescale_target()
         self.metrics.record_recovery_line(
             tuple(sorted(
                 (key, meta.checkpoint_id, meta.kind)
@@ -623,6 +680,8 @@ class Job:
 
     def _restart_duration(self, plan: RecoveryPlan) -> float:
         """How long until every worker is restored and ready (paper Fig. 11)."""
+        if plan.rescale_to is not None and plan.rescale_to != self.parallelism:
+            return self._rescaled_restart_duration(plan, plan.rescale_to)
         cost_model = self.cost
         per_worker = [0.0] * self.parallelism
         for key, meta in plan.line.items():
@@ -640,7 +699,52 @@ class Job:
         orchestration = cost_model.restart_base + cost_model.restart_per_worker * self.parallelism
         return orchestration + max(per_worker)
 
+    def _rescaled_restart_duration(self, plan: RecoveryPlan, p_new: int) -> float:
+        """Restart cost of a rescaled restore.
+
+        Every new worker issues ranged fetches against the blobs of the old
+        instances whose group ranges overlap its own: it pays the full
+        per-blob chain latency but only its byte share of each chain.
+        Replay-log fetches re-home to ``old destination % p_new``, where
+        the re-injected messages originate.
+        """
+        cost_model = self.cost
+        groups = self.max_key_groups
+        p_old = 1 + max(idx for _, idx in plan.line)
+        new_ranges = [group_range(j, p_new, groups) for j in range(p_new)]
+        per_worker = [0.0] * p_new
+        for key, meta in plan.line.items():
+            if meta.kind == KIND_INITIAL:
+                continue
+            old_range = group_range(key[1], p_old, groups)
+            if not len(old_range):
+                continue
+            for j, new_range in enumerate(new_ranges):
+                overlap = (min(old_range.stop, new_range.stop)
+                           - max(old_range.start, new_range.start))
+                if overlap <= 0:
+                    continue
+                share = overlap / len(old_range)
+                per_worker[j] += cost_model.chain_restore_delay(
+                    int(meta.restored_bytes * share), meta.chain_length + 1
+                )
+        for channel, messages in plan.replay.items():
+            if not messages:
+                continue
+            dst_worker = channel[2] % p_new
+            nbytes = sum(m.total_bytes for m in messages)
+            per_worker[dst_worker] += nbytes / cost_model.log_fetch_bandwidth
+            per_worker[dst_worker] += len(messages) * cost_model.replay_prep_per_message
+        orchestration = (cost_model.restart_base + cost_model.rescale_base
+                         + cost_model.restart_per_worker * max(p_old, p_new))
+        return orchestration + max(per_worker)
+
     def _apply_recovery(self, plan: RecoveryPlan) -> None:
+        line_parallelism = 1 + max(idx for _, idx in plan.line)
+        target = plan.rescale_to or self.parallelism
+        if target != self.parallelism or line_parallelism != self.parallelism:
+            self._apply_rescaled_recovery(plan, target)
+            return
         store = self.coordinator.blobstore
         for key, meta in plan.line.items():
             instance = self.instance(key)
@@ -659,17 +763,253 @@ class Job:
         if self.metrics.restart_completed_at < 0:
             self.metrics.restart_completed_at = self.sim.now
         self.recovering = False
+        self.recoveries_applied += 1
         self.protocol.on_recovery_applied(plan)
         # replay in-flight messages (UNC/CIC): deterministic channel order
         for channel in sorted(plan.replay):
             for msg in plan.replay[channel]:
                 self._transmit(channel, msg)
-        # resume sources and worker CPUs
+        self._resume_after_recovery()
+
+    def _resume_after_recovery(self) -> None:
+        """Restart source polling and worker CPUs after a rollback."""
         for spec in self.graph.sources():
             for idx in range(self.parallelism):
                 self._enqueue_poll(self.instance((spec.name, idx)))
         for worker in self.workers:
             worker.kick()
+
+    # ------------------------------------------------------------------ #
+    # Rescale-on-recovery (DESIGN.md section 11)
+    # ------------------------------------------------------------------ #
+
+    def _apply_rescaled_recovery(self, plan: RecoveryPlan, p_new: int) -> None:
+        """Restore the recovery line at a different parallelism.
+
+        The checkpoints of the line were taken by ``p_old`` instances; the
+        replacement deployment runs ``p_new``.  Keyed state moves along its
+        key groups, source cursors along their input partitions, replayed
+        in-flight records are re-routed through the new partitioners, and a
+        synthetic baseline checkpoint per new instance becomes the recovery
+        floor of the new topology (everything older describes instances
+        that no longer exist).
+        """
+        graph = self.graph
+        p_old = 1 + max(idx for _, idx in plan.line)
+        validate_rescale(graph, p_old, p_new, self.max_key_groups)
+        # materialize every old instance's state before the topology goes
+        # away: base+delta chains fold into one self-contained payload
+        materialized: dict[InstanceKey, dict | None] = {
+            key: self._materialize_line_payload(key, meta)
+            for key, meta in plan.line.items()
+        }
+        self._rebuild_topology(p_new)
+        virgin: dict[str, dict] = {}
+        for name, spec in graph.operators.items():
+            parts = []
+            for i in range(p_old):
+                payload = materialized.get((name, i))
+                if payload is None:
+                    if name not in virgin:
+                        virgin[name] = self._virgin_payload(spec)
+                    payload = virgin[name]
+                parts.append(payload)
+            for j in range(p_new):
+                instance = self.instance((name, j))
+                instance.restore_rescaled(parts, p_old,
+                                          self.num_source_partitions)
+                self.state_backend.on_restored(instance)
+        self.protocol.on_rescaled(plan)
+        for worker in self.workers:
+            worker.alive = True
+        if self.metrics.restart_completed_at < 0:
+            self.metrics.restart_completed_at = self.sim.now
+        self.recovering = False
+        self.recoveries_applied += 1
+        # re-route the line's in-flight messages through the new topology,
+        # then stamp the synthetic baseline *after* the senders' cursors
+        # advanced: a later rollback to the baseline finds the re-injected
+        # messages inside its replay windows instead of losing them
+        injected = self._reinject_replay(plan, p_new)
+        self._install_rescale_baseline(injected)
+        group_sizes: dict[int, int] = {}
+        for instance in self.instances():
+            for group, nbytes in instance.operator.states.group_sizes(
+                    self.max_key_groups).items():
+                group_sizes[group] = group_sizes.get(group, 0) + nbytes
+        self.metrics.record_rescale(self.sim.now, p_old, p_new, group_sizes)
+        self.protocol.on_recovery_applied(plan)
+        self._resume_after_recovery()
+
+    def _materialize_line_payload(self, key: InstanceKey,
+                                  meta: CheckpointMeta) -> dict | None:
+        """Fold a checkpoint (and its delta chain) into one full payload."""
+        if meta.kind == KIND_INITIAL:
+            return None
+        store = self.coordinator.blobstore
+        payloads = [store.get(k) for k in store.chain_keys(meta.blob_key)]
+        if len(payloads) == 1 and not payloads[0].get("delta"):
+            return payloads[0]
+        spec = self.graph.operators[key[0]]
+        scratch = spec.factory()
+        scratch.open(None)
+        scratch.states.restore(payloads[0]["states"])
+        rids = set(payloads[0]["processed_rids"])
+        for delta in payloads[1:]:
+            scratch.states.apply_delta(delta["states"])
+            rids.update(delta["new_rids"])
+        last = payloads[-1]
+        return {
+            "states": scratch.states.snapshot(),
+            "out_seq": dict(last["out_seq"]),
+            "last_received": dict(last["last_received"]),
+            "processed_rids": rids,
+            "source_cursors": dict(last["source_cursors"]),
+            "extra": last["extra"],
+        }
+
+    def _virgin_payload(self, spec) -> dict:
+        """A virgin instance's contribution to a rescaled merge."""
+        scratch = spec.factory()
+        scratch.open(None)
+        return {
+            "states": scratch.states.snapshot(),
+            "out_seq": {},
+            "last_received": {},
+            "processed_rids": set(),
+            "source_cursors": {},
+            "extra": None,
+        }
+
+    def _rebuild_topology(self, p_new: int) -> None:
+        """Tear the physical deployment down and re-wire it at ``p_new``.
+
+        Logical identities survive (graph, input logs, blob store, metrics);
+        everything addressed by instance index or channel id is rebuilt.
+        Old workers are killed so callbacks scheduled against them no-op,
+        and per-operator checkpoint counters carry forward so blob keys
+        stay unique across deploy epochs.
+        """
+        carried = {
+            name: max(
+                self.workers[i].instances[name].checkpoint_counter
+                for i in range(self.parallelism)
+            )
+            for name in self.graph.operators
+        }
+        for worker in self.workers:
+            worker.kill()
+        self.deploy_epoch += 1
+        self.parallelism = p_new
+        self.coordinator.registry.clear()
+        self.send_log.clear()
+        self._chan_last_arrival.clear()
+        self.channel_dst.clear()
+        self._partitioners = {}
+        self.workers = [WorkerRuntime(self, i) for i in range(p_new)]
+        self._wire()
+        for name, spec in self.graph.operators.items():
+            for j in range(p_new):
+                instance = self.instance((name, j))
+                instance.checkpoint_counter = carried[name]
+                if spec.is_source:
+                    instance.assign_source_partitions(list(
+                        group_range(j, p_new, self.num_source_partitions)
+                    ))
+
+    def _reinject_replay(self, plan: RecoveryPlan,
+                         p_new: int) -> dict[ChannelId, list[Message]]:
+        """Re-route the line's in-flight records through the new topology.
+
+        Replayed messages were addressed to channels of the old deployment;
+        their records are re-partitioned (key -> group -> new owner) and
+        sent from ``old source index % p_new`` through the normal send
+        hooks, so the uncoordinated family logs them into the new epoch's
+        send log.  Returns the injected messages per new channel (the
+        unaligned protocol persists them as baseline channel state).
+        """
+        edges_by_id = {edge.edge_id: edge for edge in self.graph.edges}
+        groups = self.max_key_groups
+        buckets: dict[tuple[int, int, int], list[StreamRecord]] = {}
+        for channel in sorted(plan.replay):
+            edge = edges_by_id[channel[0]]
+            src = channel[1] % p_new
+            for msg in plan.replay[channel]:
+                if not msg.records:
+                    continue
+                for record in msg.records:
+                    if edge.partitioning is Partitioning.KEY:
+                        group = key_group(hash_key(edge.key_fn(record.payload)),
+                                          groups)
+                        dst = group * p_new // groups
+                    else:  # FORWARD (BROADCAST was rejected by validation)
+                        dst = src
+                    buckets.setdefault((edge.edge_id, src, dst), []).append(record)
+        injected: dict[ChannelId, list[Message]] = {}
+        for (edge_id, src, dst) in sorted(buckets):
+            records = buckets[(edge_id, src, dst)]
+            sender = self.instance((edges_by_id[edge_id].src, src))
+            nbytes = sum(r.size_bytes for r in records)
+            channel = (edge_id, src, dst)
+            seq = sender.out_seq.get(channel, 0) + 1
+            sender.out_seq[channel] = seq
+            msg = Message(
+                channel=channel, seq=seq, kind=DATA, records=records,
+                payload_bytes=nbytes, sent_at=self.sim.now,
+            )
+            self.protocol.on_send(sender, channel, msg)
+            self.metrics.record_message(msg.payload_bytes, msg.protocol_bytes,
+                                        len(records))
+            self._transmit(channel, msg)
+            injected.setdefault(channel, []).append(msg)
+        return injected
+
+    def _install_rescale_baseline(
+            self, injected: dict[ChannelId, list[Message]]) -> None:
+        """Checkpoint every new instance as the post-rescale recovery floor.
+
+        The baseline is bookkeeping, not a measured checkpoint: its bytes
+        already live in the store (they were fetched from the old blobs),
+        so it uploads nothing, becomes durable immediately and records no
+        metrics event.  Senders' cursors cover the re-injected replay
+        messages while receivers' are empty, so those messages sit inside
+        the baseline's replay windows.
+        """
+        metas: dict[InstanceKey, CheckpointMeta] = {}
+        now = self.sim.now
+        store = self.coordinator.blobstore
+        for key in self.instance_keys():
+            instance = self.instance(key)
+            instance.checkpoint_counter += 1
+            blob_key = f"{key[0]}/{key[1]}/{instance.checkpoint_counter}"
+            payload = instance.capture_snapshot()
+            if self.protocol.channel_state_in_snapshot:
+                payload["channel_state"] = {
+                    channel: list(messages)
+                    for channel, messages in injected.items()
+                    if self.channel_dst.get(channel) is instance
+                }
+            state_bytes = instance.state_bytes
+            meta = CheckpointMeta(
+                instance=key,
+                checkpoint_id=instance.checkpoint_counter,
+                kind=KIND_RESCALE,
+                round_id=None,
+                started_at=now,
+                durable_at=now,
+                state_bytes=state_bytes,
+                blob_key=blob_key,
+                last_sent=dict(instance.out_seq),
+                last_received=dict(instance.last_received),
+                source_offsets=(dict(instance.source_cursors)
+                                if instance.spec.is_source else None),
+                clock=self.protocol.instance_clock(instance),
+                upload_bytes=0,
+                restore_bytes=state_bytes,
+            )
+            store.put(blob_key, payload, state_bytes, now)
+            metas[key] = meta
+        self.protocol.install_rescale_baseline(metas)
 
     # ------------------------------------------------------------------ #
     # Run loop
@@ -700,11 +1040,12 @@ class Job:
         return RunResult(
             query=query_name or self.graph.name,
             protocol=self.protocol.name,
-            parallelism=self.parallelism,
+            parallelism=self.initial_parallelism,
             rate=rate,
             warmup=config.warmup,
             duration=config.duration,
             metrics=self.metrics,
             checkpoint_interval=config.checkpoint_interval,
             completed_rounds=set(self.completed_rounds),
+            final_parallelism=self.parallelism,
         )

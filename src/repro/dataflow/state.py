@@ -28,11 +28,25 @@ every protocol.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Iterator
+from typing import TYPE_CHECKING, Any, Container, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dataflow.worker import InstanceRuntime
     from repro.sim.costs import CostModel
+
+
+def _state_key_group(key: Any, max_key_groups: int) -> int:
+    """Key group of a keyed-state entry (same mapping as KEY routing).
+
+    Rescaled restores split keyed snapshots along this mapping, so it must
+    agree with :class:`~repro.dataflow.channels.Partitioner`: for operators
+    whose state keys equal their routing keys (every keyed operator in the
+    workload library) a group's state always lives where its records land.
+    """
+    from repro.dataflow.channels import hash_key
+    from repro.dataflow.keygroups import key_group
+
+    return key_group(hash_key(key), max_key_groups)
 
 #: delta tag for "the whole state was replaced/cleared since the last clean
 #: point" — the delta degenerates to a full snapshot of this state
@@ -218,6 +232,35 @@ class KeyedMapState:
             self._sizes[key] = size
         self._total = total
 
+    # -- key-group partitioning (DESIGN.md section 11) --------------------- #
+
+    def group_sizes(self, max_key_groups: int) -> dict[int, int]:
+        """Byte footprint per key group (only non-empty groups appear)."""
+        sizes: dict[int, int] = {}
+        for key, nbytes in self._sizes.items():
+            group = _state_key_group(key, max_key_groups)
+            sizes[group] = sizes.get(group, 0) + nbytes
+        return sizes
+
+    @staticmethod
+    def filter_snapshot(snap: tuple[dict, dict, int], groups: Container[int],
+                        max_key_groups: int) -> tuple[dict, dict, int]:
+        """Restrict a snapshot to the entries whose key group is owned."""
+        data, sizes, _ = snap
+        kept = {k: v for k, v in data.items()
+                if _state_key_group(k, max_key_groups) in groups}
+        kept_sizes = {k: sizes[k] for k in kept}
+        return (kept, kept_sizes, sum(kept_sizes.values()))
+
+    def restore_merged(self, slices: list[tuple[dict, dict, int]]) -> None:
+        """Install the union of disjoint group slices as the new state."""
+        data: dict[Any, Any] = {}
+        sizes: dict[Any, int] = {}
+        for part_data, part_sizes, _ in slices:
+            data.update(part_data)
+            sizes.update(part_sizes)
+        self.restore((data, sizes, sum(sizes.values())))
+
 
 class KeyedListState:
     """A keyed multimap (key -> list); lists are copied on snapshot.
@@ -362,6 +405,40 @@ class KeyedListState:
             self._data[key] = list(values)
         self._total = total
 
+    # -- key-group partitioning (DESIGN.md section 11) --------------------- #
+
+    def group_sizes(self, max_key_groups: int) -> dict[int, int]:
+        """Approximate byte footprint per key group (``entry_bytes`` each)."""
+        sizes: dict[int, int] = {}
+        entry_bytes = self._entry_bytes
+        for key, values in self._data.items():
+            group = _state_key_group(key, max_key_groups)
+            sizes[group] = sizes.get(group, 0) + len(values) * entry_bytes
+        return sizes
+
+    def filter_snapshot(self, snap: tuple[dict, int], groups: Container[int],
+                        max_key_groups: int) -> tuple[dict, int]:
+        """Restrict a snapshot to the entries whose key group is owned.
+
+        Byte totals are recomputed at ``entry_bytes`` per entry, so keys
+        appended with explicit sizes are re-estimated after a rescale —
+        state *content* stays exact, only the cost accounting coarsens.
+        """
+        data, _ = snap
+        kept = {k: v for k, v in data.items()
+                if _state_key_group(k, max_key_groups) in groups}
+        total = sum(len(v) for v in kept.values()) * self._entry_bytes
+        return (kept, total)
+
+    def restore_merged(self, slices: list[tuple[dict, int]]) -> None:
+        """Install the union of disjoint group slices as the new state."""
+        data: dict[Any, list] = {}
+        total = 0
+        for part_data, part_total in slices:
+            data.update(part_data)
+            total += part_total
+        self.restore((data, total))
+
 
 class StateRegistry:
     """All named states of one operator instance; snapshot/restore as a unit."""
@@ -411,6 +488,42 @@ class StateRegistry:
         for name, delta in deltas.items():
             if delta is not None:
                 self._states[name].apply_delta(delta)
+
+    # -- key-group partitioning (DESIGN.md section 11) --------------------- #
+
+    def group_sizes(self, max_key_groups: int) -> dict[int, int]:
+        """Aggregate per-group byte footprint of every keyed state."""
+        totals: dict[int, int] = {}
+        for state in self._states.values():
+            group_sizes = getattr(state, "group_sizes", None)
+            if group_sizes is None:
+                continue
+            for group, nbytes in group_sizes(max_key_groups).items():
+                totals[group] = totals.get(group, 0) + nbytes
+        return totals
+
+    def restore_rescaled(self, snapshots: list[dict[str, Any]],
+                         groups: Container[int], max_key_groups: int,
+                         primary: int = 0) -> None:
+        """Restore from several instances' snapshots after a rescale.
+
+        ``snapshots`` holds the full registry snapshots of every old
+        instance of this operator (instance order).  Keyed states are split
+        per key group and only the owned ``groups`` are merged in; keys are
+        disjoint across old instances (each group had one owner), so the
+        merge is a plain union.  Non-keyed states (:class:`ValueState` and
+        custom scalars) cannot be split — they are taken whole from the
+        ``primary`` contributor, the old owner of the range's first group.
+        """
+        for name, state in self._states.items():
+            filter_snapshot = getattr(state, "filter_snapshot", None)
+            if filter_snapshot is not None:
+                state.restore_merged([
+                    filter_snapshot(snap[name], groups, max_key_groups)
+                    for snap in snapshots
+                ])
+            else:
+                state.restore(snapshots[primary][name])
 
 
 # --------------------------------------------------------------------- #

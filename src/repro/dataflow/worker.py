@@ -55,16 +55,36 @@ class InstanceRuntime(OperatorContext):
         #: this instance never becomes durable before an earlier one (a
         #: small delta must not overtake its still-uploading parent)
         self.durable_floor = 0.0
-        #: next offset to read from the source partition (sources only)
-        self.source_cursor = 0
+        #: input partitions this source instance owns -> next offset to read.
+        #: At the initial deployment each source owns exactly its own
+        #: partition; a rescaled deployment spreads the fixed partition set
+        #: over the current instances (contiguous balanced ranges).
+        self.source_cursors: dict[int, int] = {}
+        #: per owned partition: precomputed rid prefix (sources only)
+        self.rid_prefixes: dict[int, int] = {}
         #: protocol-private per-instance structure (e.g. HMNR vectors)
         self.proto: Any = None
-        #: reusable poll task tuple + precomputed rid prefix (sources only)
+        #: reusable poll task tuple (sources only)
         self.poll_task = ("poll", self)
-        self.rid_prefix = (
-            source_rid_prefix(spec.source_topic, index)
-            if spec.is_source else 0
-        )
+        if spec.is_source:
+            self.assign_source_partitions([index])
+
+    def assign_source_partitions(self, partitions: list[int]) -> None:
+        """Bind this source instance to its owned input partitions."""
+        self.source_cursors = {q: 0 for q in partitions}
+        self.rid_prefixes = {
+            q: source_rid_prefix(self.spec.source_topic, q) for q in partitions
+        }
+
+    @property
+    def source_cursor(self) -> int:
+        """Cursor of the single owned partition (pre-rescale deployments)."""
+        if len(self.source_cursors) != 1:
+            raise ValueError(
+                f"{self.key}: owns {len(self.source_cursors)} partitions; "
+                "use source_cursors"
+            )
+        return next(iter(self.source_cursors.values()))
 
     # -- OperatorContext ------------------------------------------------- #
 
@@ -97,7 +117,7 @@ class InstanceRuntime(OperatorContext):
         self.out_seq.clear()
         self.last_received.clear()
         self.processed_rids.clear()
-        self.source_cursor = 0
+        self.source_cursors = {q: 0 for q in self.source_cursors}
         if self.router is not None:
             self.router.clear()
         self.job.state_backend.on_reset(self)
@@ -109,7 +129,7 @@ class InstanceRuntime(OperatorContext):
             "out_seq": dict(self.out_seq),
             "last_received": dict(self.last_received),
             "processed_rids": set(self.processed_rids),
-            "source_cursor": self.source_cursor,
+            "source_cursors": dict(self.source_cursors),
             "extra": self.job.protocol.capture_extra(self),
         }
 
@@ -135,7 +155,7 @@ class InstanceRuntime(OperatorContext):
             "new_rids": new_rids,
             "out_seq": dict(self.out_seq),
             "last_received": dict(self.last_received),
-            "source_cursor": self.source_cursor,
+            "source_cursors": dict(self.source_cursors),
             "extra": self.job.protocol.capture_extra(self),
         }
         delta_bytes += len(new_rids) * 8
@@ -150,7 +170,7 @@ class InstanceRuntime(OperatorContext):
         self.out_seq = dict(snapshot["out_seq"])
         self.last_received = dict(snapshot["last_received"])
         self.processed_rids = set(snapshot["processed_rids"])
-        self.source_cursor = snapshot["source_cursor"]
+        self.source_cursors = dict(snapshot["source_cursors"])
         if self.router is not None:
             self.router.clear()
         self.job.protocol.restore_extra(self, snapshot["extra"])
@@ -175,10 +195,56 @@ class InstanceRuntime(OperatorContext):
         self.out_seq = dict(last["out_seq"])
         self.last_received = dict(last["last_received"])
         self.processed_rids = rids
-        self.source_cursor = last["source_cursor"]
+        self.source_cursors = dict(last["source_cursors"])
         if self.router is not None:
             self.router.clear()
         self.job.protocol.restore_extra(self, last["extra"])
+        self.operator.on_restore()
+
+    def restore_rescaled(self, parts: list[dict[str, Any]], p_old: int,
+                         num_source_partitions: int) -> None:
+        """Restore this instance from the *old* topology's checkpoints.
+
+        ``parts`` holds one materialized snapshot payload per old instance
+        of this operator, in instance order.  Keyed state is merged from
+        the group slices this instance now owns; dedup sets are the union
+        of every contributor's (sound because a rescalable graph has no
+        BROADCAST edges: a lineage id was only ever processed where its
+        key routed, so a hit in the union implies the effect is in the
+        merged state).  Channel cursors reset — the rescaled topology is a
+        fresh channel epoch and exactly-once across it rests on rid dedup.
+        Source instances re-bind the input-partition cursors of the
+        partitions they now own from the old owners' checkpoints.
+        """
+        from repro.dataflow.keygroups import group_owner, group_range
+
+        job = self.job
+        max_groups = job.max_key_groups
+        groups = group_range(self.index, job.parallelism, max_groups)
+        primary = (group_owner(groups.start, p_old, max_groups)
+                   if len(groups) else 0)
+        self.operator = self.spec.factory()
+        self.operator.open(self)
+        self.operator.states.restore_rescaled(
+            [part["states"] for part in parts], groups, max_groups, primary
+        )
+        self.out_seq = {}
+        self.last_received = {}
+        rids: set[int] = set()
+        for part in parts:
+            rids.update(part["processed_rids"])
+        self.processed_rids = rids
+        if self.spec.is_source:
+            self.source_cursors = {
+                q: parts[group_owner(q, p_old, num_source_partitions)]
+                ["source_cursors"].get(q, 0)
+                for q in self.source_cursors
+            }
+        if self.router is not None:
+            self.router.clear()
+        # protocol extras (e.g. CIC vectors) are sized for the old
+        # instance count; the protocol rebuilds them in on_rescaled
+        self.job.protocol.restore_extra(self, None)
         self.operator.on_restore()
 
 

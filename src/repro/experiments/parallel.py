@@ -42,7 +42,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: bump when RunResult / metrics layout changes so stale cache entries
 #: from an older code revision are never served
-CACHE_VERSION = 2
+CACHE_VERSION = 3
 
 
 # --------------------------------------------------------------------- #
@@ -73,6 +73,12 @@ class RunRequest:
     seed: int = 7
     #: checkpoint state backend ('full' | 'changelog', DESIGN.md section 10)
     state_backend: str = "full"
+    #: restore at this parallelism when the ``rescale_at``-th recovery is
+    #: applied (elastic rescale-on-recovery, DESIGN.md section 11)
+    rescale_to: int | None = None
+    rescale_at: int = 1
+    #: size of the key-group address space (routing + keyed state)
+    max_key_groups: int = 128
     config: RuntimeConfig | None = None
 
     def effective_config(self) -> RuntimeConfig:
@@ -87,6 +93,9 @@ class RunRequest:
             failure_worker=self.failure_worker,
             seed=self.seed,
             state_backend=self.state_backend,
+            rescale_to=self.rescale_to,
+            rescale_at=self.rescale_at,
+            max_key_groups=self.max_key_groups,
         )
 
 

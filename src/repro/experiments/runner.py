@@ -28,6 +28,9 @@ def run_query(
     seed: int = 7,
     cost_model: CostModel | None = None,
     state_backend: str = "full",
+    rescale_to: int | None = None,
+    rescale_at: int = 1,
+    max_key_groups: int = 128,
 ) -> RunResult:
     """Deploy ``spec`` under ``protocol`` and execute one measured run.
 
@@ -51,6 +54,9 @@ def run_query(
         checkpoint_interval=checkpoint_interval,
         seed=seed,
         state_backend=state_backend,
+        rescale_to=rescale_to,
+        rescale_at=rescale_at,
+        max_key_groups=max_key_groups,
         config=config,
     )
     return run_with_spec(spec, request)

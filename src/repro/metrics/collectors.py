@@ -30,6 +30,10 @@ KIND_LOCAL = "local"
 KIND_FORCED = "forced"
 #: the implicit virgin-state checkpoint (metadata only, never recorded here)
 KIND_INITIAL = "initial"
+#: synthetic baseline checkpoint installed by a rescaled restore — it is
+#: registry bookkeeping (the post-rescale recovery floor), not a measured
+#: checkpoint, so it appears in no accounting tuple below
+KIND_RESCALE = "rescale"
 
 #: instance-level events of the coordinated family (counted by Table III)
 COORDINATED_INSTANCE_KINDS = (KIND_COOR,)
@@ -103,6 +107,16 @@ class MetricsCollector:
     #: the differential backend tests compare these across state backends
     recovery_lines: list[tuple] = field(default_factory=list)
 
+    # -- rescale-on-recovery ------------------------------------------------ #
+    #: when the (first) rescaled restore was applied, -1 if none happened
+    rescaled_at: float = -1.0
+    #: parallelism before / after that rescaled restore
+    rescale_from: int = -1
+    rescale_to: int = -1
+    #: keyed-state bytes per key group right after the rescaled restore —
+    #: the repartitioning balance the figure harness reports on
+    group_state_bytes: dict[int, int] = field(default_factory=dict)
+
     # ------------------------------------------------------------------ #
     # Recording
     # ------------------------------------------------------------------ #
@@ -131,6 +145,24 @@ class MetricsCollector:
     def record_recovery_line(self, line_signature: tuple,
                              replay_signature: tuple) -> None:
         self.recovery_lines.append((line_signature, replay_signature))
+
+    def record_rescale(self, now: float, from_parallelism: int,
+                       to_parallelism: int,
+                       group_state_bytes: dict[int, int]) -> None:
+        """Stamp a rescaled restore (the first one wins, like failure stamps)."""
+        if self.rescaled_at < 0:
+            self.rescaled_at = now
+            self.rescale_from = from_parallelism
+            self.rescale_to = to_parallelism
+            self.group_state_bytes = dict(group_state_bytes)
+
+    def group_imbalance(self) -> float:
+        """max/mean of per-group state bytes after the rescale (1.0 = even)."""
+        sizes = [v for v in self.group_state_bytes.values() if v > 0]
+        if not sizes:
+            return 1.0
+        mean = sum(sizes) / len(sizes)
+        return max(sizes) / mean if mean > 0 else 1.0
 
     # ------------------------------------------------------------------ #
     # Derived values

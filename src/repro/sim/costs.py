@@ -82,6 +82,10 @@ class CostModel:
     restart_per_worker: float = 0.004
     #: fixed restart overhead (redeploy tasks, reopen channels)
     restart_base: float = 0.080
+    #: extra orchestration overhead of a *rescaled* restart: recomputing
+    #: the group assignment, redeploying a different worker count and
+    #: issuing ranged state fetches (DESIGN.md section 11)
+    rescale_base: float = 0.040
     #: bandwidth for fetching replay logs during restart, bytes/second
     log_fetch_bandwidth: float = 60e6
     #: per replayed message preparation cost during restart
@@ -171,10 +175,18 @@ class RuntimeConfig:
     duration: float = 60.0
     #: warmup before measurement starts (paper: 30 s)
     warmup: float = 10.0
+    #: size of the key-group address space routing and keyed state are
+    #: partitioned over; fixed per deployment, bounds useful parallelism
+    max_key_groups: int = 128
     #: inject a failure at this offset into the measured window, or None
     failure_at: float | None = None
     #: index of the worker to kill
     failure_worker: int = 0
+    #: restore at this parallelism instead of the checkpoint's when the
+    #: ``rescale_at``-th recovery is applied (None: never rescale)
+    rescale_to: int | None = None
+    #: which recovery applies the rescale (1 = the first failure's)
+    rescale_at: int = 1
     #: additional (offset, worker) failures after the first; each must leave
     #: enough room for the previous recovery to finish (detection + restart)
     extra_failures: tuple = ()

@@ -22,6 +22,23 @@ class FailurePlan:
     worker_index: int = 0
 
 
+@dataclass(frozen=True)
+class RescalePlan:
+    """Elastic rescale-on-recovery: restore at a different parallelism.
+
+    Production engines repartition state when a failed job is redeployed
+    at a new scale (Flink restoring a savepoint with ``-p``); the plan
+    says *which* recovery performs that redeployment and at what target.
+    The runtime validates the target against the key-group space and the
+    graph's reshardability before the run starts.
+    """
+
+    #: target parallelism of the rescaled restore
+    rescale_to: int
+    #: which recovery applies it: 1 = the first failure's recovery
+    at_recovery: int = 1
+
+
 @dataclass
 class FailureRecord:
     """What actually happened (filled in by the injector)."""

@@ -72,10 +72,18 @@ def test_broadcast_routes_everywhere():
     assert part.destinations(0, rec(1)) == [0, 1, 2]
 
 
-def test_key_routing_is_modulo_for_ints():
-    part = Partitioner(make_edge(Partitioning.KEY, key_fn=lambda p: p), 10)
-    assert part.destinations(0, rec(25)) == [5]
-    assert part.destinations(0, rec(30)) == [0]  # multiples of p -> instance 0
+def test_key_routing_follows_key_groups():
+    """KEY routing is key -> crc32 group -> owning instance."""
+    from repro.dataflow.keygroups import group_owner, group_range, key_group
+
+    parallelism, groups = 10, 128
+    part = Partitioner(make_edge(Partitioning.KEY, key_fn=lambda p: p),
+                       parallelism, max_key_groups=groups)
+    for key in (0, 25, 30, 127, 128, 10**9):
+        (dst,) = part.destinations(0, rec(key))
+        group = key_group(hash_key(key), groups)
+        assert dst == group_owner(group, parallelism, groups)
+        assert group in group_range(dst, parallelism, groups)
 
 
 # --------------------------------------------------------------------- #
@@ -89,7 +97,7 @@ def make_router(batch_max=3, partitioning=Partitioning.KEY):
 
 def test_router_batches_until_threshold():
     router, edge = make_router(batch_max=3)
-    router.route([rec(0), rec(2)])  # both -> dst 0
+    router.route([rec(2), rec(3)])  # both key groups owned by dst 0
     assert router.take_ready() == []
     router.route([rec(4)])
     ready = router.take_ready()
@@ -99,8 +107,9 @@ def test_router_batches_until_threshold():
 
 
 def test_router_take_all_flushes_partial():
+    # keys 2 and 0 fall in groups owned by different instances at p=2
     router, _ = make_router(batch_max=100)
-    router.route([rec(0), rec(1)])
+    router.route([rec(2), rec(0)])
     drained = router.take_all()
     assert len(drained) == 2  # one buffer per destination
     assert router.staged_records == 0
@@ -144,11 +153,11 @@ def test_router_clear():
 
 def test_router_preserves_record_order_per_destination():
     router, _ = make_router(batch_max=100)
-    records = [rec(0), rec(2), rec(4)]
+    records = [rec(2), rec(3), rec(4)]  # all key groups owned by dst 0
     router.route(records)
     drained = router.take_all()
     (edge_id, dst, out, _), = [d for d in drained if d[1] == 0]
-    assert [r.rid for r in out] == [0, 2, 4]
+    assert [r.rid for r in out] == [2, 3, 4]
 
 
 # --------------------------------------------------------------------- #

@@ -21,7 +21,7 @@ def ckpt(instance, ckpt_id, sent=None, received=None):
         instance=instance, checkpoint_id=ckpt_id, kind="local", round_id=None,
         started_at=float(ckpt_id), durable_at=float(ckpt_id), state_bytes=0,
         blob_key=f"{instance}/{ckpt_id}", last_sent=sent or {},
-        last_received=received or {}, source_offset=None,
+        last_received=received or {}, source_offsets=None,
     )
 
 

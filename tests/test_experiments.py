@@ -100,8 +100,23 @@ def test_table4_runs_unc_and_cic_only():
 def test_all_experiments_registry():
     assert set(figures.ALL_EXPERIMENTS) == {
         "fig7", "table2", "fig8", "fig9", "fig10", "fig11",
-        "table3", "fig12", "fig13", "table4", "state_size",
+        "table3", "fig12", "fig13", "table4", "state_size", "rescale",
     }
+
+
+def test_rescale_figure_structure():
+    out = figures.rescale_recovery(QUICK)
+    factors = {f for (_, f) in out["measured"]}
+    assert factors == {"down", "same", "up"}
+    protocols = {p for (p, _) in out["measured"]}
+    assert protocols == {"coor", "coor-unaligned", "unc", "cic"}
+    # the acceptance checks of the rescale figure must hold at smoke scale
+    assert all(ok for _, ok in out["checks"]), out["checks"]
+    for (_, factor), m in out["measured"].items():
+        if factor == "same":
+            assert m["rescaled_at"] < 0
+        else:
+            assert m["rescaled_at"] > 0
 
 
 def test_state_size_figure_structure():

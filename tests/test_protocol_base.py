@@ -17,7 +17,7 @@ def meta(instance=("op", 0), cid=1, **kw):
     defaults = dict(
         instance=instance, checkpoint_id=cid, kind="local", round_id=None,
         started_at=0.0, durable_at=1.0, state_bytes=10, blob_key="b",
-        last_sent={}, last_received={}, source_offset=None,
+        last_sent={}, last_received={}, source_offsets=None,
     )
     defaults.update(kw)
     return CheckpointMeta(**defaults)
@@ -36,7 +36,7 @@ def test_initial_checkpoint_shape():
     init = initial_checkpoint(("op", 3))
     assert init.checkpoint_id == 0
     assert init.kind == "initial"
-    assert init.source_offset == 0
+    assert init.source_offsets == {}
     assert init.sent_cursor((0, 0, 0)) == 0
     assert init.received_cursor((9, 9, 9)) == 0
 

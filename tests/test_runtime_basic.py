@@ -69,8 +69,15 @@ def test_keyed_routing_sends_key_to_single_instance():
         counts = job.instance(("count", idx)).operator.states["counts"]
         for key in counts.keys():
             owners.setdefault(key, []).append(idx)
+    from repro.dataflow.channels import hash_key
+    from repro.dataflow.keygroups import group_owner, key_group
+
     assert all(len(v) == 1 for v in owners.values())
-    assert all(key % 3 == owner[0] for key, owner in owners.items())
+    groups = job.max_key_groups
+    assert all(
+        group_owner(key_group(hash_key(key), groups), 3, groups) == owner[0]
+        for key, owner in owners.items()
+    )
 
 
 def test_channel_fifo_order_preserved():
@@ -79,12 +86,12 @@ def test_channel_fifo_order_preserved():
     seen: dict[tuple, int] = {}
     original = job._deliver
 
-    def checking_deliver(channel, msg):
+    def checking_deliver(channel, msg, deploy_epoch=0):
         if msg.kind == 0 and msg.seq:
             last = seen.get(channel, 0)
             assert msg.seq == last + 1, f"gap on {channel}: {last} -> {msg.seq}"
             seen[channel] = msg.seq
-        original(channel, msg)
+        original(channel, msg, deploy_epoch)
 
     job._deliver = checking_deliver
     # rewire scheduled callbacks through the checker by running normally:

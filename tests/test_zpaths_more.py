@@ -13,7 +13,7 @@ def meta(instance, cid, sent=None, received=None):
     return CheckpointMeta(
         instance=instance, checkpoint_id=cid, kind="local", round_id=None,
         started_at=0.0, durable_at=0.0, state_bytes=0, blob_key="",
-        last_sent=sent or {}, last_received=received or {}, source_offset=None,
+        last_sent=sent or {}, last_received=received or {}, source_offsets=None,
     )
 
 
