@@ -15,7 +15,7 @@ Run:  python examples/failure_recovery.py
 
 from repro.experiments.runner import run_query
 from repro.metrics.mst import find_mst
-from repro.metrics.report import format_series, format_table
+from repro.metrics.report import format_failure_records, format_series, format_table
 from repro.workloads.nexmark import QUERIES
 
 
@@ -38,6 +38,10 @@ def main() -> None:
             f"failure at t=18s — p50 per second",
             series.seconds, series.p50, step=3,
         ))
+        # every injected kill produces one FailureRecord; repeated kills
+        # accumulate instead of overwriting, so multi-failure runs show
+        # their full history here
+        print(format_failure_records(result.metrics.failure_records))
         print()
         rows.append([
             protocol,

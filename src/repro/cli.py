@@ -29,7 +29,9 @@ from repro.experiments import figures
 from repro.experiments.config import scale_by_name
 from repro.experiments.parallel import ParallelRunner
 from repro.experiments.runner import run_query
+from repro.metrics.report import format_failure_records
 from repro.metrics.series import percentile
+from repro.sim.costs import RuntimeConfig
 from repro.workloads.cyclic import REACHABILITY
 from repro.workloads.nexmark import QUERIES
 
@@ -61,8 +63,20 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--duration", type=float, default=30.0)
     query.add_argument("--warmup", type=float, default=5.0)
     query.add_argument("--failure-at", type=float, default=None)
+    query.add_argument("--failure-scenario", default=None,
+                       help="failure-scenario spec (DESIGN.md §12): "
+                            "'single:at=18', 'trace:5@0;13@1', "
+                            "'poisson:mtbf=12', 'correlated:at=10,k=2', "
+                            "'flaky:worker=1,mtbf=8,slowdown=3'; "
+                            "overrides --failure-at")
     query.add_argument("--hot-ratio", type=float, default=0.0)
     query.add_argument("--checkpoint-interval", type=float, default=5.0)
+    query.add_argument("--interval-policy", default="fixed",
+                       choices=["fixed", "adaptive"],
+                       help="checkpoint-interval policy: fixed keeps "
+                            "--checkpoint-interval, adaptive retunes it to "
+                            "the Young–Daly optimum from observed "
+                            "checkpoint costs and failure gaps (DESIGN.md §12)")
     query.add_argument("--state-backend", default="full",
                        choices=["full", "changelog"],
                        help="checkpoint state backend: full snapshots or "
@@ -177,9 +191,10 @@ def _cmd_all(args) -> int:
 def _cmd_query(args) -> int:
     spec = REACHABILITY if args.name == "reachability" else QUERIES[args.name]
     rate = args.rate or spec.capacity_per_worker * args.parallelism * 0.6
-    if args.rescale_to is not None and args.failure_at is None:
-        print("--rescale-to requires --failure-at (the rescale is applied "
-              "by a recovery)", file=sys.stderr)
+    has_failures = args.failure_at is not None or args.failure_scenario
+    if args.rescale_to is not None and not has_failures:
+        print("--rescale-to requires --failure-at or --failure-scenario "
+              "(the rescale is applied by a recovery)", file=sys.stderr)
         return 2
     result = run_query(
         spec, args.protocol, args.parallelism, rate=rate,
@@ -189,6 +204,8 @@ def _cmd_query(args) -> int:
         state_backend=args.state_backend,
         rescale_to=args.rescale_to, rescale_at=args.rescale_at,
         max_key_groups=args.max_key_groups,
+        failure_scenario=args.failure_scenario,
+        interval_policy=args.interval_policy,
     )
     series = result.latency_series()
     p50 = percentile([v for v in series.p50 if v > 0], 50)
@@ -208,12 +225,34 @@ def _cmd_query(args) -> int:
           f"{materialized} materialized ({ratio:.2f}x, "
           f"backend={args.state_backend})")
     print(f"  message overhead : {result.metrics.overhead_ratio():.2f}x")
-    if args.failure_at is not None:
-        print(f"  restart time     : {result.restart_time() * 1000:.0f} ms")
-        print(f"  recovery time    : {result.recovery_time():.1f} s")
-        print(f"  invalid ckpts    : {result.metrics.invalid_checkpoints} "
-              f"of {result.metrics.total_checkpoints_at_failure}")
-        print(f"  replayed messages: {result.metrics.replayed_messages}")
+    if args.interval_policy == "adaptive":
+        updates = result.metrics.interval_updates
+        if updates:
+            final = updates[-1][1]
+        else:
+            # no adjustment was recorded: the controller held its initial
+            # interval, which it clamps to the configured bounds
+            defaults = RuntimeConfig()
+            final = min(max(args.checkpoint_interval, defaults.interval_min),
+                        defaults.interval_max)
+        print(f"  adaptive interval: {final:.2f} s "
+              f"({len(updates)} adjustments)")
+    if has_failures:
+        m = result.metrics
+        print(f"  failures injected: {m.n_failures} "
+              f"({m.n_recoveries} recoveries)")
+        if m.failure_records:
+            print(format_failure_records(m.failure_records))
+        print(f"  availability     : {result.availability():.1%}")
+        print(f"  goodput          : {result.goodput():.0f} rec/s of uptime")
+        if result.restart_time() >= 0:
+            print(f"  restart time     : {result.restart_time() * 1000:.0f} ms")
+        if result.recovery_time() >= 0:
+            print(f"  recovery time    : {result.recovery_time():.1f} s")
+        if m.total_checkpoints_at_failure >= 0:
+            print(f"  invalid ckpts    : {m.invalid_checkpoints} "
+                  f"of {m.total_checkpoints_at_failure}")
+        print(f"  replayed messages: {m.replayed_messages}")
     if result.rescaled:
         m = result.metrics
         print(f"  rescaled         : {m.rescale_from} -> {m.rescale_to} "
@@ -223,6 +262,7 @@ def _cmd_query(args) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and dispatch to the selected subcommand."""
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()

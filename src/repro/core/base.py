@@ -55,16 +55,20 @@ class CheckpointMeta:
 
     @property
     def uploaded_bytes(self) -> int:
+        """Bytes that crossed the wire (state_bytes if unrecorded)."""
         return self.state_bytes if self.upload_bytes < 0 else self.upload_bytes
 
     @property
     def restored_bytes(self) -> int:
+        """Bytes a restore must fetch (state_bytes if unrecorded)."""
         return self.state_bytes if self.restore_bytes < 0 else self.restore_bytes
 
     def sent_cursor(self, channel: ChannelId) -> int:
+        """Send cursor captured for ``channel`` (0 if never sent)."""
         return self.last_sent.get(channel, 0)
 
     def received_cursor(self, channel: ChannelId) -> int:
+        """Receive cursor captured for ``channel`` (0 if never received)."""
         return self.last_received.get(channel, 0)
 
 
@@ -92,6 +96,7 @@ class CheckpointRegistry:
         self._by_instance: dict[InstanceKey, list[CheckpointMeta]] = {}
 
     def register(self, meta: CheckpointMeta) -> None:
+        """Append a durable checkpoint; ids must increase per instance."""
         entries = self._by_instance.setdefault(meta.instance, [])
         if entries and meta.checkpoint_id <= entries[-1].checkpoint_id:
             raise ValueError(
@@ -109,6 +114,7 @@ class CheckpointRegistry:
         return [initial_checkpoint(instance)] + self._by_instance.get(instance, [])
 
     def latest(self, instance: InstanceKey) -> CheckpointMeta | None:
+        """Most recent durable checkpoint of ``instance`` (None if none)."""
         entries = self._by_instance.get(instance)
         return entries[-1] if entries else None
 
@@ -123,9 +129,11 @@ class CheckpointRegistry:
         return dropped
 
     def total(self) -> int:
+        """Durable checkpoints across all instances."""
         return sum(len(v) for v in self._by_instance.values())
 
     def instances(self) -> list[InstanceKey]:
+        """Instances with at least one durable checkpoint."""
         return list(self._by_instance)
 
     def clear(self) -> None:
@@ -153,10 +161,12 @@ class RecoveryPlan:
 
     @property
     def replayed_messages(self) -> int:
+        """In-flight messages the plan will replay."""
         return sum(len(v) for v in self.replay.values())
 
     @property
     def replayed_records(self) -> int:
+        """Records inside the replayed messages."""
         return sum(m.record_count for msgs in self.replay.values() for m in msgs)
 
 

@@ -134,6 +134,7 @@ class CheckpointGraph:
 
 @dataclass
 class RecoveryLineResult:
+    """Outcome of the recovery-line fixpoint: the chosen line per instance."""
     line: dict[InstanceKey, CheckpointMeta]
     #: checkpoints discarded while searching (the run's invalid checkpoints)
     pruned: list[Node]

@@ -77,9 +77,11 @@ class CicState:
             self.taken = [False] * self.n
 
     def invalidate(self) -> None:
+        """Drop the cached piggyback snapshot (vectors changed)."""
         self._snapshot = None
 
     def snapshot(self) -> PiggybackSnapshot:
+        """Shared immutable piggyback view (rebuilt only after changes)."""
         if self._snapshot is None:
             self._snapshot = PiggybackSnapshot(
                 lc=self.lc,
@@ -109,6 +111,7 @@ class CicState:
         }
 
     def restore(self, captured: dict) -> None:
+        """Reinstall captured HMNR vectors on rollback."""
         self.lc = captured["lc"]
         self.ckpt = list(captured["ckpt"])
         self.known_lc = list(captured["known_lc"])
@@ -125,6 +128,7 @@ class CommunicationInducedProtocol(UncoordinatedProtocol):
     name = "cic"
 
     def on_job_start(self) -> None:
+        """Create per-instance HMNR state and start the local timers."""
         self._install_states()
         super().on_job_start()
 
@@ -151,6 +155,7 @@ class CommunicationInducedProtocol(UncoordinatedProtocol):
     # ------------------------------------------------------------------ #
 
     def on_send(self, instance: "InstanceRuntime", channel: ChannelId, msg: Message) -> float:
+        """Attach the piggyback, log the message, note the destination."""
         cost = super().on_send(instance, channel, msg)  # upstream backup log
         state: CicState = instance.proto
         receiver_ordinal = self.job.instance_ordinal(self.job.channel_dst[channel].key)
@@ -163,6 +168,7 @@ class CommunicationInducedProtocol(UncoordinatedProtocol):
 
     def on_data_received(self, instance: "InstanceRuntime", channel: ChannelId,
                          msg: Message) -> float:
+        """Force a checkpoint on Z-cycle danger, then merge clocks."""
         piggy: PiggybackSnapshot | None = msg.piggyback
         if piggy is None:  # replayed pre-protocol message or test message
             return 0.0
@@ -218,20 +224,24 @@ class CommunicationInducedProtocol(UncoordinatedProtocol):
 
     def instance_clock(self, instance: "InstanceRuntime") -> int:
         # on_checkpoint_started already advanced the clock for this checkpoint
+        """The instance's Lamport clock (stored in checkpoint metadata)."""
         state: CicState = instance.proto
         return state.lc
 
     def on_checkpoint_started(self, instance: "InstanceRuntime", kind: str,
                               round_id: int | None) -> float:
+        """Advance the HMNR clock at snapshot capture."""
         state: CicState = instance.proto
         state.on_checkpoint()
         return 0.0
 
     def capture_extra(self, instance: "InstanceRuntime"):
+        """Embed the HMNR vectors in the snapshot payload."""
         state: CicState = instance.proto
         return state.capture()
 
     def restore_extra(self, instance: "InstanceRuntime", extra) -> None:
+        """Reinstall the HMNR vectors from a restored snapshot."""
         if extra is not None:
             state: CicState = instance.proto
             state.restore(extra)

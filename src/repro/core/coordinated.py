@@ -62,14 +62,17 @@ class CoordinatedProtocol(CheckpointProtocol):
     # ------------------------------------------------------------------ #
 
     def on_job_start(self) -> None:
+        """Subscribe to checkpoint metadata and start the round timer."""
         self.job.coordinator.add_metadata_listener(self._on_metadata)
-        self.job.sim.schedule(self.job.config.checkpoint_interval, self._round_tick)
+        self.job.sim.schedule(self.job.checkpoint_interval_now(), self._round_tick)
 
     def _round_tick(self) -> None:
+        """Start a round if none is active; reschedule at the current
+        interval (re-consulted each tick so the adaptive policy applies)."""
         job = self.job
         if not job.recovering and self._active_round is None:
             self._start_round()
-        job.sim.schedule(job.config.checkpoint_interval, self._round_tick)
+        job.sim.schedule(job.checkpoint_interval_now(), self._round_tick)
 
     def _start_round(self) -> None:
         job = self.job
@@ -94,6 +97,7 @@ class CoordinatedProtocol(CheckpointProtocol):
     # ------------------------------------------------------------------ #
 
     def on_marker(self, instance: "InstanceRuntime", channel: ChannelId, msg: Message) -> None:
+        """Align: block the channel, snapshot once all markers arrived."""
         round_id, _sender_cursor = msg.meta
         state = self._align.get(instance.key)
         if state is None or state["round"] != round_id:
@@ -106,6 +110,7 @@ class CoordinatedProtocol(CheckpointProtocol):
 
     def on_checkpoint_started(self, instance: "InstanceRuntime", kind: str,
                               round_id: int | None) -> float:
+        """Forward markers downstream and release the aligned channels."""
         if kind != KIND_COOR:
             return 0.0
         cost = self.job.send_marker(instance, round_id)
@@ -146,12 +151,17 @@ class CoordinatedProtocol(CheckpointProtocol):
         )
         if self._active_round == round_id:
             self._active_round = None
+        # the coordinated family's unit of checkpoint cost is the round:
+        # the adaptive interval controller sizes its Young–Daly C term
+        # from start-of-round to all-instances-durable
+        job.note_checkpoint_duration(job.sim.now - self._round_started[round_id])
 
     # ------------------------------------------------------------------ #
     # Recovery
     # ------------------------------------------------------------------ #
 
     def build_recovery_plan(self, now: float) -> RecoveryPlan:
+        """Restore the latest *completed* round (nothing to replay)."""
         job = self.job
         usable = len(job.completed_rounds) * job.n_instances
         if self._latest_complete is None:
@@ -171,6 +181,7 @@ class CoordinatedProtocol(CheckpointProtocol):
 
     def on_recovery_applied(self, plan: RecoveryPlan) -> None:
         # abort any round that was in flight when the failure hit
+        """Abort any round that was in flight when the failure hit."""
         self._align.clear()
         self._active_round = None
 

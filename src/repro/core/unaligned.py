@@ -101,6 +101,7 @@ class UnalignedCoordinatedProtocol(CoordinatedProtocol):
 
     def on_marker(self, instance: "InstanceRuntime", channel: ChannelId,
                   msg: Message) -> None:
+        """Snapshot on the first marker; absorb late channels' in-flight data."""
         round_id, sender_cursor = msg.meta
         pending = self._pending.get(instance.key)
         if pending is None or pending.round_id != round_id:
@@ -225,6 +226,7 @@ class UnalignedCoordinatedProtocol(CoordinatedProtocol):
 
     def on_checkpoint_started(self, instance: "InstanceRuntime", kind: str,
                               round_id: int | None) -> float:
+        """Unaligned capture happens at marker arrival, not here."""
         if kind != KIND_COOR:
             return 0.0
         # sources: snapshot (already captured by the runtime) then markers;
@@ -236,6 +238,7 @@ class UnalignedCoordinatedProtocol(CoordinatedProtocol):
     # ------------------------------------------------------------------ #
 
     def build_recovery_plan(self, now: float):
+        """Restore the latest completed round plus its channel state."""
         plan = super().build_recovery_plan(now)
         replay: dict[ChannelId, list[Message]] = {}
         for meta in plan.line.values():
@@ -250,9 +253,11 @@ class UnalignedCoordinatedProtocol(CoordinatedProtocol):
         return plan
 
     def on_recovery_applied(self, plan) -> None:
+        """Drop pending unaligned captures along with the aborted round."""
         super().on_recovery_applied(plan)
         self._pending.clear()
 
     def on_rescaled(self, plan) -> None:
+        """Reset alignment and pending captures for the new topology."""
         super().on_rescaled(plan)
         self._pending.clear()

@@ -78,10 +78,12 @@ class UncoordinatedProtocol(CheckpointProtocol):
 
     @property
     def logs_messages(self) -> bool:
+        """Does this semantics mode append to the durable send log?"""
         return self.semantics != "at-most-once"
 
     @property
     def requires_dedup(self) -> bool:
+        """Exactly-once needs lineage-id dedup at receivers."""
         return self.semantics == "exactly-once"
 
     # ------------------------------------------------------------------ #
@@ -102,13 +104,15 @@ class UncoordinatedProtocol(CheckpointProtocol):
                 instances.append(instance)
         return instances
 
-    def _schedule_for(self, instance: "InstanceRuntime") -> tuple[float, float]:
-        """(interval, first-fire phase) for one instance's local timer.
+    def _schedule_for(self, instance: "InstanceRuntime") -> tuple[float | None, float]:
+        """(interval override, first-fire phase) for one local timer.
 
-        ``per_operator_schedules`` overrides the global interval — the
+        ``per_operator_schedules`` pins an explicit interval — the
         uncoordinated family's configurability the paper highlights (e.g.
         align a windowed operator's snapshots with its window boundary,
-        when its state is smallest).
+        when its state is smallest).  A ``None`` interval means "consult
+        the job each tick", which is how the adaptive interval policy
+        reaches every non-overridden timer.
         """
         config = self.job.config
         overrides = config.per_operator_schedules or {}
@@ -116,28 +120,36 @@ class UncoordinatedProtocol(CheckpointProtocol):
             interval, phase = overrides[instance.op_name]
             return interval, phase
         rng = self.job.rng.stream("unc-timers")
-        interval = config.checkpoint_interval
+        interval = self.job.checkpoint_interval_now()
         jitter = config.checkpoint_jitter
         phase = interval * (0.5 + rng.uniform(0.0, max(jitter, 0.01)))
-        return interval, phase
+        return None, phase
 
     def on_job_start(self) -> None:
+        """Install one local checkpoint timer per participating instance."""
         self._start_timers()
 
     def _start_timers(self) -> None:
+        """Arm each participating instance's (jittered) timer chain."""
         for instance in self._participating_instances():
             interval, phase = self._schedule_for(instance)
             self.job.sim.schedule(phase, self._timer_tick, instance, interval,
                                   self.job.deploy_epoch)
 
-    def _timer_tick(self, instance: "InstanceRuntime", interval: float,
+    def _timer_tick(self, instance: "InstanceRuntime", interval: float | None,
                     deploy_epoch: int = 0) -> None:
+        """Take a local checkpoint and reschedule.
+
+        ``interval`` is a per-operator override; ``None`` re-consults the
+        job's current (possibly adaptive) interval every tick.
+        """
         job = self.job
         if deploy_epoch != job.deploy_epoch:
             return  # timer chain of a pre-rescale deployment; let it die
         if instance.worker.alive and not job.recovering:
             job.enqueue_checkpoint(instance, KIND_LOCAL, None)
-        job.sim.schedule(interval, self._timer_tick, instance, interval,
+        period = interval if interval is not None else job.checkpoint_interval_now()
+        job.sim.schedule(period, self._timer_tick, instance, interval,
                          deploy_epoch)
 
     def on_rescaled(self, plan: RecoveryPlan) -> None:
@@ -149,6 +161,7 @@ class UncoordinatedProtocol(CheckpointProtocol):
     # ------------------------------------------------------------------ #
 
     def on_send(self, instance: "InstanceRuntime", channel: ChannelId, msg: Message) -> float:
+        """Append the message to the durable per-channel send log."""
         if not self.logs_messages:
             return 0.0
         self.job.send_log.setdefault(channel, []).append(msg)
@@ -167,6 +180,7 @@ class UncoordinatedProtocol(CheckpointProtocol):
         return endpoints
 
     def build_checkpoint_graph(self) -> CheckpointGraph:
+        """Assemble the rollback-propagation graph from cursors."""
         job = self.job
         endpoints = self._channel_endpoints()
         checkpoints = {
@@ -179,6 +193,7 @@ class UncoordinatedProtocol(CheckpointProtocol):
         return CheckpointGraph(checkpoints=checkpoints, channels=channels)
 
     def build_recovery_plan(self, now: float) -> RecoveryPlan:
+        """Run the recovery-line search (or the weaker-semantics shortcut)."""
         job = self.job
         graph = self.build_checkpoint_graph()
         if self.semantics == "at-least-once":

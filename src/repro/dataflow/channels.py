@@ -44,10 +44,12 @@ class Message:
 
     @property
     def total_bytes(self) -> int:
+        """Payload plus protocol (piggyback/marker) bytes on the wire."""
         return self.payload_bytes + self.protocol_bytes
 
     @property
     def record_count(self) -> int:
+        """Number of records carried (0 for control messages)."""
         return len(self.records) if self.records else 0
 
 
@@ -83,6 +85,7 @@ class Partitioner:
         self.max_key_groups = max_key_groups
 
     def destinations(self, src_index: int, record: StreamRecord) -> list[int]:
+        """Destination instance indices for one record on this edge."""
         mode = self.edge.partitioning
         if mode is Partitioning.FORWARD:
             return [src_index]
@@ -232,9 +235,11 @@ class RouterBuffer:
 
     @property
     def staged_records(self) -> int:
+        """Records currently staged across all buffers."""
         return self._staged
 
     def clear(self) -> None:
+        """Drop every staged buffer (rollback/rescale reset)."""
         self._buffers.clear()
         self._staged = 0
         self._n_ready = 0

@@ -31,6 +31,7 @@ class Coordinator:
         self._metadata_listeners: list[Callable[[CheckpointMeta], None]] = []
 
     def add_metadata_listener(self, fn: Callable[[CheckpointMeta], None]) -> None:
+        """Subscribe to durable-checkpoint metadata arrivals."""
         self._metadata_listeners.append(fn)
 
     # ------------------------------------------------------------------ #

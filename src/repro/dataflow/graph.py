@@ -118,12 +118,15 @@ class LogicalGraph:
     # ------------------------------------------------------------------ #
 
     def out_edges(self, name: str) -> list[EdgeSpec]:
+        """Edges leaving operator ``name``."""
         return [e for e in self.edges if e.src == name]
 
     def in_edges(self, name: str) -> list[EdgeSpec]:
+        """Edges entering operator ``name``."""
         return [e for e in self.edges if e.dst == name]
 
     def sources(self) -> list[OperatorSpec]:
+        """Operator specs marked as sources."""
         return [spec for spec in self.operators.values() if spec.is_source]
 
     def sinks(self) -> list[OperatorSpec]:

@@ -32,6 +32,7 @@ class OperatorContext:
     parallelism: int = 1
 
     def now(self) -> float:
+        """Current virtual time."""
         raise NotImplementedError
 
     def register_timer(self, at: float, tag: Any) -> None:
@@ -74,6 +75,7 @@ class Operator:
 
     @property
     def state_bytes(self) -> int:
+        """Byte footprint of the operator's registered states."""
         return self.states.size_bytes
 
 
@@ -87,6 +89,7 @@ class SourceOperator(Operator):
     cpu_per_record = 0.0012
 
     def process(self, record: StreamRecord, port: str) -> list[StreamRecord]:
+        """Forward the log record into the pipeline unchanged."""
         return [record]
 
 
@@ -101,6 +104,7 @@ class MapOperator(Operator):
         self._out_size = out_size
 
     def process(self, record: StreamRecord, port: str) -> list[StreamRecord]:
+        """Apply the mapping function to one record."""
         payload = self._fn(record.payload)
         size = self._out_size(payload) if self._out_size else record.size_bytes
         return [record.derive(self.ctx.op_name, payload, size)]
@@ -116,6 +120,7 @@ class FilterOperator(Operator):
         self._predicate = predicate
 
     def process(self, record: StreamRecord, port: str) -> list[StreamRecord]:
+        """Forward the record iff the predicate holds."""
         if self._predicate(record.payload):
             return [record]
         return []
@@ -132,6 +137,7 @@ class FlatMapOperator(Operator):
         self._out_size = out_size
 
     def process(self, record: StreamRecord, port: str) -> list[StreamRecord]:
+        """Expand one record into zero or more outputs."""
         outputs = []
         for i, payload in enumerate(self._fn(record.payload)):
             size = self._out_size(payload) if self._out_size else record.size_bytes
@@ -168,11 +174,13 @@ class IncrementalJoinOperator(Operator):
         self._right: KeyedListState | None = None
 
     def open(self, ctx: OperatorContext) -> None:
+        """Register the left/right join-side list states."""
         super().open(ctx)
         self._left = self.states.register("left", KeyedListState(entry_bytes=96))
         self._right = self.states.register("right", KeyedListState(entry_bytes=96))
 
     def process(self, record: StreamRecord, port: str) -> list[StreamRecord]:
+        """Insert the record on its side and probe the other side."""
         op = self.ctx.op_name
         outputs = []
         if port == "left":
@@ -234,6 +242,7 @@ class WindowedJoinOperator(Operator):
         self._window_id: ValueState | None = None
 
     def open(self, ctx: OperatorContext) -> None:
+        """Register join-side states plus the current-window marker."""
         super().open(ctx)
         self._left = self.states.register("left", KeyedListState(entry_bytes=96))
         self._right = self.states.register("right", KeyedListState(entry_bytes=96))
@@ -249,14 +258,17 @@ class WindowedJoinOperator(Operator):
             self.ctx.register_timer((current + 1) * self.window, ("window", current + 1))
 
     def on_timer(self, tag: Any) -> list[StreamRecord]:
+        """Roll the window forward at its boundary."""
         self._roll_window()
         return []
 
     def on_restore(self) -> None:
+        """Re-register the window-boundary timer after recovery."""
         current = int(self.ctx.now() // self.window)
         self.ctx.register_timer((current + 1) * self.window, ("window", current + 1))
 
     def process(self, record: StreamRecord, port: str) -> list[StreamRecord]:
+        """Roll the window if needed, then insert-and-probe."""
         self._roll_window()
         op = self.ctx.op_name
         outputs = []
@@ -309,14 +321,17 @@ class WindowedCountOperator(Operator):
         self._counts: KeyedMapState | None = None
 
     def open(self, ctx: OperatorContext) -> None:
+        """Register the per-key windowed counter state."""
         super().open(ctx)
         self._counts = self.states.register("counts", KeyedMapState())
 
     def on_restore(self) -> None:
+        """Re-register the stale-entry sweep timer after recovery."""
         current = int(self.ctx.now() // self.window)
         self.ctx.register_timer((current + 1) * self.window, ("sweep", current + 1))
 
     def on_timer(self, tag: Any) -> list[StreamRecord]:
+        """Sweep counters of closed windows and reschedule."""
         kind, window_id = tag
         stale = [k for k, (w, _) in self._counts.items() if w < window_id]
         for key in stale:
@@ -325,6 +340,7 @@ class WindowedCountOperator(Operator):
         return []
 
     def process(self, record: StreamRecord, port: str) -> list[StreamRecord]:
+        """Bump the record's key counter in the current window."""
         now = self.ctx.now()
         current = int(now // self.window)
         key = self._key_fn(record.payload)
@@ -363,6 +379,7 @@ class SlidingWindowCountOperator(Operator):
         self._counts: KeyedMapState | None = None
 
     def open(self, ctx: OperatorContext) -> None:
+        """Register the (window, key) -> count state."""
         super().open(ctx)
         #: (window_id, key) -> count
         self._counts = self.states.register("counts", KeyedMapState())
@@ -378,10 +395,12 @@ class SlidingWindowCountOperator(Operator):
         )
 
     def on_restore(self) -> None:
+        """Re-register the expiry sweep timer after recovery."""
         current = int(self.ctx.now() // self.slide)
         self._schedule_sweep(current)
 
     def on_timer(self, tag: Any) -> list[StreamRecord]:
+        """Drop slots of windows that slid out of range."""
         _, window_id = tag
         stale = [k for k in self._counts.keys() if k[0] <= window_id]
         for key in stale:
@@ -389,6 +408,7 @@ class SlidingWindowCountOperator(Operator):
         return []
 
     def process(self, record: StreamRecord, port: str) -> list[StreamRecord]:
+        """Count the record into every window covering its time."""
         now = self.ctx.now()
         key = self._key_fn(record.payload)
         newest = int(now // self.slide)
@@ -425,11 +445,13 @@ class MaxPerKeyOperator(Operator):
         self._best: KeyedMapState | None = None
 
     def open(self, ctx: OperatorContext) -> None:
+        """Register the per-group running-maximum state."""
         super().open(ctx)
         #: group -> (best value, best item)
         self._best = self.states.register("best", KeyedMapState())
 
     def process(self, record: StreamRecord, port: str) -> list[StreamRecord]:
+        """Emit only when the record beats the group's current best."""
         group = self._group_fn(record.payload)
         value = self._value_fn(record.payload)
         item = self._item_fn(record.payload)
@@ -447,5 +469,6 @@ class SinkOperator(Operator):
     cpu_per_record = 0.0006
 
     def process(self, record: StreamRecord, port: str) -> list[StreamRecord]:
+        """Report the record as final pipeline output."""
         self.ctx.record_output(record)
         return []

@@ -53,7 +53,12 @@ from repro.metrics.collectors import (
 )
 from repro.metrics.series import LatencySeries, percentile
 from repro.sim.costs import RuntimeConfig
-from repro.sim.failure import FailureInjector, FailurePlan, RescalePlan
+from repro.sim.failure import (
+    AdaptiveIntervalController,
+    FailureInjector,
+    RescalePlan,
+    scenario_from_config,
+)
 from repro.sim.rng import RngRegistry
 from repro.sim.simulator import Simulator
 from repro.storage.kafka import PartitionedLog
@@ -84,6 +89,7 @@ class RunResult:
 
     @property
     def rescaled(self) -> bool:
+        """Did an elastic recovery change the parallelism?"""
         return self.final_parallelism != self.parallelism
 
     def latency_series(self) -> LatencySeries:
@@ -97,6 +103,7 @@ class RunResult:
 
     @property
     def is_coordinated(self) -> bool:
+        """Is the protocol in the coordinated family (aligned or not)?"""
         return self.protocol.startswith("coor")
 
     def _measured_rounds(self) -> set[int]:
@@ -160,6 +167,7 @@ class RunResult:
         )
 
     def invalid_percentage(self) -> float:
+        """Invalid checkpoints at the failure as a percentage (Table III)."""
         total = self.metrics.total_checkpoints_at_failure
         invalid = self.metrics.invalid_checkpoints
         if total <= 0 or invalid < 0:
@@ -167,13 +175,35 @@ class RunResult:
         return 100.0 * invalid / total
 
     def restart_time(self) -> float:
+        """Detection -> ready-to-process duration (paper Fig. 11)."""
         return self.metrics.restart_time
 
     def recovery_time(self) -> float:
+        """Seconds until latency re-entered its stable band (paper Fig. 9)."""
         if self.metrics.detected_at < 0:
             return -1.0
         detected_rel = self.metrics.detected_at - self.warmup
         return self.latency_series().recovery_time(detected_rel)
+
+    def availability(self) -> float:
+        """Fraction of the measured window the pipeline was up (1.0 = no
+        outage); outages span kill -> recovery-applied."""
+        return self.metrics.availability(self.warmup,
+                                         self.warmup + self.duration)
+
+    def goodput(self) -> float:
+        """Records reaching sinks per second of *available* virtual time.
+
+        Unlike raw throughput this does not dilute over downtime: a run
+        that loses half its window to recoveries but processes at full
+        speed while up keeps its goodput, making protocols comparable
+        across failure scenarios of different severity.
+        """
+        start, end = self.warmup, self.warmup + self.duration
+        up = (end - start) - self.metrics.downtime(start, end)
+        if up <= 0:
+            return 0.0
+        return self.metrics.total_sink_records(start, end) / up
 
     def sustainable(self, expected_rate: float,
                     latency_cap: float = 1.0) -> bool:
@@ -242,6 +272,22 @@ class Job:
             self.config.state_backend, self.cost,
             max_chain=self.config.changelog_max_chain,
         )
+        if self.config.interval_policy not in ("fixed", "adaptive"):
+            raise ValueError(
+                f"interval_policy={self.config.interval_policy!r}; "
+                "choose 'fixed' or 'adaptive'"
+            )
+        #: Young–Daly interval controller (None under the fixed policy);
+        #: protocols consult checkpoint_interval_now() each tick
+        self.interval_controller: AdaptiveIntervalController | None = None
+        if self.config.interval_policy == "adaptive":
+            self.interval_controller = AdaptiveIntervalController(
+                initial_interval=self.config.checkpoint_interval,
+                assumed_mtbf=self.config.assumed_mtbf,
+                alpha=self.config.interval_ema_alpha,
+                min_interval=self.config.interval_min,
+                max_interval=self.config.interval_max,
+            )
         self.recovering = False
         self.epoch = 0
         #: bumped on every rescaled redeploy; stale durability callbacks
@@ -326,6 +372,7 @@ class Job:
     # -- introspection ---------------------------------------------------- #
 
     def instance_keys(self) -> list[InstanceKey]:
+        """Every (operator, index) pair in deterministic order."""
         return [
             (name, idx)
             for name in self.graph.operator_order()
@@ -333,17 +380,21 @@ class Job:
         ]
 
     def instance(self, key: InstanceKey) -> InstanceRuntime:
+        """The runtime instance deployed under ``key``."""
         return self.workers[key[1]].instances[key[0]]
 
     def instances(self) -> list[InstanceRuntime]:
+        """Every instance, in :meth:`instance_keys` order."""
         return [self.instance(key) for key in self.instance_keys()]
 
     @property
     def registry(self):
+        """The coordinator's durable checkpoint registry."""
         return self.coordinator.registry
 
     @property
     def n_instances(self) -> int:
+        """Operators times parallelism (instances in the deployment)."""
         return len(self.graph.operators) * self.parallelism
 
     def instance_ordinal(self, key: InstanceKey) -> int:
@@ -383,12 +434,14 @@ class Job:
         return cost
 
     def flush_ready(self, instance: InstanceRuntime) -> float:
+        """Send router buffers that reached the batch threshold."""
         cost = 0.0
         for edge_id, dst, records, nbytes in instance.router.take_ready():
             cost += self._send_data(instance, edge_id, dst, records, nbytes)
         return cost
 
     def flush_all(self, instance: InstanceRuntime) -> float:
+        """Send every staged router buffer regardless of fill."""
         cost = 0.0
         for edge_id, dst, records, nbytes in instance.router.take_all():
             cost += self._send_data(instance, edge_id, dst, records, nbytes)
@@ -459,6 +512,7 @@ class Job:
     # ------------------------------------------------------------------ #
 
     def start_source_polls(self) -> None:
+        """Kick off each source instance's self-clocking poll chain."""
         jitter = self.rng.stream("source-poll")
         for spec in self.graph.sources():
             for idx in range(self.parallelism):
@@ -510,6 +564,7 @@ class Job:
     # ------------------------------------------------------------------ #
 
     def register_timer(self, instance: InstanceRuntime, at: float, tag: Any) -> None:
+        """Schedule ``on_timer(tag)`` for ``instance`` at virtual time ``at``."""
         epoch = self.epoch
 
         def fire() -> None:
@@ -539,9 +594,44 @@ class Job:
     # Checkpoint execution (shared by every protocol)
     # ------------------------------------------------------------------ #
 
+    def checkpoint_interval_now(self) -> float:
+        """The interval checkpoint timers should use for their next tick.
+
+        The fixed policy returns the configured constant; the adaptive
+        policy returns the controller's current Young–Daly interval
+        (DESIGN.md section 12).  Protocols re-consult this every tick so
+        interval changes take effect at the next scheduling decision.
+        """
+        if self.interval_controller is not None:
+            return self.interval_controller.interval
+        return self.config.checkpoint_interval
+
+    def note_checkpoint_duration(self, duration: float) -> None:
+        """Feed one completed checkpoint's duration to the controller.
+
+        The coordinated family reports completed *round* durations (the
+        round is its unit of checkpoint cost); the uncoordinated family
+        reports per-instance local/forced checkpoints.
+        """
+        if self.interval_controller is None:
+            return
+        self.interval_controller.observe_checkpoint(self.sim.now, duration)
+        self._sync_interval_updates()
+
+    def _sync_interval_updates(self) -> None:
+        """Mirror the controller's trajectory into the run's metrics.
+
+        The controller's ``updates`` list is the single source of truth
+        for when the interval changed; metrics copy whatever is new.
+        """
+        recorded = self.metrics.interval_updates
+        for entry in self.interval_controller.updates[len(recorded):]:
+            self.metrics.record_interval_update(*entry)
+
     def enqueue_checkpoint(self, instance: InstanceRuntime, kind: str,
                            round_id: int | None = None,
                            priority: bool = False) -> None:
+        """Queue a snapshot task on the instance's worker CPU."""
         task = ("ckpt", instance, kind, round_id)
         if priority:
             instance.worker.enqueue_front(task)
@@ -625,6 +715,10 @@ class Job:
             )
         )
         self.coordinator.send_metadata(durable)
+        if durable.kind in UNCOORDINATED_KINDS:
+            # the uncoordinated family's unit of checkpoint cost; the
+            # coordinated family reports round durations instead
+            self.note_checkpoint_duration(durable.durable_at - durable.started_at)
 
     # ------------------------------------------------------------------ #
     # Failure and recovery
@@ -635,6 +729,10 @@ class Job:
             return  # the pipeline is already down; fold into this recovery
         if self.metrics.failure_at < 0:
             self.metrics.failure_at = self.sim.now
+        self.metrics.record_outage_start(self.sim.now)
+        if self.interval_controller is not None:
+            self.interval_controller.observe_failure(self.sim.now)
+            self._sync_interval_updates()
         # a planned kill may target an index beyond a downscaled deployment
         self.workers[worker_index % self.parallelism].kill()
 
@@ -762,6 +860,7 @@ class Job:
             worker.alive = True  # replacement container
         if self.metrics.restart_completed_at < 0:
             self.metrics.restart_completed_at = self.sim.now
+        self.metrics.record_outage_end(self.sim.now)
         self.recovering = False
         self.recoveries_applied += 1
         self.protocol.on_recovery_applied(plan)
@@ -824,6 +923,7 @@ class Job:
             worker.alive = True
         if self.metrics.restart_completed_at < 0:
             self.metrics.restart_completed_at = self.sim.now
+        self.metrics.record_outage_end(self.sim.now)
         self.recovering = False
         self.recoveries_applied += 1
         # re-route the line's in-flight messages through the new topology,
@@ -1021,19 +1121,21 @@ class Job:
         self.protocol.on_job_start()
         self.start_source_polls()
         self._start_linger_chains()
-        plans = []
-        if config.failure_at is not None:
-            plans.append(FailurePlan(at=config.warmup + config.failure_at,
-                                     worker_index=config.failure_worker))
-        for offset, worker_index in config.extra_failures:
-            plans.append(FailurePlan(at=config.warmup + offset,
-                                     worker_index=worker_index))
-        for plan in plans:
+        scenario = scenario_from_config(config)
+        if scenario is not None:
+            events = scenario.events(
+                config.warmup, config.warmup + config.duration,
+                self.rng.stream("failure-scenario"),
+            )
             injector = FailureInjector(
-                self.sim, plan,
+                self.sim, events,
                 detection_delay=self.cost.detection_delay,
                 on_fail=self._on_fail,
                 on_detect=self._on_detect,
+                records=self.metrics.failure_records,
+                # resolve a scenario's raw worker draw against the LIVE
+                # parallelism (a rescale may have changed it by kill time)
+                worker_resolver=lambda index: index % self.parallelism,
             )
             injector.arm()
         self.sim.run_until(config.warmup + config.duration)

@@ -77,9 +77,11 @@ class ValueState:
         self._tracked = False
 
     def get(self) -> Any:
+        """Current value."""
         return self._value
 
     def set(self, value: Any, size_bytes: int) -> None:
+        """Replace the value and its accounted byte size."""
         self._value = value
         self._size = size_bytes
         if self._tracked:
@@ -87,32 +89,39 @@ class ValueState:
 
     @property
     def size_bytes(self) -> int:
+        """Accounted byte footprint of the value."""
         return self._size
 
     def snapshot(self) -> tuple[Any, int]:
+        """Copyable (value, size) pair for checkpointing."""
         return (self._value, self._size)
 
     def restore(self, snap: tuple[Any, int]) -> None:
+        """Reinstall a snapshot taken by :meth:`snapshot`."""
         self._value, self._size = snap
         self._dirty = True
 
     # -- changelog support ------------------------------------------------ #
 
     def snapshot_delta(self) -> tuple | None:
+        """Delta since the last clean point (None if unchanged)."""
         if self._tracked and not self._dirty:
             return None
         return (FULL, self.snapshot())
 
     def delta_bytes(self) -> int:
+        """Bytes a delta of the current changes would upload."""
         if self._tracked and not self._dirty:
             return 0
         return self._size
 
     def mark_clean(self) -> None:
+        """Arm change tracking and forget pending changes."""
         self._tracked = True
         self._dirty = False
 
     def apply_delta(self, delta: tuple) -> None:
+        """Fold one delta (from :meth:`snapshot_delta`) into the value."""
         _, snap = delta
         self.restore(snap)
 
@@ -144,9 +153,11 @@ class KeyedMapState:
         return key in self._data
 
     def get(self, key: Any, default: Any = None) -> Any:
+        """Value stored under ``key`` (or ``default``)."""
         return self._data.get(key, default)
 
     def put(self, key: Any, value: Any, size_bytes: int) -> None:
+        """Insert or replace ``key`` with an explicit byte size."""
         self._total += size_bytes - self._sizes.get(key, 0)
         self._data[key] = value
         self._sizes[key] = size_bytes
@@ -155,6 +166,7 @@ class KeyedMapState:
             self._deleted.discard(key)
 
     def delete(self, key: Any) -> None:
+        """Remove ``key`` if present (tracked as a deletion)."""
         if key in self._data:
             self._total -= self._sizes.pop(key)
             del self._data[key]
@@ -163,12 +175,15 @@ class KeyedMapState:
                 self._deleted.add(key)
 
     def keys(self) -> Iterator[Any]:
+        """Iterator over stored keys."""
         return iter(self._data)
 
     def items(self) -> Iterator[tuple[Any, Any]]:
+        """Iterator over (key, value) pairs."""
         return iter(self._data.items())
 
     def clear(self) -> None:
+        """Drop every entry (the next delta degenerates to full)."""
         self._data.clear()
         self._sizes.clear()
         self._total = 0
@@ -178,12 +193,15 @@ class KeyedMapState:
 
     @property
     def size_bytes(self) -> int:
+        """Total accounted byte footprint."""
         return self._total
 
     def snapshot(self) -> tuple[dict, dict, int]:
+        """Copyable (data, sizes, total) triple for checkpointing."""
         return (dict(self._data), dict(self._sizes), self._total)
 
     def restore(self, snap: tuple[dict, dict, int]) -> None:
+        """Reinstall a snapshot taken by :meth:`snapshot`."""
         data, sizes, total = snap
         self._data = dict(data)
         self._sizes = dict(sizes)
@@ -195,6 +213,7 @@ class KeyedMapState:
     # -- changelog support ------------------------------------------------ #
 
     def snapshot_delta(self) -> tuple | None:
+        """Written/deleted keys since the last clean point (None if unchanged)."""
         if self._all_dirty or not self._tracked:
             return (FULL, self.snapshot())
         if not self._dirty and not self._deleted:
@@ -205,6 +224,7 @@ class KeyedMapState:
         return (DIFF, written, tuple(self._deleted), self._total)
 
     def delta_bytes(self) -> int:
+        """Bytes a delta of the current changes would upload."""
         if self._all_dirty or not self._tracked:
             return self._total
         return (
@@ -213,12 +233,14 @@ class KeyedMapState:
         )
 
     def mark_clean(self) -> None:
+        """Arm change tracking and forget pending changes."""
         self._tracked = True
         self._dirty.clear()
         self._deleted.clear()
         self._all_dirty = False
 
     def apply_delta(self, delta: tuple) -> None:
+        """Fold one delta (from :meth:`snapshot_delta`) into the map."""
         if delta[0] == FULL:
             self.restore(delta[1])
             return
@@ -289,6 +311,7 @@ class KeyedListState:
         return len(self._data)
 
     def append(self, key: Any, value: Any, size_bytes: int | None = None) -> None:
+        """Append ``value`` under ``key``, billing ``size_bytes`` (or the estimate)."""
         values = self._data.setdefault(key, [])
         values.append(value)
         added = self._entry_bytes if size_bytes is None else size_bytes
@@ -302,9 +325,11 @@ class KeyedListState:
             self._key_bytes[key] = prev + added
 
     def get(self, key: Any) -> list:
+        """The list stored under ``key`` (empty if absent)."""
         return self._data.get(key, [])
 
     def delete(self, key: Any) -> None:
+        """Remove ``key`` and its list (tracked as a deletion)."""
         values = self._data.pop(key, None)
         if values is not None:
             self._total -= len(values) * self._entry_bytes
@@ -339,9 +364,11 @@ class KeyedListState:
         return removed
 
     def keys(self) -> Iterator[Any]:
+        """Iterator over stored keys."""
         return iter(self._data)
 
     def clear(self) -> None:
+        """Drop every entry (the next delta degenerates to full)."""
         self._data.clear()
         self._total = 0
         self._dirty.clear()
@@ -351,12 +378,15 @@ class KeyedListState:
 
     @property
     def size_bytes(self) -> int:
+        """Total accounted byte footprint."""
         return self._total
 
     def snapshot(self) -> tuple[dict, int]:
+        """Copyable (data, total) pair; lists are copied."""
         return ({k: list(v) for k, v in self._data.items()}, self._total)
 
     def restore(self, snap: tuple[dict, int]) -> None:
+        """Reinstall a snapshot taken by :meth:`snapshot`."""
         data, total = snap
         self._data = {k: list(v) for k, v in data.items()}
         self._total = total
@@ -368,6 +398,7 @@ class KeyedListState:
     # -- changelog support ------------------------------------------------ #
 
     def snapshot_delta(self) -> tuple | None:
+        """Rewritten/deleted keys since the last clean point (None if unchanged)."""
         if self._all_dirty or not self._tracked:
             return (FULL, self.snapshot())
         if not self._dirty and not self._deleted:
@@ -378,6 +409,7 @@ class KeyedListState:
         return (DIFF, written, tuple(self._deleted), self._total)
 
     def delta_bytes(self) -> int:
+        """Bytes a delta of the current changes would upload."""
         if self._all_dirty or not self._tracked:
             return self._total
         key_bytes = self._key_bytes
@@ -389,12 +421,14 @@ class KeyedListState:
         return dirty_total + len(self._deleted) * _DELETE_BYTES
 
     def mark_clean(self) -> None:
+        """Arm change tracking and forget pending changes."""
         self._tracked = True
         self._dirty.clear()
         self._deleted.clear()
         self._all_dirty = False
 
     def apply_delta(self, delta: tuple) -> None:
+        """Fold one delta (from :meth:`snapshot_delta`) into the multimap."""
         if delta[0] == FULL:
             self.restore(delta[1])
             return
@@ -447,6 +481,7 @@ class StateRegistry:
         self._states: dict[str, Any] = {}
 
     def register(self, name: str, state: Any) -> Any:
+        """Add a named state; returns it for convenient assignment."""
         if name in self._states:
             raise ValueError(f"duplicate state name {name!r}")
         self._states[name] = state
@@ -457,12 +492,15 @@ class StateRegistry:
 
     @property
     def size_bytes(self) -> int:
+        """Summed byte footprint of every registered state."""
         return sum(s.size_bytes for s in self._states.values())
 
     def snapshot(self) -> dict[str, Any]:
+        """Per-state snapshots keyed by state name."""
         return {name: state.snapshot() for name, state in self._states.items()}
 
     def restore(self, snap: dict[str, Any]) -> None:
+        """Reinstall a snapshot taken by :meth:`snapshot`."""
         for name, state in self._states.items():
             state.restore(snap[name])
 
@@ -480,6 +518,7 @@ class StateRegistry:
         return deltas, size
 
     def mark_clean(self) -> None:
+        """Arm change tracking on every registered state."""
         for state in self._states.values():
             state.mark_clean()
 
@@ -565,6 +604,7 @@ class StateBackend:
         """Install per-instance tracking hooks (called at wiring time)."""
 
     def capture(self, instance: "InstanceRuntime", blob_key: str) -> CapturedState:
+        """Turn the instance's state into a checkpoint payload."""
         raise NotImplementedError
 
     def note_extra_upload(self, instance: "InstanceRuntime",
@@ -586,6 +626,7 @@ class FullSnapshotBackend(StateBackend):
     name = "full"
 
     def capture(self, instance: "InstanceRuntime", blob_key: str) -> CapturedState:
+        """Capture the complete state as one self-contained blob."""
         payload = instance.capture_snapshot()
         state_bytes = instance.state_bytes
         return CapturedState(
@@ -637,10 +678,12 @@ class ChangelogBackend(StateBackend):
         return track
 
     def prepare_instance(self, instance: "InstanceRuntime") -> None:
+        """Give the instance a rid journal and a chain tracker."""
         instance.rid_journal = []
         self._track_for(instance)
 
     def capture(self, instance: "InstanceRuntime", blob_key: str) -> CapturedState:
+        """Capture a fresh base or a dirty-key delta chained on the last blob."""
         track = self._track_for(instance)
         if (track.force_base or track.parent_key is None
                 or track.chain_length >= self.max_chain):
@@ -678,9 +721,11 @@ class ChangelogBackend(StateBackend):
 
     def note_extra_upload(self, instance: "InstanceRuntime",
                           extra_bytes: int) -> None:
+        """Bill protocol-appended bytes (channel state) to the live chain."""
         self._track_for(instance).chain_bytes += extra_bytes
 
     def on_restored(self, instance: "InstanceRuntime") -> None:
+        """Break the chain: the next checkpoint must be a fresh base."""
         track = self._track_for(instance)
         track.force_base = True
         track.parent_key = None

@@ -89,12 +89,15 @@ class InstanceRuntime(OperatorContext):
     # -- OperatorContext ------------------------------------------------- #
 
     def now(self) -> float:
+        """Current virtual time (OperatorContext hook)."""
         return self.job.sim.now
 
     def register_timer(self, at: float, tag: Any) -> None:
+        """Forward a timer registration to the job (OperatorContext hook)."""
         self.job.register_timer(self, at, tag)
 
     def record_output(self, record: StreamRecord) -> None:
+        """Report a sink record to the metrics (OperatorContext hook)."""
         self.job.metrics.record_output(self.job.sim.now, record.source_ts)
 
     # -- bookkeeping -------------------------------------------------------- #
@@ -108,6 +111,7 @@ class InstanceRuntime(OperatorContext):
         return base
 
     def open(self) -> None:
+        """Instantiate and open the operator against this context."""
         self.operator.open(self)
 
     def reset_to_virgin(self) -> None:
@@ -164,6 +168,7 @@ class InstanceRuntime(OperatorContext):
         return payload, delta_bytes
 
     def restore_snapshot(self, snapshot: dict[str, Any]) -> None:
+        """Reinstall a full checkpoint payload (state, cursors, dedup set)."""
         self.operator = self.spec.factory()
         self.operator.open(self)
         self.operator.states.restore(snapshot["states"])
@@ -279,6 +284,7 @@ class WorkerRuntime:
         self.enqueue(("data", channel, msg))
 
     def block_channel(self, channel: ChannelId) -> None:
+        """Buffer instead of deliver on ``channel`` (COOR alignment)."""
         self.blocked.add(channel)
 
     def unblock_channel(self, channel: ChannelId) -> None:
@@ -294,6 +300,7 @@ class WorkerRuntime:
     # ------------------------------------------------------------------ #
 
     def enqueue(self, task: tuple) -> None:
+        """Append a task to this worker's CPU queue and start it if idle."""
         if not self.alive:
             return
         self._tasks.append(task)
@@ -324,6 +331,7 @@ class WorkerRuntime:
 
     @property
     def queued_tasks(self) -> int:
+        """Tasks currently waiting for this worker's CPU."""
         return len(self._tasks)
 
     def pending_data_messages(self, channel: ChannelId) -> list[Message]:
@@ -422,4 +430,5 @@ class WorkerRuntime:
                 instance.router.clear()
 
     def staged_records(self) -> int:
+        """Records staged in the worker's router buffers (linger check)."""
         return sum(i.router.staged_records for i in self.instances.values() if i.router)

@@ -101,4 +101,5 @@ def current_scale() -> ExperimentScale:
 
 
 def scale_by_name(name: str) -> ExperimentScale:
+    """Look an experiment scale up by name ('quick'|'default'|'full')."""
     return _SCALES[name]

@@ -68,6 +68,18 @@ _SECTIONS = (
      "and rebinding input-partition cursors; the sweep compares restart "
      "and recovery when the restore also scales down / stays / scales up, "
      "a dimension the paper never measured."),
+    ("multi_failure", "Multi-failure scenarios — protocol x scenario",
+     "Extension (DESIGN.md section 12): every protocol rides through a "
+     "no-failure baseline, a deterministic double kill, a Poisson/MTBF "
+     "failure stream, a correlated two-worker kill and a flaky node with "
+     "slowed detection, reporting availability (fraction of the window "
+     "the pipeline was up), goodput (sink records per second of uptime) "
+     "and recovery counts.  The Poisson stream additionally runs under "
+     "the adaptive (Young–Daly) checkpoint-interval policy.  "
+     "Reproduce one cell with `python -m repro query q12 --protocol unc "
+     "--failure-scenario 'poisson:mtbf=12' --interval-policy adaptive`; "
+     "the `--failure-scenario` spec grammar and `--interval-policy "
+     "{fixed,adaptive}` are documented in DESIGN.md section 12."),
     ("ablation_interval", "Ablation — checkpoint-interval sweep", ""),
     ("ablation_logging", "Ablation — UNC logging tax & participation", ""),
     ("ablation_schedules", "Ablation — per-operator checkpoint schedules", ""),
@@ -91,6 +103,7 @@ Scale: `{scale}`.  Generated: {generated}.
 
 
 def assemble(results_dir: str = "results", scale: str = "default") -> str:
+    """Stitch the rendered result blocks into the EXPERIMENTS.md text."""
     directory = pathlib.Path(results_dir)
     parts = [_HEADER.format(scale=scale, generated=date.today().isoformat())]
     for name, title, paper_note in _SECTIONS:
@@ -108,6 +121,7 @@ def assemble(results_dir: str = "results", scale: str = "default") -> str:
 
 def write(results_dir: str = "results", output: str = "EXPERIMENTS.md",
           scale: str = "default") -> pathlib.Path:
+    """Assemble and write EXPERIMENTS.md; returns the output path."""
     path = pathlib.Path(output)
     path.write_text(assemble(results_dir, scale), encoding="utf-8")
     return path

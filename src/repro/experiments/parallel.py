@@ -42,7 +42,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: bump when RunResult / metrics layout changes so stale cache entries
 #: from an older code revision are never served
-CACHE_VERSION = 3
+CACHE_VERSION = 4
 
 
 # --------------------------------------------------------------------- #
@@ -79,6 +79,11 @@ class RunRequest:
     rescale_at: int = 1
     #: size of the key-group address space (routing + keyed state)
     max_key_groups: int = 128
+    #: failure-scenario spec string (DESIGN.md section 12); overrides the
+    #: single-kill failure_at/failure_worker pair when set
+    failure_scenario: str | None = None
+    #: checkpoint-interval policy: 'fixed' | 'adaptive' (Young–Daly)
+    interval_policy: str = "fixed"
     config: RuntimeConfig | None = None
 
     def effective_config(self) -> RuntimeConfig:
@@ -96,6 +101,8 @@ class RunRequest:
             rescale_to=self.rescale_to,
             rescale_at=self.rescale_at,
             max_key_groups=self.max_key_groups,
+            failure_scenario=self.failure_scenario,
+            interval_policy=self.interval_policy,
         )
 
 
@@ -240,9 +247,11 @@ class RunCache:
         self.directory.mkdir(parents=True, exist_ok=True)
 
     def path(self, key: str) -> Path:
+        """On-disk path of the entry stored under ``key``."""
         return self.directory / f"{key}.pkl"
 
     def get(self, key: str) -> tuple[bool, Any]:
+        """(found, value) for ``key``; corrupt entries read as a miss."""
         path = self.path(key)
         try:
             with open(path, "rb") as fh:
@@ -256,6 +265,7 @@ class RunCache:
             return False, None
 
     def put(self, key: str, value: Any) -> None:
+        """Atomically write ``value`` under ``key`` (tempfile + rename)."""
         fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
@@ -345,6 +355,7 @@ class ParallelRunner:
 
     @property
     def hit_ratio(self) -> float:
+        """Cache hits over all cache-consulting requests."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 

@@ -31,6 +31,8 @@ def run_query(
     rescale_to: int | None = None,
     rescale_at: int = 1,
     max_key_groups: int = 128,
+    failure_scenario: str | None = None,
+    interval_policy: str = "fixed",
 ) -> RunResult:
     """Deploy ``spec`` under ``protocol`` and execute one measured run.
 
@@ -57,6 +59,8 @@ def run_query(
         rescale_to=rescale_to,
         rescale_at=rescale_at,
         max_key_groups=max_key_groups,
+        failure_scenario=failure_scenario,
+        interval_policy=interval_policy,
         config=config,
     )
     return run_with_spec(spec, request)

@@ -60,10 +60,12 @@ class CheckpointEvent:
 
     @property
     def duration(self) -> float:
+        """Capture-start to durable duration."""
         return self.durable_at - self.started_at
 
     @property
     def uploaded_bytes(self) -> int:
+        """Bytes that crossed the wire (state_bytes if unrecorded)."""
         return self.state_bytes if self.upload_bytes < 0 else self.upload_bytes
 
 
@@ -106,6 +108,15 @@ class MetricsCollector:
     #: canonical (line, replay) signature of every recovery, in order —
     #: the differential backend tests compare these across state backends
     recovery_lines: list[tuple] = field(default_factory=list)
+    #: one FailureRecord per injected kill, in injection order (the
+    #: injector appends; repeated kills accumulate, never overwrite)
+    failure_records: list = field(default_factory=list)
+    #: [start, end] spans during which the pipeline was down (kill ->
+    #: recovery applied); an unfinished outage has end == -1.0
+    outages: list[list[float]] = field(default_factory=list)
+    #: (virtual time, interval) trajectory of the adaptive checkpoint-
+    #: interval controller; empty under the fixed policy
+    interval_updates: list[tuple[float, float]] = field(default_factory=list)
 
     # -- rescale-on-recovery ------------------------------------------------ #
     #: when the (first) rescaled restore was applied, -1 if none happened
@@ -122,21 +133,25 @@ class MetricsCollector:
     # ------------------------------------------------------------------ #
 
     def record_output(self, now: float, source_ts: float) -> None:
+        """Count one sink record and its end-to-end latency."""
         second = int(now)
         self.latencies.setdefault(second, []).append(now - source_ts)
         self.sink_counts[second] = self.sink_counts.get(second, 0) + 1
 
     def record_ingest(self, now: float, count: int) -> None:
+        """Count records pulled by sources in this second."""
         second = int(now)
         self.ingest_counts[second] = self.ingest_counts.get(second, 0) + count
 
     def record_message(self, payload_bytes: int, protocol_bytes: int, n_records: int) -> None:
+        """Account one sent message's payload/protocol bytes."""
         self.data_bytes += payload_bytes
         self.protocol_bytes += protocol_bytes
         self.messages_sent += 1
         self.records_sent += n_records
 
     def record_checkpoint(self, event: CheckpointEvent) -> None:
+        """Append a durable checkpoint event and its byte accounting."""
         self.checkpoints.append(event)
         if event.kind != KIND_ROUND:
             self.checkpoint_bytes_uploaded += event.uploaded_bytes
@@ -144,7 +159,23 @@ class MetricsCollector:
 
     def record_recovery_line(self, line_signature: tuple,
                              replay_signature: tuple) -> None:
+        """Append one recovery's canonical (line, replay) signature."""
         self.recovery_lines.append((line_signature, replay_signature))
+
+    def record_outage_start(self, now: float) -> None:
+        """The pipeline went down (first kill of an outage)."""
+        if self.outages and self.outages[-1][1] < 0:
+            return  # a later kill folded into the outage already open
+        self.outages.append([now, -1.0])
+
+    def record_outage_end(self, now: float) -> None:
+        """Recovery was applied; the pipeline is processing again."""
+        if self.outages and self.outages[-1][1] < 0:
+            self.outages[-1][1] = now
+
+    def record_interval_update(self, now: float, interval: float) -> None:
+        """The adaptive controller changed the checkpoint interval."""
+        self.interval_updates.append((now, interval))
 
     def record_rescale(self, now: float, from_parallelism: int,
                        to_parallelism: int,
@@ -175,6 +206,36 @@ class MetricsCollector:
             return -1.0
         return self.restart_completed_at - self.detected_at
 
+    @property
+    def n_failures(self) -> int:
+        """Injected kills over the whole run (one per worker hit)."""
+        return len(self.failure_records)
+
+    @property
+    def n_recoveries(self) -> int:
+        """Recoveries actually applied (folded kills share one)."""
+        return len(self.recovery_lines)
+
+    def downtime(self, start: float, end: float) -> float:
+        """Virtual seconds of ``[start, end)`` spent down or recovering.
+
+        An outage spans kill -> recovery-applied; an outage still open
+        when the run ends is clipped at ``end``.
+        """
+        total = 0.0
+        for outage_start, outage_end in self.outages:
+            if outage_end < 0:
+                outage_end = end
+            total += max(0.0, min(outage_end, end) - max(outage_start, start))
+        return total
+
+    def availability(self, start: float, end: float) -> float:
+        """Fraction of ``[start, end)`` the pipeline was up (1.0 = no outage)."""
+        span = end - start
+        if span <= 0:
+            return 1.0
+        return 1.0 - self.downtime(start, end) / span
+
     def overhead_ratio(self) -> float:
         """(data + protocol bytes) / data bytes — Table II's metric."""
         if self.data_bytes == 0:
@@ -191,6 +252,7 @@ class MetricsCollector:
         return sum(e.duration for e in events) / len(events)
 
     def total_sink_records(self, start: float = 0.0, end: float = float("inf")) -> int:
+        """Sink records whose second falls in [start, end)."""
         return sum(
             count for second, count in self.sink_counts.items() if start <= second < end
         )

@@ -50,3 +50,21 @@ def shape_report(title: str, assertions: Sequence[tuple[str, bool]]) -> str:
     for claim, ok in assertions:
         lines.append(f"  [{'PASS' if ok else 'FAIL'}] {claim}")
     return "\n".join(lines)
+
+
+def format_failure_records(records, indent: str = "    ") -> str:
+    """One line per injected kill: who failed when, and detection.
+
+    ``records`` are :class:`~repro.sim.failure.FailureRecord`-shaped
+    objects; a negative ``detected_at`` means the run ended before the
+    heartbeat declared the worker dead.  The CLI and the failure
+    examples all share this rendering.
+    """
+    lines = []
+    for record in records:
+        detected = (f"detected at t={record.detected_at:.2f}s"
+                    if record.detected_at >= 0
+                    else "not detected before the run ended")
+        lines.append(f"{indent}worker {record.worker_index} failed at "
+                     f"t={record.failed_at:.2f}s, {detected}")
+    return "\n".join(lines)

@@ -31,6 +31,7 @@ class LatencySeries:
     @classmethod
     def from_latencies(cls, latencies: dict[int, list[float]],
                        start: int = 0, end: int | None = None) -> "LatencySeries":
+        """Build per-second p50/p99 from raw latency samples."""
         if end is None:
             end = max(latencies) + 1 if latencies else start
         seconds, p50s, p99s = [], [], []
@@ -42,6 +43,7 @@ class LatencySeries:
         return cls(seconds, p50s, p99s)
 
     def series(self, pct: int) -> list[float]:
+        """The p50 or p99 column, selected by percentile."""
         if pct == 50:
             return self.p50
         if pct == 99:

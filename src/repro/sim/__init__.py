@@ -11,7 +11,16 @@ from repro.sim.events import EventHandle, EventQueue
 from repro.sim.simulator import Simulator
 from repro.sim.costs import CostModel
 from repro.sim.rng import RngRegistry
-from repro.sim.failure import FailureInjector, FailurePlan
+from repro.sim.failure import (
+    AdaptiveIntervalController,
+    FailureEvent,
+    FailureInjector,
+    FailureRecord,
+    FailureScenario,
+    parse_scenario,
+    scenario_from_config,
+    young_daly_interval,
+)
 
 __all__ = [
     "EventHandle",
@@ -19,6 +28,12 @@ __all__ = [
     "Simulator",
     "CostModel",
     "RngRegistry",
+    "AdaptiveIntervalController",
+    "FailureEvent",
     "FailureInjector",
-    "FailurePlan",
+    "FailureRecord",
+    "FailureScenario",
+    "parse_scenario",
+    "scenario_from_config",
+    "young_daly_interval",
 ]

@@ -182,6 +182,21 @@ class RuntimeConfig:
     failure_at: float | None = None
     #: index of the worker to kill
     failure_worker: int = 0
+    #: failure-scenario spec string (DESIGN.md section 12), e.g.
+    #: 'poisson:mtbf=12' or 'trace:5@0;13@1'; overrides the single-kill
+    #: knobs above when set (see repro.sim.failure.parse_scenario)
+    failure_scenario: str | None = None
+    #: checkpoint-interval policy: 'fixed' keeps ``checkpoint_interval``,
+    #: 'adaptive' retunes it to the Young–Daly optimum from observed
+    #: checkpoint costs and inter-failure gaps (DESIGN.md section 12)
+    interval_policy: str = "fixed"
+    #: adaptive policy: hard floor/ceiling on the chosen interval
+    interval_min: float = 0.5
+    interval_max: float = 30.0
+    #: adaptive policy: EMA smoothing factor for both estimators
+    interval_ema_alpha: float = 0.3
+    #: adaptive policy: MTBF prior used until a failure gap is observed
+    assumed_mtbf: float = 30.0
     #: restore at this parallelism instead of the checkpoint's when the
     #: ``rescale_at``-th recovery is applied (None: never rescale)
     rescale_to: int | None = None

@@ -87,4 +87,5 @@ class EventQueue:
         return heap[0][0]
 
     def clear(self) -> None:
+        """Drop every pending event."""
         self._heap.clear()

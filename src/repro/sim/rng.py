@@ -20,6 +20,7 @@ class RngRegistry:
 
     @property
     def seed(self) -> int:
+        """The experiment seed every stream derives from."""
         return self._seed
 
     def stream(self, name: str) -> random.Random:

@@ -57,6 +57,7 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
+        """Events still scheduled (cancelled ones excluded)."""
         return len(self._queue)
 
     def stop(self) -> None:

@@ -65,9 +65,11 @@ class BlobStore:
         return value
 
     def meta(self, key: str) -> BlobMeta:
+        """Metadata of ``key`` (raises KeyError if absent)."""
         return self._meta[key]
 
     def keys(self) -> list[str]:
+        """Keys of every stored blob."""
         return list(self._blobs)
 
     def __contains__(self, key: str) -> bool:
@@ -82,6 +84,7 @@ class BlobStore:
         self.bytes_deleted += self._meta.pop(key).size_bytes
 
     def total_bytes(self) -> int:
+        """Billed bytes currently retained."""
         return sum(m.size_bytes for m in self._meta.values())
 
     # -- delta chains ----------------------------------------------------- #

@@ -53,6 +53,7 @@ class Partition:
 
     @property
     def records(self) -> Sequence[LogRecord]:
+        """Every appended record, in offset order."""
         return self._records
 
     def append(self, available_at: float, payload: Any, size_bytes: int) -> LogRecord:
@@ -99,7 +100,9 @@ class PartitionedLog:
         return sum(len(p) for p in self.partitions)
 
     def partition(self, index: int) -> Partition:
+        """The partition at ``index``."""
         return self.partitions[index]
 
     def total_available_by(self, now: float) -> int:
+        """Records whose availability time is <= ``t`` across partitions."""
         return sum(p.available_by(now) for p in self.partitions)

@@ -27,6 +27,7 @@ class LinkEvent:
 
     @property
     def size_bytes(self) -> int:
+        """Serialized size used by the cost model."""
         return LINK_SIZE
 
 
@@ -39,6 +40,7 @@ class SourceEvent:
 
     @property
     def size_bytes(self) -> int:
+        """Serialized size used by the cost model."""
         return SOURCE_SIZE
 
 

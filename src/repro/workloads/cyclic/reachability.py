@@ -54,6 +54,7 @@ class ReachFact:
 
     @property
     def size_bytes(self) -> int:
+        """Serialized size used by the cost model."""
         return FACT_SIZE + 8 * len(self.path)
 
 
@@ -67,6 +68,7 @@ class JoinPair:
 
     @property
     def size_bytes(self) -> int:
+        """Serialized size used by the cost model."""
         return PAIR_SIZE + 8 * len(self.fact.path)
 
 
@@ -76,6 +78,7 @@ class ReachJoinOperator(Operator):
     cpu_per_record = 0.0030
 
     def open(self, ctx: OperatorContext) -> None:
+        """Register the link and reachable-set states."""
         super().open(ctx)
         #: start node -> [dst, ...]
         self._links = self.states.register("links", KeyedListState(entry_bytes=24))
@@ -111,6 +114,7 @@ class ReachJoinOperator(Operator):
     # -- processing ------------------------------------------------------ #
 
     def process(self, record: StreamRecord, port: str) -> list[StreamRecord]:
+        """Join new links/facts and emit newly reachable pairs."""
         payload = record.payload
         if port == "link":
             event: LinkEvent = payload
@@ -149,6 +153,7 @@ class ProjectOperator(Operator):
     cpu_per_record = 0.0015
 
     def process(self, record: StreamRecord, port: str) -> list[StreamRecord]:
+        """Project join pairs back into reachability facts (the cycle)."""
         pair: JoinPair = record.payload
         fact = ReachFact(
             origin=pair.fact.origin,

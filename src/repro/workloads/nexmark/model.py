@@ -37,6 +37,7 @@ class Person:
 
     @property
     def size_bytes(self) -> int:
+        """Serialized size used by the cost model."""
         return PERSON_SIZE
 
 
@@ -52,6 +53,7 @@ class Auction:
 
     @property
     def size_bytes(self) -> int:
+        """Serialized size used by the cost model."""
         return AUCTION_SIZE
 
 
@@ -66,4 +68,5 @@ class Bid:
 
     @property
     def size_bytes(self) -> int:
+        """Serialized size used by the cost model."""
         return BID_SIZE

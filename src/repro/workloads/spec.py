@@ -45,6 +45,7 @@ class QuerySpec:
 
     def make_job_inputs(self, rate: float, until: float, parallelism: int,
                         hot_ratio: float = 0.0, seed: int = 7) -> dict[str, PartitionedLog]:
+        """Pre-generate partitioned input logs for one run."""
         key = (self.name, rate, until, parallelism, hot_ratio, seed)
         cached = _INPUT_MEMO.get(key)
         # the stored generator is identity-checked (and kept alive by the

@@ -34,6 +34,40 @@ def test_query_with_failure(capsys):
     assert "replayed messages" in out
 
 
+def test_query_with_failure_scenario(capsys):
+    code = main([
+        "query", "q1", "--protocol", "unc", "--parallelism", "2",
+        "--rate", "200", "--duration", "16", "--warmup", "2",
+        "--failure-scenario", "trace:4@0;10@1",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "failures injected: 2" in out
+    assert "availability" in out
+    assert "goodput" in out
+    assert out.count("failed at") == 2
+
+
+def test_query_with_adaptive_interval(capsys):
+    code = main([
+        "query", "q1", "--protocol", "unc", "--parallelism", "2",
+        "--rate", "200", "--duration", "16", "--warmup", "2",
+        "--failure-scenario", "poisson:mtbf=5,min_gap=4",
+        "--interval-policy", "adaptive",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "adaptive interval" in out
+
+
+def test_query_rejects_rescale_without_failure(capsys):
+    code = main([
+        "query", "q1", "--protocol", "unc", "--parallelism", "2",
+        "--rate", "200", "--rescale-to", "3",
+    ])
+    assert code == 2
+
+
 def test_query_cyclic_with_unc(capsys):
     code = main([
         "query", "reachability", "--protocol", "unc", "--parallelism", "2",

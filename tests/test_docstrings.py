@@ -1,0 +1,35 @@
+"""Docstring-coverage gate, enforced as a tier-1 test.
+
+CI also runs ``tools/check_docstrings.py`` directly; running the same
+scan here means the floor cannot rot between CI config changes, and a
+missing one-liner fails fast with the offending definition named.
+"""
+
+import pathlib
+
+from tools.check_docstrings import STRICT_PACKAGES, scan_tree
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def test_overall_docstring_coverage_at_least_90():
+    results = scan_tree(ROOT)
+    documented = sum(d for d, _, _ in results.values())
+    total = sum(t for _, t, _ in results.values())
+    assert total > 0
+    coverage = 100.0 * documented / total
+    all_missing = [m for _, _, missing in results.values() for m in missing]
+    assert coverage >= 90.0, (
+        f"docstring coverage {coverage:.1f}% < 90%; missing: "
+        + "; ".join(all_missing[:10])
+    )
+
+
+def test_sim_and_dataflow_fully_documented():
+    """Every public class/function in repro.sim and repro.dataflow has at
+    least a one-line summary (the layers other modules program against)."""
+    for pkg in STRICT_PACKAGES:
+        subtree = ROOT.parent / pkg
+        results = scan_tree(subtree)
+        missing = [m for _, _, miss in results.values() for m in miss]
+        assert not missing, f"undocumented definitions in {pkg}: {missing}"

@@ -101,6 +101,7 @@ def test_all_experiments_registry():
     assert set(figures.ALL_EXPERIMENTS) == {
         "fig7", "table2", "fig8", "fig9", "fig10", "fig11",
         "table3", "fig12", "fig13", "table4", "state_size", "rescale",
+        "multi_failure",
     }
 
 
@@ -117,6 +118,19 @@ def test_rescale_figure_structure():
             assert m["rescaled_at"] < 0
         else:
             assert m["rescaled_at"] > 0
+
+
+def test_multi_failure_figure_structure():
+    out = figures.multi_failure(QUICK)
+    protocols = {p for (p, _, _) in out["measured"]}
+    assert protocols == {"coor", "coor-unaligned", "unc", "cic"}
+    labels = {label for (_, label, _) in out["measured"]}
+    assert labels == {"none", "double", "poisson", "correlated", "flaky"}
+    # the poisson scenario runs under both interval policies
+    policies = {pol for (_, label, pol) in out["measured"] if label == "poisson"}
+    assert policies == {"fixed", "adaptive"}
+    # the acceptance checks of the scenario figure must hold at smoke scale
+    assert all(ok for _, ok in out["checks"]), out["checks"]
 
 
 def test_state_size_figure_structure():

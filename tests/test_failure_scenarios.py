@@ -1,0 +1,248 @@
+"""Failure-scenario engine: generation, parsing, and end-to-end recovery.
+
+The acceptance test of the scenario subsystem is differential: a
+deterministic two-failure scenario must leave the pipeline in a final
+state byte-identical to the no-failure run — for all four protocols and
+both state backends (exactly-once under repeated recoveries, DESIGN.md
+section 12).
+"""
+
+import random
+
+import pytest
+
+from repro.dataflow.runtime import Job
+from repro.sim.costs import RuntimeConfig
+from repro.sim.failure import (
+    CorrelatedScenario,
+    FailureScenario,
+    FlakyNodeScenario,
+    PoissonScenario,
+    SingleKillScenario,
+    TraceScenario,
+    parse_scenario,
+    scenario_from_config,
+)
+from repro.sim.rng import RngRegistry
+
+from tests.conftest import build_count_graph, canonical_state_bytes, make_event_log
+
+PROTOCOLS = ["coor", "coor-unaligned", "unc", "cic"]
+
+
+def run_scenario_job(protocol, scenario_spec, duration=24.0, seed=3,
+                     parallelism=3, rate=300.0, state_backend="full",
+                     interval_policy="fixed"):
+    """Run the auditable counting pipeline under a failure scenario."""
+    config = RuntimeConfig(
+        checkpoint_interval=3.0, duration=duration, warmup=2.0,
+        failure_scenario=scenario_spec, seed=seed,
+        state_backend=state_backend, interval_policy=interval_policy,
+    )
+    log = make_event_log(rate, duration - 4.0, parallelism, seed=seed)
+    job = Job(build_count_graph(), protocol, parallelism, {"events": log}, config)
+    result = job.run(rate=rate)
+    expected = {}
+    for partition in log.partitions:
+        for r in partition.records:
+            expected[r.payload.key] = expected.get(r.payload.key, 0) + 1
+    measured = {}
+    for idx in range(parallelism):
+        counts = job.instance(("count", idx)).operator.states["counts"]
+        for key, value in counts.items():
+            measured[key] = measured.get(key, 0) + value
+    return job, result, expected, measured
+
+
+# --------------------------------------------------------------------- #
+# Scenario generation
+# --------------------------------------------------------------------- #
+
+def _events(scenario: FailureScenario, start=2.0, end=26.0, seed=7, name="s"):
+    return scenario.events(start, end, RngRegistry(seed).stream(name))
+
+
+def test_single_kill_event():
+    (event,) = _events(SingleKillScenario(at=5.0, worker=2))
+    assert event.at == 7.0 and event.worker_indices == (2,)
+
+
+def test_trace_events_sorted():
+    events = _events(TraceScenario(((13.0, 1), (5.0, 0))))
+    assert [(e.at, e.worker_indices) for e in events] == [(7.0, (0,)), (15.0, (1,))]
+
+
+def test_trace_requires_kills():
+    with pytest.raises(ValueError):
+        TraceScenario(())
+
+
+def test_poisson_deterministic_for_seed():
+    scenario = PoissonScenario(mtbf=6.0)
+    assert _events(scenario) == _events(scenario)
+    other = scenario.events(2.0, 26.0, RngRegistry(8).stream("s"))
+    assert other != _events(scenario)
+
+
+def test_poisson_respects_min_gap_and_horizon():
+    events = _events(PoissonScenario(mtbf=1.0, min_gap=3.0), end=40.0)
+    assert all(e.at < 40.0 for e in events)
+    gaps = [b.at - a.at for a, b in zip(events, events[1:])]
+    assert gaps and all(gap >= 3.0 - 1e-9 for gap in gaps)
+
+
+def test_correlated_hits_k_workers():
+    (event,) = _events(CorrelatedScenario(at=4.0, k=3, worker=1))
+    assert event.worker_indices == (1, 2, 3)
+    assert event.detection_delay_factor == 1.0
+
+
+def test_flaky_pins_worker_and_slows_detection():
+    events = _events(FlakyNodeScenario(worker=2, mtbf=5.0, slowdown=3.0),
+                     end=60.0)
+    assert events
+    assert all(e.worker_indices == (2,) for e in events)
+    assert all(e.detection_delay_factor == 3.0 for e in events)
+
+
+def test_scenarios_use_only_the_given_stream():
+    """Determinism rule: generation must not touch the global random."""
+    random.seed(1)
+    before = random.random()
+    random.seed(1)
+    _events(PoissonScenario(mtbf=3.0), end=60.0)
+    _events(FlakyNodeScenario(worker=0, mtbf=3.0), end=60.0)
+    assert random.random() == before
+
+
+# --------------------------------------------------------------------- #
+# Spec parsing and config mapping
+# --------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("spec,cls", [
+    ("single:at=18,worker=1", SingleKillScenario),
+    ("trace:5@0;13@1", TraceScenario),
+    ("poisson:mtbf=12,min_gap=2", PoissonScenario),
+    ("correlated:at=10,k=2", CorrelatedScenario),
+    ("flaky:worker=1,mtbf=8,slowdown=3", FlakyNodeScenario),
+])
+def test_parse_scenario_kinds(spec, cls):
+    scenario = parse_scenario(spec)
+    assert isinstance(scenario, cls)
+    assert scenario.describe()
+
+
+@pytest.mark.parametrize("spec", [
+    "nope:at=1", "poisson:mtbf=-1", "poisson:", "single:worker=0",
+    "flaky:mtbf=5,slowdown=0.5", "correlated:at=2,k=0", "trace:",
+    "single:at",
+])
+def test_parse_scenario_rejects_malformed(spec):
+    with pytest.raises(ValueError):
+        parse_scenario(spec)
+
+
+def test_scenario_from_config_legacy_mapping():
+    assert scenario_from_config(RuntimeConfig()) is None
+    single = scenario_from_config(RuntimeConfig(failure_at=6.0, failure_worker=1))
+    assert isinstance(single, SingleKillScenario)
+    assert (single.at, single.worker) == (6.0, 1)
+    trace = scenario_from_config(
+        RuntimeConfig(failure_at=5.0, extra_failures=((13.0, 1),))
+    )
+    assert isinstance(trace, TraceScenario)
+    assert trace.kills == ((5.0, 0), (13.0, 1))
+
+
+def test_scenario_spec_overrides_legacy_knobs():
+    config = RuntimeConfig(failure_at=6.0, failure_scenario="poisson:mtbf=9")
+    scenario = scenario_from_config(config)
+    assert isinstance(scenario, PoissonScenario)
+    assert scenario.mtbf == 9.0
+
+
+# --------------------------------------------------------------------- #
+# End-to-end: multi-failure runs stay exactly-once
+# --------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("state_backend", ["full", "changelog"])
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_two_failure_trace_matches_no_failure_run(protocol, state_backend):
+    """Differential acceptance: final state is byte-identical to the
+    no-failure run for every protocol x backend combination."""
+    job_fail, _, expected, measured = run_scenario_job(
+        protocol, "trace:5@0;13@1", state_backend=state_backend,
+    )
+    job_clean, _, _, measured_clean = run_scenario_job(
+        protocol, None, state_backend=state_backend,
+    )
+    assert measured == expected
+    assert measured_clean == expected
+    assert canonical_state_bytes(job_fail) == canonical_state_bytes(job_clean)
+
+
+@pytest.mark.parametrize("protocol", ["coor", "unc"])
+def test_correlated_kill_stays_exactly_once(protocol):
+    _, result, expected, measured = run_scenario_job(
+        protocol, "correlated:at=6,k=2",
+    )
+    assert measured == expected
+    assert result.metrics.n_failures == 2
+    assert result.metrics.n_recoveries == 1
+
+
+def test_poisson_scenario_recovers_every_failure():
+    _, result, expected, measured = run_scenario_job(
+        "unc", "poisson:mtbf=6,min_gap=5", duration=30.0,
+    )
+    assert measured == expected
+    assert result.metrics.n_failures >= 2
+    assert result.metrics.n_recoveries >= 1
+
+
+def test_flaky_scenario_slows_detection():
+    _, result, expected, measured = run_scenario_job(
+        "unc", "flaky:worker=1,mtbf=8,slowdown=3,min_gap=6", duration=30.0,
+    )
+    assert measured == expected
+    detected = [r for r in result.metrics.failure_records if r.detected_at >= 0]
+    assert detected
+    # cost model detection delay is 1s; the flaky node triples it
+    assert all(r.detected_at - r.failed_at == pytest.approx(3.0)
+               for r in detected)
+
+
+# --------------------------------------------------------------------- #
+# Records and availability metrics
+# --------------------------------------------------------------------- #
+
+def test_failure_records_accumulate_in_metrics():
+    _, result, _, _ = run_scenario_job("unc", "trace:5@0;13@1")
+    records = result.metrics.failure_records
+    assert [r.worker_index for r in records] == [0, 1]
+    assert records[0].failed_at == pytest.approx(7.0)   # warmup 2 + 5
+    assert records[0].detected_at == pytest.approx(8.0)
+    assert records[1].failed_at == pytest.approx(15.0)
+    assert all(r.detected_at > r.failed_at for r in records)
+
+
+def test_availability_and_goodput_reflect_outages():
+    _, clean, _, _ = run_scenario_job("coor", None)
+    _, failed, _, _ = run_scenario_job("coor", "trace:5@0;13@1")
+    assert clean.availability() == 1.0
+    assert clean.metrics.downtime(0.0, 30.0) == 0.0
+    assert 0.0 < failed.availability() < 1.0
+    assert len(failed.metrics.outages) == 2
+    for start, end in failed.metrics.outages:
+        assert end > start
+    assert failed.goodput() > 0
+
+
+def test_outage_spans_kill_to_recovery_applied():
+    _, result, _, _ = run_scenario_job("coor", "single:at=5")
+    ((start, end),) = result.metrics.outages
+    assert start == pytest.approx(7.0)
+    assert end >= result.metrics.restart_completed_at
+    downtime = result.metrics.downtime(result.warmup,
+                                       result.warmup + result.duration)
+    assert downtime == pytest.approx(end - start)

@@ -33,6 +33,9 @@ def test_request_key_is_stable_and_sensitive():
     assert request_key(req()) != request_key(req(seed=8))
     assert request_key(req()) != request_key(req(protocol="cic"))
     assert request_key(req()) != request_key(req(state_backend="changelog"))
+    assert request_key(req()) != request_key(
+        req(failure_scenario="poisson:mtbf=12"))
+    assert request_key(req()) != request_key(req(interval_policy="adaptive"))
 
 
 def test_request_key_sees_config_changes():

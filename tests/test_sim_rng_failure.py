@@ -1,6 +1,6 @@
 """Unit tests for RNG streams and failure injection."""
 
-from repro.sim.failure import FailureInjector, FailurePlan
+from repro.sim.failure import FailureEvent, FailureInjector
 from repro.sim.rng import RngRegistry
 from repro.sim.simulator import Simulator
 
@@ -45,7 +45,7 @@ def test_failure_fires_at_planned_time():
     sim = Simulator()
     events = []
     injector = FailureInjector(
-        sim, FailurePlan(at=5.0, worker_index=2), detection_delay=1.0,
+        sim, [FailureEvent(at=5.0, worker_indices=(2,))], detection_delay=1.0,
         on_fail=lambda w: events.append(("fail", sim.now, w)),
         on_detect=lambda w: events.append(("detect", sim.now, w)),
     )
@@ -57,7 +57,7 @@ def test_failure_fires_at_planned_time():
 def test_failure_record_populated():
     sim = Simulator()
     injector = FailureInjector(
-        sim, FailurePlan(at=3.0, worker_index=1), detection_delay=0.5,
+        sim, [FailureEvent(at=3.0, worker_indices=(1,))], detection_delay=0.5,
         on_fail=lambda w: None, on_detect=lambda w: None,
     )
     injector.arm()
@@ -67,10 +67,54 @@ def test_failure_record_populated():
     assert injector.record.worker_index == 1
 
 
+def test_repeated_kills_accumulate_records():
+    """Regression: a second kill must append a record, not overwrite."""
+    sim = Simulator()
+    injector = FailureInjector(
+        sim,
+        [FailureEvent(at=2.0, worker_indices=(0,)),
+         FailureEvent(at=6.0, worker_indices=(1,))],
+        detection_delay=1.0,
+        on_fail=lambda w: None, on_detect=lambda w: None,
+    )
+    injector.arm()
+    sim.run_until(10.0)
+    assert [(r.failed_at, r.detected_at, r.worker_index)
+            for r in injector.records] == [(2.0, 3.0, 0), (6.0, 7.0, 1)]
+
+
+def test_correlated_event_records_every_worker():
+    sim = Simulator()
+    killed = []
+    injector = FailureInjector(
+        sim, [FailureEvent(at=4.0, worker_indices=(1, 2, 3))],
+        detection_delay=0.5,
+        on_fail=killed.append, on_detect=lambda w: None,
+    )
+    injector.arm()
+    sim.run_until(10.0)
+    assert killed == [1, 2, 3]
+    assert [r.worker_index for r in injector.records] == [1, 2, 3]
+    assert all(r.failed_at == 4.0 and r.detected_at == 4.5
+               for r in injector.records)
+
+
+def test_detection_delay_factor_slows_detection():
+    sim = Simulator()
+    injector = FailureInjector(
+        sim, [FailureEvent(at=2.0, detection_delay_factor=3.0)],
+        detection_delay=1.0,
+        on_fail=lambda w: None, on_detect=lambda w: None,
+    )
+    injector.arm()
+    sim.run_until(10.0)
+    assert injector.record.detected_at == 5.0
+
+
 def test_unarmed_injector_does_nothing():
     sim = Simulator()
     injector = FailureInjector(
-        sim, FailurePlan(at=1.0), detection_delay=1.0,
+        sim, [FailureEvent(at=1.0)], detection_delay=1.0,
         on_fail=lambda w: (_ for _ in ()).throw(AssertionError),
         on_detect=lambda w: None,
     )

@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate (an ``interrogate --fail-under`` equivalent).
+
+Counts docstrings on modules, public classes, and public functions /
+methods under ``src/repro`` and fails the build when overall coverage
+drops below the floor.  Additionally, the packages listed in
+``STRICT_PACKAGES`` must be at 100%: every public class and function in
+the simulation substrate and the dataflow runtime carries at least a
+one-line summary — these are the layers other modules program against.
+
+Usage::
+
+    python tools/check_docstrings.py [--fail-under 90] [--verbose] [ROOT]
+
+Exit status 0 when both gates hold, 1 otherwise; missing definitions are
+listed either way (``--verbose`` also lists what passed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import pathlib
+import sys
+
+#: packages that must be at 100% public-docstring coverage
+STRICT_PACKAGES = ("repro/sim", "repro/dataflow")
+
+
+def _is_public(name: str) -> bool:
+    """Public = not underscore-prefixed (dunders like __init__ excluded)."""
+    return not name.startswith("_")
+
+
+def _walk_definitions(tree: ast.Module):
+    """Yield (kind, qualified-name, node) for the module, its public
+    classes, and public functions/methods (nested defs are skipped —
+    they are implementation detail, as interrogate also treats them)."""
+    yield "module", "<module>", tree
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _is_public(node.name):
+                yield "function", node.name, node
+        elif isinstance(node, ast.ClassDef):
+            if not _is_public(node.name):
+                continue
+            yield "class", node.name, node
+            for child in node.body:
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if _is_public(child.name):
+                        yield "method", f"{node.name}.{child.name}", child
+
+
+def scan_file(path: pathlib.Path) -> tuple[int, int, list[str]]:
+    """(documented, total, missing-names) for one source file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    documented = total = 0
+    missing: list[str] = []
+    for kind, name, node in _walk_definitions(tree):
+        total += 1
+        if ast.get_docstring(node):
+            documented += 1
+        else:
+            missing.append(f"{path}:{getattr(node, 'lineno', 1)} {kind} {name}")
+    return documented, total, missing
+
+
+def scan_tree(root: pathlib.Path) -> dict[pathlib.Path, tuple[int, int, list[str]]]:
+    """Scan every ``*.py`` under ``root``; returns per-file results."""
+    return {
+        path: scan_file(path)
+        for path in sorted(root.rglob("*.py"))
+    }
+
+
+def _in_strict_package(path: pathlib.Path) -> bool:
+    """Is ``path`` inside one of the 100%-coverage packages?
+
+    Matches the package's components as *consecutive path segments* of
+    the resolved path, so the gate holds no matter which root the tool
+    was pointed at (``src/repro``, ``repro`` from inside ``src``, ...).
+    """
+    parts = path.resolve().parts
+    for pkg in STRICT_PACKAGES:
+        want = tuple(pkg.split("/"))
+        if any(parts[i:i + len(want)] == want
+               for i in range(len(parts) - len(want) + 1)):
+            return True
+    return False
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("root", nargs="?", default="src/repro",
+                        help="directory tree to scan (default: src/repro)")
+    parser.add_argument("--fail-under", type=float, default=90.0,
+                        help="minimum overall coverage percentage")
+    parser.add_argument("--verbose", action="store_true",
+                        help="also list per-file coverage")
+    args = parser.parse_args(argv)
+
+    root = pathlib.Path(args.root)
+    results = scan_tree(root)
+    documented = sum(d for d, _, _ in results.values())
+    total = sum(t for _, t, _ in results.values())
+    coverage = 100.0 * documented / total if total else 100.0
+
+    strict_missing: list[str] = []
+    for path, (_, _, missing) in results.items():
+        if _in_strict_package(path):
+            strict_missing.extend(missing)
+
+    if args.verbose:
+        for path, (d, t, _) in results.items():
+            pct = 100.0 * d / t if t else 100.0
+            print(f"  {pct:5.1f}%  {d:3}/{t:<3}  {path}")
+
+    all_missing = [m for _, _, missing in results.values() for m in missing]
+    if all_missing:
+        print(f"missing docstrings ({len(all_missing)}):")
+        for entry in all_missing:
+            print(f"  {entry}")
+
+    print(f"docstring coverage: {coverage:.1f}% "
+          f"({documented}/{total} public definitions), "
+          f"floor {args.fail_under:.0f}%")
+    status = 0
+    if coverage < args.fail_under:
+        print(f"FAIL: coverage {coverage:.1f}% is below {args.fail_under:.0f}%")
+        status = 1
+    if strict_missing:
+        print(f"FAIL: {len(strict_missing)} undocumented public definitions "
+              f"in strict packages {STRICT_PACKAGES}")
+        status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
