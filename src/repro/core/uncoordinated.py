@@ -37,7 +37,6 @@ from repro.dataflow.channels import ChannelId, Message
 from repro.metrics.collectors import KIND_LOCAL
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.dataflow.runtime import Job
     from repro.dataflow.worker import InstanceRuntime
 
 

@@ -116,18 +116,35 @@ class RouterBuffer:
     batch-ready record counts are tracked incrementally, so the per-message
     ``take_ready`` poll and the per-linger-tick staged check are O(1) when
     nothing is due — the hot path never rescans the buffer map.
+
+    Buffers are indexed **per edge** (``edge_id -> dst -> _Buffer``), so
+    the marker-path ``take_edge`` — on the barrier-alignment hot path — is
+    O(destinations of that edge) instead of a scan over every staged
+    buffer of every edge.
+
+    Credit-based flow control (DESIGN.md section 13) parks batches here:
+    a ``(edge, dst)`` pair whose channel is out of credits is *blocked* —
+    gated drains skip it (the batch keeps growing in place, preserving
+    per-channel FIFO) until the transport unblocks it on credit return or
+    a forced drain (checkpoint flush, marker emission) pushes it out.
     """
 
-    __slots__ = ("_batch_max", "_buffers", "_plans", "_staged", "_n_ready")
+    __slots__ = ("_batch_max", "_by_edge", "_plans", "_staged",
+                 "_staged_bytes", "_n_ready", "_blocked")
 
     def __init__(self, edges: list[EdgeSpec], partitioners: dict[int, Partitioner],
                  src_index: int, batch_max: int):
         self._batch_max = batch_max
-        self._buffers: dict[tuple[int, int], _Buffer] = {}
-        #: per edge: (edge_id, static destinations | None, key_fn,
-        #: parallelism, max_key_groups, key -> destination memo)
-        self._plans: list[tuple[int, tuple[int, ...] | None, Any, int, int,
-                               dict]] = []
+        #: edge_id -> dst -> staged buffer (created lazily per dst)
+        self._by_edge: dict[int, dict[int, _Buffer]] = {
+            edge.edge_id: {} for edge in edges
+        }
+        #: (edge_id, dst) pairs parked by credit exhaustion
+        self._blocked: set[tuple[int, int]] = set()
+        #: per edge: (edge_id, dst buffers, static destinations | None,
+        #: key_fn, parallelism, max_key_groups, key -> destination memo)
+        self._plans: list[tuple[int, dict, tuple[int, ...] | None, Any, int,
+                               int, dict]] = []
         for edge in edges:
             partitioner = partitioners[edge.edge_id]
             if edge.partitioning is Partitioning.FORWARD:
@@ -137,19 +154,23 @@ class RouterBuffer:
             else:
                 static = None
             self._plans.append(
-                (edge.edge_id, static, edge.key_fn, partitioner.parallelism,
+                (edge.edge_id, self._by_edge[edge.edge_id], static,
+                 edge.key_fn, partitioner.parallelism,
                  partitioner.max_key_groups, {})
             )
         self._staged = 0
+        self._staged_bytes = 0
         self._n_ready = 0
 
     def route(self, records: list[StreamRecord]) -> None:
         """Stage output records onto (edge, destination) buffers."""
-        buffers = self._buffers
         batch_max = self._batch_max
+        blocked = self._blocked
         n_ready = 0
         staged = 0
-        for edge_id, static, key_fn, parallelism, max_groups, memo in self._plans:
+        staged_bytes = 0
+        for edge_id, buffers, static, key_fn, parallelism, max_groups, memo \
+                in self._plans:
             if static is None:  # KEY partitioning: hash per record
                 # the routing key -> destination map is deterministic per
                 # deployment, so it is memoised: the crc32 double hash
@@ -166,80 +187,173 @@ class RouterBuffer:
                         if len(memo) >= 1 << 17:
                             memo.clear()
                         memo[routing_key] = dst
-                    key = (edge_id, dst)
-                    buf = buffers.get(key)
+                    buf = buffers.get(dst)
                     if buf is None:
                         buf = _Buffer()
-                        buffers[key] = buf
+                        buffers[dst] = buf
                     recs = buf.records
                     recs.append(record)
                     buf.bytes += record.size_bytes
-                    if len(recs) == batch_max:
+                    staged_bytes += record.size_bytes
+                    if len(recs) == batch_max and (edge_id, dst) not in blocked:
                         n_ready += 1
                 staged += len(records)
             else:  # FORWARD / BROADCAST: constant destination set
                 for record in records:
                     for dst in static:
-                        key = (edge_id, dst)
-                        buf = buffers.get(key)
+                        buf = buffers.get(dst)
                         if buf is None:
                             buf = _Buffer()
-                            buffers[key] = buf
+                            buffers[dst] = buf
                         recs = buf.records
                         recs.append(record)
                         buf.bytes += record.size_bytes
-                        if len(recs) == batch_max:
+                        staged_bytes += record.size_bytes
+                        if len(recs) == batch_max and (edge_id, dst) not in blocked:
                             n_ready += 1
                 staged += len(records) * len(static)
         self._n_ready += n_ready
         self._staged += staged
+        self._staged_bytes += staged_bytes
 
-    def _on_drain(self, buf: _Buffer) -> None:
-        self._staged -= len(buf.records)
-        if len(buf.records) >= self._batch_max:
+    # -- credit blocking ------------------------------------------------- #
+
+    def block(self, edge_id: int, dst: int) -> None:
+        """Park ``(edge, dst)``: gated drains skip it until unblocked."""
+        key = (edge_id, dst)
+        if key in self._blocked:
+            return
+        self._blocked.add(key)
+        buf = self._by_edge[edge_id].get(dst)
+        if buf is not None and len(buf.records) >= self._batch_max:
             self._n_ready -= 1
 
-    def take_ready(self) -> list[tuple[int, int, list[StreamRecord], int]]:
-        """Drain buffers at/over the batch threshold -> (edge, dst, records, bytes)."""
+    def is_blocked(self, edge_id: int, dst: int) -> bool:
+        """Is ``(edge, dst)`` currently parked by credit exhaustion?"""
+        return (edge_id, dst) in self._blocked
+
+    @property
+    def blocked_keys(self) -> frozenset:
+        """The parked ``(edge, dst)`` pairs (introspection/tests)."""
+        return frozenset(self._blocked)
+
+    def _pop(self, edge_id: int, dst: int, buf: _Buffer,
+             blocked: bool) -> None:
+        """Remove a drained buffer and update the incremental counters."""
+        del self._by_edge[edge_id][dst]
+        self._staged -= len(buf.records)
+        self._staged_bytes -= buf.bytes
+        if blocked:
+            self._blocked.discard((edge_id, dst))
+        elif len(buf.records) >= self._batch_max:
+            self._n_ready -= 1
+
+    def take_ready(self, gate=None) -> list[tuple[int, int, list[StreamRecord], int]]:
+        """Drain buffers at/over the batch threshold -> (edge, dst, records, bytes).
+
+        ``gate(edge_id, dst, nbytes)`` is the transport's credit check: a
+        buffer refused by the gate is blocked in place instead of drained
+        (the gate records the park on its side).
+        """
         if not self._n_ready:
             return []
         ready = []
         batch_max = self._batch_max
-        for (edge_id, dst), buf in list(self._buffers.items()):
-            if len(buf.records) >= batch_max:
-                self._on_drain(buf)
+        blocked = self._blocked
+        for edge_id, buffers, *_ in self._plans:
+            if not buffers:
+                continue
+            for dst in list(buffers):
+                buf = buffers[dst]
+                if len(buf.records) < batch_max or (edge_id, dst) in blocked:
+                    continue
+                if gate is not None and not gate(edge_id, dst, buf.bytes):
+                    self.block(edge_id, dst)
+                    continue
+                self._pop(edge_id, dst, buf, blocked=False)
                 ready.append((edge_id, dst, buf.records, buf.bytes))
-                del self._buffers[(edge_id, dst)]
         return ready
 
-    def take_all(self) -> list[tuple[int, int, list[StreamRecord], int]]:
-        """Drain every non-empty buffer."""
-        drained = [
-            (edge_id, dst, buf.records, buf.bytes)
-            for (edge_id, dst), buf in self._buffers.items()
-        ]
-        self._buffers.clear()
-        self._staged = 0
-        self._n_ready = 0
+    def take_all(self, gate=None) -> list[tuple[int, int, list[StreamRecord], int]]:
+        """Drain every non-empty buffer.
+
+        With a ``gate`` (linger flush): blocked buffers stay parked and
+        buffers refused by the gate are blocked in place.  Without one
+        (checkpoint flush): everything drains, including parked batches —
+        the caller settles their credit bookkeeping.
+        """
+        drained = []
+        blocked = self._blocked
+        for edge_id, buffers, *_ in self._plans:
+            if not buffers:
+                continue
+            for dst in list(buffers):
+                buf = buffers[dst]
+                if gate is not None:
+                    if (edge_id, dst) in blocked:
+                        continue
+                    if not gate(edge_id, dst, buf.bytes):
+                        self.block(edge_id, dst)
+                        continue
+                    self._pop(edge_id, dst, buf, blocked=False)
+                else:
+                    self._pop(edge_id, dst, buf, blocked=(edge_id, dst) in blocked)
+                drained.append((edge_id, dst, buf.records, buf.bytes))
         return drained
 
     def take_edge(self, edge_id: int) -> list[tuple[int, int, list[StreamRecord], int]]:
-        """Drain buffers of one edge (used before emitting a marker)."""
+        """Drain buffers of one edge (used before emitting a marker).
+
+        Always forced — a marker must follow every record produced before
+        the snapshot, so parked batches of the edge are pushed out (credit
+        overdraft) rather than left behind the marker.  O(destinations of
+        this edge) thanks to the per-edge index.
+        """
+        buffers = self._by_edge[edge_id]
+        if not buffers:
+            return []
+        blocked = self._blocked
         drained = []
-        for (eid, dst), buf in list(self._buffers.items()):
-            if eid == edge_id:
-                self._on_drain(buf)
-                drained.append((eid, dst, buf.records, buf.bytes))
-                del self._buffers[(eid, dst)]
+        for dst in list(buffers):
+            buf = buffers[dst]
+            self._pop(edge_id, dst, buf, blocked=(edge_id, dst) in blocked)
+            drained.append((edge_id, dst, buf.records, buf.bytes))
         return drained
+
+    def take_channel(self, edge_id: int, dst: int) -> tuple[list[StreamRecord], int] | None:
+        """Forcibly drain one (edge, dst) buffer -> (records, bytes) or None.
+
+        Used when credits return to a parked channel: the whole buffer
+        (which may have outgrown the batch threshold while parked) leaves
+        as one message, preserving per-channel FIFO order.
+        """
+        buf = self._by_edge[edge_id].get(dst)
+        if buf is None:
+            self._blocked.discard((edge_id, dst))
+            return None
+        self._pop(edge_id, dst, buf, blocked=(edge_id, dst) in self._blocked)
+        return buf.records, buf.bytes
+
+    def staged_bytes_for(self, edge_id: int, dst: int) -> int:
+        """Bytes currently staged for one (edge, dst) buffer."""
+        buf = self._by_edge[edge_id].get(dst)
+        return buf.bytes if buf is not None else 0
 
     @property
     def staged_records(self) -> int:
         """Records currently staged across all buffers."""
         return self._staged
 
+    @property
+    def staged_bytes(self) -> int:
+        """Bytes currently staged across all buffers."""
+        return self._staged_bytes
+
     def clear(self) -> None:
         """Drop every staged buffer (rollback/rescale reset)."""
-        self._buffers.clear()
+        for buffers in self._by_edge.values():
+            buffers.clear()
+        self._blocked.clear()
         self._staged = 0
+        self._staged_bytes = 0
         self._n_ready = 0

@@ -10,7 +10,7 @@ protocol rejects them, exactly as in the paper (Section III-A drawbacks).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
 

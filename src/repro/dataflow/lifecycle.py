@@ -1,0 +1,591 @@
+"""Failure, recovery and rescale orchestration for one deployed job.
+
+The :class:`LifecycleManager` owns the failure-to-recovery pipeline the
+runtime used to inline: kill handling, detection, restart-cost modelling,
+rollback application, in-flight replay, and the elastic
+rescale-on-recovery path (DESIGN.md section 11) that tears the physical
+topology down and re-wires it at a different parallelism.  The engine
+(:class:`~repro.dataflow.runtime.Job`) exposes thin ``_on_fail`` /
+``_on_detect`` delegates for the failure injector; everything downstream
+of those entry points lives here.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.base import CheckpointMeta, RecoveryPlan
+from repro.dataflow.channels import ChannelId, DATA, Message, Partitioner, hash_key
+from repro.dataflow.graph import Partitioning, validate_rescale
+from repro.dataflow.keygroups import group_range, key_group
+from repro.dataflow.records import StreamRecord
+from repro.metrics.collectors import KIND_INITIAL, KIND_RESCALE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dataflow.runtime import InstanceKey, Job
+
+
+class LifecycleManager:
+    """Deployment, failure detection, rollback, replay and rescale.
+
+    Owns the parts of a job's life that are not the steady-state data
+    path: wiring the physical topology (initially and on a rescaled
+    redeploy), arming the failure injector, reacting to kills, and the
+    adaptive checkpoint-interval controller that couples the two
+    (DESIGN.md section 12).
+    """
+
+    def __init__(self, job: "Job"):
+        self.job = job
+
+    # ------------------------------------------------------------------ #
+    # Deployment wiring
+    # ------------------------------------------------------------------ #
+
+    def build_rescale_plan(self):
+        """The deployment's planned rescale-on-recovery, if configured."""
+        from repro.sim.failure import RescalePlan
+
+        job = self.job
+        if job.config.rescale_to is None:
+            return None
+        plan = RescalePlan(rescale_to=job.config.rescale_to,
+                           at_recovery=job.config.rescale_at)
+        validate_rescale(job.graph, job.parallelism, plan.rescale_to,
+                         job.max_key_groups)
+        return plan
+
+    def build_interval_controller(self):
+        """The Young–Daly controller, or None under the fixed policy."""
+        from repro.sim.failure import AdaptiveIntervalController
+
+        config = self.job.config
+        if config.interval_policy not in ("fixed", "adaptive"):
+            raise ValueError(
+                f"interval_policy={config.interval_policy!r}; "
+                "choose 'fixed' or 'adaptive'"
+            )
+        if config.interval_policy != "adaptive":
+            return None
+        return AdaptiveIntervalController(
+            initial_interval=config.checkpoint_interval,
+            assumed_mtbf=config.assumed_mtbf,
+            alpha=config.interval_ema_alpha,
+            min_interval=config.interval_min,
+            max_interval=config.interval_max,
+        )
+
+    def wire_topology(self) -> None:
+        """Deploy instances, partitioners, routers and channels at the
+        job's current parallelism (initial deploy and rescaled redeploys)."""
+        from repro.dataflow.channels import RouterBuffer
+        from repro.dataflow.worker import InstanceRuntime
+
+        job = self.job
+        for name, spec in job.graph.operators.items():
+            for idx in range(job.parallelism):
+                instance = InstanceRuntime(job, spec, idx, job.workers[idx])
+                job.state_backend.prepare_instance(instance)
+                job.workers[idx].instances[name] = instance
+        for edge in job.graph.edges:
+            job._partitioners[edge.edge_id] = Partitioner(
+                edge, job.parallelism, job.max_key_groups
+            )
+        for worker in job.workers:
+            for instance in worker.instances.values():
+                out_edges = job.graph.out_edges(instance.op_name)
+                instance.out_edges = out_edges
+                instance.router = RouterBuffer(
+                    out_edges, job._partitioners, instance.index,
+                    job.cost.batch_max_records,
+                )
+                for edge in job.graph.in_edges(instance.op_name):
+                    instance.in_port_by_edge[edge.edge_id] = edge.port
+                    if edge.partitioning is Partitioning.FORWARD:
+                        src_indices = [instance.index]
+                    else:
+                        src_indices = list(range(job.parallelism))
+                    for src_idx in src_indices:
+                        channel = (edge.edge_id, src_idx, instance.index)
+                        instance.in_channels.append(channel)
+                        job.channel_dst[channel] = instance
+                instance.open()
+
+    def arm_failure_injector(self) -> None:
+        """Arm the configured failure scenario's injector, if any."""
+        from repro.sim.failure import FailureInjector, scenario_from_config
+
+        job = self.job
+        config = job.config
+        scenario = scenario_from_config(config)
+        if scenario is None:
+            return
+        events = scenario.events(
+            config.warmup, config.warmup + config.duration,
+            job.rng.stream("failure-scenario"),
+        )
+        injector = FailureInjector(
+            job.sim, events,
+            detection_delay=job.cost.detection_delay,
+            on_fail=job._on_fail,
+            on_detect=job._on_detect,
+            records=job.metrics.failure_records,
+            # resolve a scenario's raw worker draw against the LIVE
+            # parallelism (a rescale may have changed it by kill time)
+            worker_resolver=lambda index: index % job.parallelism,
+        )
+        injector.arm()
+
+    # ------------------------------------------------------------------ #
+    # Adaptive checkpoint interval (DESIGN.md section 12)
+    # ------------------------------------------------------------------ #
+
+    def checkpoint_interval_now(self) -> float:
+        """The interval checkpoint timers should use for their next tick.
+
+        The fixed policy returns the configured constant; the adaptive
+        policy returns the controller's current Young–Daly interval.
+        Protocols re-consult this every tick so interval changes take
+        effect at the next scheduling decision.
+        """
+        controller = self.job.interval_controller
+        if controller is not None:
+            return controller.interval
+        return self.job.config.checkpoint_interval
+
+    def note_checkpoint_duration(self, duration: float) -> None:
+        """Feed one completed checkpoint's duration to the controller.
+
+        The coordinated family reports completed *round* durations (the
+        round is its unit of checkpoint cost); the uncoordinated family
+        reports per-instance local/forced checkpoints.
+        """
+        job = self.job
+        if job.interval_controller is None:
+            return
+        job.interval_controller.observe_checkpoint(job.sim.now, duration)
+        self.sync_interval_updates()
+
+    def sync_interval_updates(self) -> None:
+        """Mirror the controller's trajectory into the run's metrics.
+
+        The controller's ``updates`` list is the single source of truth
+        for when the interval changed; metrics copy whatever is new.
+        """
+        job = self.job
+        recorded = job.metrics.interval_updates
+        for entry in job.interval_controller.updates[len(recorded):]:
+            job.metrics.record_interval_update(*entry)
+
+    # ------------------------------------------------------------------ #
+    # Failure and recovery
+    # ------------------------------------------------------------------ #
+
+    def on_fail(self, worker_index: int) -> None:
+        """A failure event fired: kill the targeted worker."""
+        job = self.job
+        if job.recovering:
+            return  # the pipeline is already down; fold into this recovery
+        if job.metrics.failure_at < 0:
+            job.metrics.failure_at = job.sim.now
+        job.metrics.record_outage_start(job.sim.now)
+        if job.interval_controller is not None:
+            job.interval_controller.observe_failure(job.sim.now)
+            self.sync_interval_updates()
+        # a planned kill may target an index beyond a downscaled deployment
+        job.workers[worker_index % job.parallelism].kill()
+
+    def pending_rescale_target(self) -> int | None:
+        """The target parallelism if the upcoming recovery must rescale."""
+        job = self.job
+        plan = job.rescale_plan
+        if plan is None or job.recoveries_applied + 1 != plan.at_recovery:
+            return None
+        if plan.rescale_to == job.parallelism:
+            return None
+        return plan.rescale_to
+
+    def on_detect(self, worker_index: int) -> None:
+        """Detection fired: plan the recovery and schedule its application."""
+        job = self.job
+        worker_index %= job.parallelism
+        if job.recovering or job.workers[worker_index].alive:
+            return  # folded into an in-flight recovery / already replaced
+        plan = job.protocol.build_recovery_plan(job.sim.now)
+        plan.rescale_to = self.pending_rescale_target()
+        job.metrics.record_recovery_line(
+            tuple(sorted(
+                (key, meta.checkpoint_id, meta.kind)
+                for key, meta in plan.line.items()
+            )),
+            tuple(sorted(
+                (channel, tuple(m.seq for m in messages))
+                for channel, messages in plan.replay.items() if messages
+            )),
+        )
+        # the paper's failure metrics describe the FIRST failure of a run;
+        # later failures still recover but do not overwrite the stamps
+        if job.metrics.detected_at < 0:
+            job.metrics.detected_at = job.sim.now
+            job.metrics.invalid_checkpoints = plan.invalid_checkpoints
+            job.metrics.total_checkpoints_at_failure = plan.total_checkpoints
+            job.metrics.replayed_messages = plan.replayed_messages
+            job.metrics.replayed_records = plan.replayed_records
+        job.recovering = True
+        job.epoch += 1
+        for worker in job.workers:
+            worker.reset_for_recovery()
+        # close wire/credit state NOW: the parked batches died with the
+        # routers above, so their blocked time must stop at detection —
+        # not accrue across the restart window (the pipeline is globally
+        # down; nobody is "awaiting credits")
+        job.transport.reset()
+        restart = self.restart_duration(plan)
+        job.sim.schedule(restart, self.apply_recovery, plan)
+
+    def restart_duration(self, plan: RecoveryPlan) -> float:
+        """How long until every worker is restored and ready (paper Fig. 11)."""
+        job = self.job
+        if plan.rescale_to is not None and plan.rescale_to != job.parallelism:
+            return self.rescaled_restart_duration(plan, plan.rescale_to)
+        cost_model = job.cost
+        per_worker = [0.0] * job.parallelism
+        for key, meta in plan.line.items():
+            if meta.kind != KIND_INITIAL:
+                per_worker[key[1]] += cost_model.chain_restore_delay(
+                    meta.restored_bytes, meta.chain_length + 1
+                )
+        for channel, messages in plan.replay.items():
+            if not messages:
+                continue
+            dst_worker = channel[2]
+            nbytes = sum(m.total_bytes for m in messages)
+            per_worker[dst_worker] += nbytes / cost_model.log_fetch_bandwidth
+            per_worker[dst_worker] += len(messages) * cost_model.replay_prep_per_message
+        orchestration = (cost_model.restart_base
+                         + cost_model.restart_per_worker * job.parallelism)
+        return orchestration + max(per_worker)
+
+    def rescaled_restart_duration(self, plan: RecoveryPlan, p_new: int) -> float:
+        """Restart cost of a rescaled restore.
+
+        Every new worker issues ranged fetches against the blobs of the old
+        instances whose group ranges overlap its own: it pays the full
+        per-blob chain latency but only its byte share of each chain.
+        Replay-log fetches re-home to ``old destination % p_new``, where
+        the re-injected messages originate.
+        """
+        cost_model = self.job.cost
+        groups = self.job.max_key_groups
+        p_old = 1 + max(idx for _, idx in plan.line)
+        new_ranges = [group_range(j, p_new, groups) for j in range(p_new)]
+        per_worker = [0.0] * p_new
+        for key, meta in plan.line.items():
+            if meta.kind == KIND_INITIAL:
+                continue
+            old_range = group_range(key[1], p_old, groups)
+            if not len(old_range):
+                continue
+            for j, new_range in enumerate(new_ranges):
+                overlap = (min(old_range.stop, new_range.stop)
+                           - max(old_range.start, new_range.start))
+                if overlap <= 0:
+                    continue
+                share = overlap / len(old_range)
+                per_worker[j] += cost_model.chain_restore_delay(
+                    int(meta.restored_bytes * share), meta.chain_length + 1
+                )
+        for channel, messages in plan.replay.items():
+            if not messages:
+                continue
+            dst_worker = channel[2] % p_new
+            nbytes = sum(m.total_bytes for m in messages)
+            per_worker[dst_worker] += nbytes / cost_model.log_fetch_bandwidth
+            per_worker[dst_worker] += len(messages) * cost_model.replay_prep_per_message
+        orchestration = (cost_model.restart_base + cost_model.rescale_base
+                         + cost_model.restart_per_worker * max(p_old, p_new))
+        return orchestration + max(per_worker)
+
+    def apply_recovery(self, plan: RecoveryPlan) -> None:
+        """Restore the recovery line and resume processing."""
+        job = self.job
+        line_parallelism = 1 + max(idx for _, idx in plan.line)
+        target = plan.rescale_to or job.parallelism
+        if target != job.parallelism or line_parallelism != job.parallelism:
+            self.apply_rescaled_recovery(plan, target)
+            return
+        store = job.coordinator.blobstore
+        for key, meta in plan.line.items():
+            instance = job.instance(key)
+            if meta.kind == KIND_INITIAL:
+                instance.reset_to_virgin()
+            else:
+                payloads = [store.get(k) for k in store.chain_keys(meta.blob_key)]
+                if len(payloads) == 1:
+                    instance.restore_snapshot(payloads[0])
+                else:
+                    instance.restore_from_chain(payloads)
+                job.state_backend.on_restored(instance)
+        job.transport.reset()
+        for worker in job.workers:
+            worker.alive = True  # replacement container
+        if job.metrics.restart_completed_at < 0:
+            job.metrics.restart_completed_at = job.sim.now
+        job.metrics.record_outage_end(job.sim.now)
+        job.recovering = False
+        job.recoveries_applied += 1
+        job.protocol.on_recovery_applied(plan)
+        # replay in-flight messages (UNC/CIC): deterministic channel order
+        for channel in sorted(plan.replay):
+            for msg in plan.replay[channel]:
+                job._transmit(channel, msg)
+        self.resume_after_recovery()
+
+    def resume_after_recovery(self) -> None:
+        """Restart source polling and worker CPUs after a rollback."""
+        job = self.job
+        for spec in job.graph.sources():
+            for idx in range(job.parallelism):
+                job._enqueue_poll(job.instance((spec.name, idx)))
+        for worker in job.workers:
+            worker.kick()
+
+    # ------------------------------------------------------------------ #
+    # Rescale-on-recovery (DESIGN.md section 11)
+    # ------------------------------------------------------------------ #
+
+    def apply_rescaled_recovery(self, plan: RecoveryPlan, p_new: int) -> None:
+        """Restore the recovery line at a different parallelism.
+
+        The checkpoints of the line were taken by ``p_old`` instances; the
+        replacement deployment runs ``p_new``.  Keyed state moves along its
+        key groups, source cursors along their input partitions, replayed
+        in-flight records are re-routed through the new partitioners, and a
+        synthetic baseline checkpoint per new instance becomes the recovery
+        floor of the new topology (everything older describes instances
+        that no longer exist).
+        """
+        job = self.job
+        graph = job.graph
+        p_old = 1 + max(idx for _, idx in plan.line)
+        validate_rescale(graph, p_old, p_new, job.max_key_groups)
+        # materialize every old instance's state before the topology goes
+        # away: base+delta chains fold into one self-contained payload
+        materialized: dict = {
+            key: self.materialize_line_payload(key, meta)
+            for key, meta in plan.line.items()
+        }
+        self.rebuild_topology(p_new)
+        virgin: dict[str, dict] = {}
+        for name, spec in graph.operators.items():
+            parts = []
+            for i in range(p_old):
+                payload = materialized.get((name, i))
+                if payload is None:
+                    if name not in virgin:
+                        virgin[name] = self.virgin_payload(spec)
+                    payload = virgin[name]
+                parts.append(payload)
+            for j in range(p_new):
+                instance = job.instance((name, j))
+                instance.restore_rescaled(parts, p_old,
+                                          job.num_source_partitions)
+                job.state_backend.on_restored(instance)
+        job.protocol.on_rescaled(plan)
+        for worker in job.workers:
+            worker.alive = True
+        if job.metrics.restart_completed_at < 0:
+            job.metrics.restart_completed_at = job.sim.now
+        job.metrics.record_outage_end(job.sim.now)
+        job.recovering = False
+        job.recoveries_applied += 1
+        # re-route the line's in-flight messages through the new topology,
+        # then stamp the synthetic baseline *after* the senders' cursors
+        # advanced: a later rollback to the baseline finds the re-injected
+        # messages inside its replay windows instead of losing them
+        injected = self.reinject_replay(plan, p_new)
+        self.install_rescale_baseline(injected)
+        group_sizes: dict[int, int] = {}
+        for instance in job.instances():
+            for group, nbytes in instance.operator.states.group_sizes(
+                    job.max_key_groups).items():
+                group_sizes[group] = group_sizes.get(group, 0) + nbytes
+        job.metrics.record_rescale(job.sim.now, p_old, p_new, group_sizes)
+        job.protocol.on_recovery_applied(plan)
+        self.resume_after_recovery()
+
+    def materialize_line_payload(self, key: "InstanceKey",
+                                 meta: CheckpointMeta) -> dict | None:
+        """Fold a checkpoint (and its delta chain) into one full payload."""
+        if meta.kind == KIND_INITIAL:
+            return None
+        job = self.job
+        store = job.coordinator.blobstore
+        payloads = [store.get(k) for k in store.chain_keys(meta.blob_key)]
+        if len(payloads) == 1 and not payloads[0].get("delta"):
+            return payloads[0]
+        spec = job.graph.operators[key[0]]
+        scratch = spec.factory()
+        scratch.open(None)
+        scratch.states.restore(payloads[0]["states"])
+        rids = set(payloads[0]["processed_rids"])
+        for delta in payloads[1:]:
+            scratch.states.apply_delta(delta["states"])
+            rids.update(delta["new_rids"])
+        last = payloads[-1]
+        return {
+            "states": scratch.states.snapshot(),
+            "out_seq": dict(last["out_seq"]),
+            "last_received": dict(last["last_received"]),
+            "processed_rids": rids,
+            "source_cursors": dict(last["source_cursors"]),
+            "extra": last["extra"],
+        }
+
+    def virgin_payload(self, spec) -> dict:
+        """A virgin instance's contribution to a rescaled merge."""
+        scratch = spec.factory()
+        scratch.open(None)
+        return {
+            "states": scratch.states.snapshot(),
+            "out_seq": {},
+            "last_received": {},
+            "processed_rids": set(),
+            "source_cursors": {},
+            "extra": None,
+        }
+
+    def rebuild_topology(self, p_new: int) -> None:
+        """Tear the physical deployment down and re-wire it at ``p_new``.
+
+        Logical identities survive (graph, input logs, blob store, metrics);
+        everything addressed by instance index or channel id is rebuilt.
+        Old workers are killed so callbacks scheduled against them no-op,
+        and per-operator checkpoint counters carry forward so blob keys
+        stay unique across deploy epochs.
+        """
+        job = self.job
+        carried = {
+            name: max(
+                job.workers[i].instances[name].checkpoint_counter
+                for i in range(job.parallelism)
+            )
+            for name in job.graph.operators
+        }
+        for worker in job.workers:
+            worker.kill()
+        job.deploy_epoch += 1
+        job.parallelism = p_new
+        job.coordinator.registry.clear()
+        job.send_log.clear()
+        job.transport.reset()
+        job.channel_dst.clear()
+        job._partitioners = {}
+        from repro.dataflow.worker import WorkerRuntime
+
+        job.workers = [WorkerRuntime(job, i) for i in range(p_new)]
+        self.wire_topology()
+        for name, spec in job.graph.operators.items():
+            for j in range(p_new):
+                instance = job.instance((name, j))
+                instance.checkpoint_counter = carried[name]
+                if spec.is_source:
+                    instance.assign_source_partitions(list(
+                        group_range(j, p_new, job.num_source_partitions)
+                    ))
+
+    def reinject_replay(self, plan: RecoveryPlan,
+                        p_new: int) -> dict[ChannelId, list[Message]]:
+        """Re-route the line's in-flight records through the new topology.
+
+        Replayed messages were addressed to channels of the old deployment;
+        their records are re-partitioned (key -> group -> new owner) and
+        sent from ``old source index % p_new`` through the normal send
+        hooks, so the uncoordinated family logs them into the new epoch's
+        send log.  Returns the injected messages per new channel (the
+        unaligned protocol persists them as baseline channel state).
+        """
+        job = self.job
+        edges_by_id = {edge.edge_id: edge for edge in job.graph.edges}
+        groups = job.max_key_groups
+        buckets: dict[tuple[int, int, int], list[StreamRecord]] = {}
+        for channel in sorted(plan.replay):
+            edge = edges_by_id[channel[0]]
+            src = channel[1] % p_new
+            for msg in plan.replay[channel]:
+                if not msg.records:
+                    continue
+                for record in msg.records:
+                    if edge.partitioning is Partitioning.KEY:
+                        group = key_group(hash_key(edge.key_fn(record.payload)),
+                                          groups)
+                        dst = group * p_new // groups
+                    else:  # FORWARD (BROADCAST was rejected by validation)
+                        dst = src
+                    buckets.setdefault((edge.edge_id, src, dst), []).append(record)
+        injected: dict[ChannelId, list[Message]] = {}
+        for (edge_id, src, dst) in sorted(buckets):
+            records = buckets[(edge_id, src, dst)]
+            sender = job.instance((edges_by_id[edge_id].src, src))
+            nbytes = sum(r.size_bytes for r in records)
+            channel = (edge_id, src, dst)
+            seq = sender.out_seq.get(channel, 0) + 1
+            sender.out_seq[channel] = seq
+            msg = Message(
+                channel=channel, seq=seq, kind=DATA, records=records,
+                payload_bytes=nbytes, sent_at=job.sim.now,
+            )
+            job.protocol.on_send(sender, channel, msg)
+            job.metrics.record_message(msg.payload_bytes, msg.protocol_bytes,
+                                       len(records))
+            job._transmit(channel, msg)
+            injected.setdefault(channel, []).append(msg)
+        return injected
+
+    def install_rescale_baseline(
+            self, injected: dict[ChannelId, list[Message]]) -> None:
+        """Checkpoint every new instance as the post-rescale recovery floor.
+
+        The baseline is bookkeeping, not a measured checkpoint: its bytes
+        already live in the store (they were fetched from the old blobs),
+        so it uploads nothing, becomes durable immediately and records no
+        metrics event.  Senders' cursors cover the re-injected replay
+        messages while receivers' are empty, so those messages sit inside
+        the baseline's replay windows.
+        """
+        job = self.job
+        metas: dict = {}
+        now = job.sim.now
+        store = job.coordinator.blobstore
+        for key in job.instance_keys():
+            instance = job.instance(key)
+            instance.checkpoint_counter += 1
+            blob_key = f"{key[0]}/{key[1]}/{instance.checkpoint_counter}"
+            payload = instance.capture_snapshot()
+            if job.protocol.channel_state_in_snapshot:
+                payload["channel_state"] = {
+                    channel: list(messages)
+                    for channel, messages in injected.items()
+                    if job.channel_dst.get(channel) is instance
+                }
+            state_bytes = instance.state_bytes
+            meta = CheckpointMeta(
+                instance=key,
+                checkpoint_id=instance.checkpoint_counter,
+                kind=KIND_RESCALE,
+                round_id=None,
+                started_at=now,
+                durable_at=now,
+                state_bytes=state_bytes,
+                blob_key=blob_key,
+                last_sent=dict(instance.out_seq),
+                last_received=dict(instance.last_received),
+                source_offsets=(dict(instance.source_cursors)
+                                if instance.spec.is_source else None),
+                clock=job.protocol.instance_clock(instance),
+                upload_bytes=0,
+                restore_bytes=state_bytes,
+            )
+            store.put(blob_key, payload, state_bytes, now)
+            metas[key] = meta
+        job.protocol.install_rescale_baseline(metas)

@@ -1,0 +1,199 @@
+"""Run results and derived-metric accessors.
+
+:class:`RunResult` is everything a finished run exposes to the experiment
+harness: the raw :class:`~repro.metrics.collectors.MetricsCollector` plus
+the protocol-aware derived metrics the paper's tables and figures are
+built from (checkpoint accounting, restart/recovery times, availability,
+goodput, sustainability).  It used to live inside the ``runtime`` module;
+the runtime re-exports it, so ``from repro.dataflow.runtime import
+RunResult`` keeps working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.metrics.collectors import (
+    COORDINATED_INSTANCE_KINDS,
+    COORDINATED_ROUND_KINDS,
+    UNCOORDINATED_KINDS,
+    MetricsCollector,
+)
+from repro.metrics.series import LatencySeries, percentile
+
+
+@dataclass
+class RunResult:
+    """Everything a finished run exposes to the experiment harness."""
+
+    query: str
+    protocol: str
+    parallelism: int
+    rate: float
+    warmup: float
+    duration: float
+    metrics: MetricsCollector
+    checkpoint_interval: float
+    completed_rounds: set[int] = field(default_factory=set)
+    #: parallelism the job ended at (an elastic recovery may have rescaled
+    #: it away from ``parallelism``, the deployment's initial value)
+    final_parallelism: int = 0
+
+    def __post_init__(self) -> None:
+        """Default the final parallelism to the deployed one."""
+        if not self.final_parallelism:
+            self.final_parallelism = self.parallelism
+
+    @property
+    def rescaled(self) -> bool:
+        """Did an elastic recovery change the parallelism?"""
+        return self.final_parallelism != self.parallelism
+
+    def latency_series(self) -> LatencySeries:
+        """Per-second p50/p99 with seconds relative to the measured window."""
+        shifted: dict[int, list[float]] = {}
+        for second, values in self.metrics.latencies.items():
+            rel = second - int(self.warmup)
+            if 0 <= rel < int(self.duration):
+                shifted.setdefault(rel, []).extend(values)
+        return LatencySeries.from_latencies(shifted, start=0, end=int(self.duration))
+
+    @property
+    def is_coordinated(self) -> bool:
+        """Is the protocol in the coordinated family (aligned or not)?"""
+        return self.protocol.startswith("coor")
+
+    def _measured_rounds(self) -> set[int]:
+        """Completed coordinated rounds that became durable inside the window.
+
+        Both checkpoint metrics use this set, so a round straddling the
+        warmup boundary (e.g. a skew-stretched alignment that starts during
+        warmup and completes mid-window) is either counted whole or not at
+        all — never a partial count of its instance checkpoints.
+        """
+        return {
+            e.round_id
+            for e in self.metrics.checkpoints
+            if e.kind in COORDINATED_ROUND_KINDS
+            and e.round_id in self.completed_rounds
+            and e.durable_at >= self.warmup
+        }
+
+    def avg_checkpoint_time(self) -> float:
+        """Protocol-aware average checkpoint duration (paper Section V).
+
+        Coordinated variants (aligned and unaligned) are timed per completed
+        round; the uncoordinated family per local/forced checkpoint.  Only
+        checkpoints of the measured window contribute — the same window and
+        completed-round filters as :meth:`total_checkpoints`, so the two
+        metrics always describe the same population.
+        """
+        if self.is_coordinated:
+            rounds = self._measured_rounds()
+            events = [
+                e for e in self.metrics.checkpoints
+                if e.kind in COORDINATED_ROUND_KINDS and e.round_id in rounds
+            ]
+        else:
+            events = [
+                e for e in self.metrics.checkpoints
+                if e.kind in UNCOORDINATED_KINDS and e.durable_at >= self.warmup
+            ]
+        if not events:
+            return 0.0
+        return sum(e.duration for e in events) / len(events)
+
+    def total_checkpoints(self) -> int:
+        """Durable checkpoints counted the way Table III counts them.
+
+        Only checkpoints taken inside the measured window count; both
+        coordinated variants count the per-instance checkpoints of
+        *completed* rounds (an unfinished round is unusable).
+        """
+        if self.is_coordinated:
+            rounds = self._measured_rounds()
+            return sum(
+                1
+                for e in self.metrics.checkpoints
+                if e.kind in COORDINATED_INSTANCE_KINDS and e.round_id in rounds
+            )
+        return sum(
+            1
+            for e in self.metrics.checkpoints
+            if e.kind in UNCOORDINATED_KINDS and e.durable_at >= self.warmup
+        )
+
+    def invalid_percentage(self) -> float:
+        """Invalid checkpoints at the failure as a percentage (Table III)."""
+        total = self.metrics.total_checkpoints_at_failure
+        invalid = self.metrics.invalid_checkpoints
+        if total <= 0 or invalid < 0:
+            return 0.0
+        return 100.0 * invalid / total
+
+    def restart_time(self) -> float:
+        """Detection -> ready-to-process duration (paper Fig. 11)."""
+        return self.metrics.restart_time
+
+    def recovery_time(self) -> float:
+        """Seconds until latency re-entered its stable band (paper Fig. 9)."""
+        if self.metrics.detected_at < 0:
+            return -1.0
+        detected_rel = self.metrics.detected_at - self.warmup
+        return self.latency_series().recovery_time(detected_rel)
+
+    def availability(self) -> float:
+        """Fraction of the measured window the pipeline was up (1.0 = no
+        outage); outages span kill -> recovery-applied."""
+        return self.metrics.availability(self.warmup,
+                                         self.warmup + self.duration)
+
+    def goodput(self) -> float:
+        """Records reaching sinks per second of *available* virtual time.
+
+        Unlike raw throughput this does not dilute over downtime: a run
+        that loses half its window to recoveries but processes at full
+        speed while up keeps its goodput, making protocols comparable
+        across failure scenarios of different severity.
+        """
+        start, end = self.warmup, self.warmup + self.duration
+        up = (end - start) - self.metrics.downtime(start, end)
+        if up <= 0:
+            return 0.0
+        return self.metrics.total_sink_records(start, end) / up
+
+    def blocked_time(self) -> float:
+        """Channel-seconds senders spent parked awaiting credits.
+
+        Zero on unbounded channels (``channel_capacity_bytes=0``); under a
+        capacity bound this is the cumulative backpressure signal of the
+        run, summed over channels (DESIGN.md section 13).
+        """
+        return self.metrics.blocked_time_total
+
+    def sustainable(self, expected_rate: float,
+                    latency_cap: float = 1.0) -> bool:
+        """Backpressure check used by the MST search (DESIGN.md section 6)."""
+        series = self.latency_series()
+        third = int(self.duration / 3)
+        if series.is_growing(third, int(self.duration)):
+            return False
+        # absolute cap: seconds-deep queues mean the probe window was just
+        # too short to see the growth
+        tail = [
+            v for s, v in zip(series.seconds, series.p50)
+            if s >= 2 * third and v > 0
+        ]
+        if tail and percentile(tail, 50) > latency_cap:
+            return False
+        # sources must keep up with the offered rate: compare ingest in the
+        # second half of the window against the offered rate.
+        half_start = int(self.warmup + self.duration / 2)
+        half_end = int(self.warmup + self.duration)
+        ingested = sum(
+            count
+            for second, count in self.metrics.ingest_counts.items()
+            if half_start <= second < half_end
+        )
+        span = half_end - half_start
+        return ingested >= 0.93 * expected_rate * span

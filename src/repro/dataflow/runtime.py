@@ -1,4 +1,4 @@
-"""Job runtime: deploy a logical graph onto simulated workers and run it.
+"""Job engine: deploy a logical graph onto simulated workers and run it.
 
 Deployment model (paper Section VII-A): parallelism ``p`` means ``p``
 workers, and **each worker hosts one parallel instance of every operator**.
@@ -6,231 +6,53 @@ Channels connect instance pairs per edge partitioning.  The runtime is
 protocol-agnostic; all checkpointing behaviour is injected through the
 :class:`~repro.core.base.CheckpointProtocol` hooks.
 
-The run loop:
+The module is a façade over four layers (DESIGN.md sections 3 and 13):
 
-* sources poll their log partitions on a self-clocking chain;
-* every message delivery / checkpoint / timer / flush is a CPU task on the
-  destination worker with a virtual duration from the cost model;
-* an optional failure kills a worker mid-run; detection triggers the
-  protocol's recovery plan, a global rollback, source rewind and (for
-  UNC/CIC) in-flight message replay with rid deduplication.
+* :mod:`repro.dataflow.results` — :class:`RunResult` and its derived
+  metrics (re-exported here for compatibility);
+* :mod:`repro.dataflow.transport` — message transmission, per-channel
+  FIFO ordering, and bounded channels with credit-based flow control;
+* :mod:`repro.dataflow.lifecycle` — the failure -> detect -> recover ->
+  rescale orchestration;
+* the engine itself (this module) — wiring, the operator data path,
+  source polling, timers, and checkpoint scheduling.
+
+The run loop: sources poll their log partitions on a self-clocking chain;
+every message delivery / checkpoint / timer / flush is a CPU task on the
+destination worker with a virtual duration from the cost model; failures
+kill workers mid-run and detection triggers the protocol's recovery plan.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import replace
 from typing import Any
 
-from repro.core.base import CheckpointMeta, RecoveryPlan, create_protocol
-from repro.dataflow.channels import (
-    ChannelId,
-    DATA,
-    MARKER,
-    Message,
-    Partitioner,
-    hash_key,
-)
+from repro.core.base import CheckpointMeta, create_protocol
+from repro.dataflow.channels import ChannelId, Message, Partitioner
 from repro.dataflow.coordinator import Coordinator
 from repro.dataflow.graph import (
     EdgeSpec,
     LogicalGraph,
     Partitioning,
     UnsupportedTopologyError,
-    validate_rescale,
 )
-from repro.dataflow.keygroups import group_range, key_group, validate_key_space
+from repro.dataflow.keygroups import validate_key_space
+from repro.dataflow.lifecycle import LifecycleManager
 from repro.dataflow.records import StreamRecord, source_rid_from_prefix
+from repro.dataflow.results import RunResult
 from repro.dataflow.state import create_state_backend
+from repro.dataflow.transport import Transport
 from repro.dataflow.worker import InstanceRuntime, WorkerRuntime
-from repro.metrics.collectors import (
-    COORDINATED_INSTANCE_KINDS,
-    COORDINATED_ROUND_KINDS,
-    KIND_INITIAL,
-    KIND_RESCALE,
-    UNCOORDINATED_KINDS,
-    CheckpointEvent,
-    MetricsCollector,
-)
-from repro.metrics.series import LatencySeries, percentile
+from repro.metrics.collectors import UNCOORDINATED_KINDS, CheckpointEvent, MetricsCollector
 from repro.sim.costs import RuntimeConfig
-from repro.sim.failure import (
-    AdaptiveIntervalController,
-    FailureInjector,
-    RescalePlan,
-    scenario_from_config,
-)
 from repro.sim.rng import RngRegistry
 from repro.sim.simulator import Simulator
 from repro.storage.kafka import PartitionedLog
 
+__all__ = ["InstanceKey", "Job", "RunResult"]
+
 InstanceKey = tuple[str, int]
-
-
-@dataclass
-class RunResult:
-    """Everything a finished run exposes to the experiment harness."""
-
-    query: str
-    protocol: str
-    parallelism: int
-    rate: float
-    warmup: float
-    duration: float
-    metrics: MetricsCollector
-    checkpoint_interval: float
-    completed_rounds: set[int] = field(default_factory=set)
-    #: parallelism the job ended at (an elastic recovery may have rescaled
-    #: it away from ``parallelism``, the deployment's initial value)
-    final_parallelism: int = 0
-
-    def __post_init__(self) -> None:
-        if not self.final_parallelism:
-            self.final_parallelism = self.parallelism
-
-    @property
-    def rescaled(self) -> bool:
-        """Did an elastic recovery change the parallelism?"""
-        return self.final_parallelism != self.parallelism
-
-    def latency_series(self) -> LatencySeries:
-        """Per-second p50/p99 with seconds relative to the measured window."""
-        shifted: dict[int, list[float]] = {}
-        for second, values in self.metrics.latencies.items():
-            rel = second - int(self.warmup)
-            if 0 <= rel < int(self.duration):
-                shifted.setdefault(rel, []).extend(values)
-        return LatencySeries.from_latencies(shifted, start=0, end=int(self.duration))
-
-    @property
-    def is_coordinated(self) -> bool:
-        """Is the protocol in the coordinated family (aligned or not)?"""
-        return self.protocol.startswith("coor")
-
-    def _measured_rounds(self) -> set[int]:
-        """Completed coordinated rounds that became durable inside the window.
-
-        Both checkpoint metrics use this set, so a round straddling the
-        warmup boundary (e.g. a skew-stretched alignment that starts during
-        warmup and completes mid-window) is either counted whole or not at
-        all — never a partial count of its instance checkpoints.
-        """
-        return {
-            e.round_id
-            for e in self.metrics.checkpoints
-            if e.kind in COORDINATED_ROUND_KINDS
-            and e.round_id in self.completed_rounds
-            and e.durable_at >= self.warmup
-        }
-
-    def avg_checkpoint_time(self) -> float:
-        """Protocol-aware average checkpoint duration (paper Section V).
-
-        Coordinated variants (aligned and unaligned) are timed per completed
-        round; the uncoordinated family per local/forced checkpoint.  Only
-        checkpoints of the measured window contribute — the same window and
-        completed-round filters as :meth:`total_checkpoints`, so the two
-        metrics always describe the same population.
-        """
-        if self.is_coordinated:
-            rounds = self._measured_rounds()
-            events = [
-                e for e in self.metrics.checkpoints
-                if e.kind in COORDINATED_ROUND_KINDS and e.round_id in rounds
-            ]
-        else:
-            events = [
-                e for e in self.metrics.checkpoints
-                if e.kind in UNCOORDINATED_KINDS and e.durable_at >= self.warmup
-            ]
-        if not events:
-            return 0.0
-        return sum(e.duration for e in events) / len(events)
-
-    def total_checkpoints(self) -> int:
-        """Durable checkpoints counted the way Table III counts them.
-
-        Only checkpoints taken inside the measured window count; both
-        coordinated variants count the per-instance checkpoints of
-        *completed* rounds (an unfinished round is unusable).
-        """
-        if self.is_coordinated:
-            rounds = self._measured_rounds()
-            return sum(
-                1
-                for e in self.metrics.checkpoints
-                if e.kind in COORDINATED_INSTANCE_KINDS and e.round_id in rounds
-            )
-        return sum(
-            1
-            for e in self.metrics.checkpoints
-            if e.kind in UNCOORDINATED_KINDS and e.durable_at >= self.warmup
-        )
-
-    def invalid_percentage(self) -> float:
-        """Invalid checkpoints at the failure as a percentage (Table III)."""
-        total = self.metrics.total_checkpoints_at_failure
-        invalid = self.metrics.invalid_checkpoints
-        if total <= 0 or invalid < 0:
-            return 0.0
-        return 100.0 * invalid / total
-
-    def restart_time(self) -> float:
-        """Detection -> ready-to-process duration (paper Fig. 11)."""
-        return self.metrics.restart_time
-
-    def recovery_time(self) -> float:
-        """Seconds until latency re-entered its stable band (paper Fig. 9)."""
-        if self.metrics.detected_at < 0:
-            return -1.0
-        detected_rel = self.metrics.detected_at - self.warmup
-        return self.latency_series().recovery_time(detected_rel)
-
-    def availability(self) -> float:
-        """Fraction of the measured window the pipeline was up (1.0 = no
-        outage); outages span kill -> recovery-applied."""
-        return self.metrics.availability(self.warmup,
-                                         self.warmup + self.duration)
-
-    def goodput(self) -> float:
-        """Records reaching sinks per second of *available* virtual time.
-
-        Unlike raw throughput this does not dilute over downtime: a run
-        that loses half its window to recoveries but processes at full
-        speed while up keeps its goodput, making protocols comparable
-        across failure scenarios of different severity.
-        """
-        start, end = self.warmup, self.warmup + self.duration
-        up = (end - start) - self.metrics.downtime(start, end)
-        if up <= 0:
-            return 0.0
-        return self.metrics.total_sink_records(start, end) / up
-
-    def sustainable(self, expected_rate: float,
-                    latency_cap: float = 1.0) -> bool:
-        """Backpressure check used by the MST search (DESIGN.md section 6)."""
-        series = self.latency_series()
-        third = int(self.duration / 3)
-        if series.is_growing(third, int(self.duration)):
-            return False
-        # absolute cap: seconds-deep queues mean the probe window was just
-        # too short to see the growth
-        tail = [
-            v for s, v in zip(series.seconds, series.p50)
-            if s >= 2 * third and v > 0
-        ]
-        if tail and percentile(tail, 50) > latency_cap:
-            return False
-        # sources must keep up with the offered rate: compare ingest in the
-        # second half of the window against the offered rate.
-        half_start = int(self.warmup + self.duration / 2)
-        half_end = int(self.warmup + self.duration)
-        ingested = sum(
-            count
-            for second, count in self.metrics.ingest_counts.items()
-            if half_start <= second < half_end
-        )
-        span = half_end - half_start
-        return ingested >= 0.93 * expected_rate * span
 
 
 class Job:
@@ -256,14 +78,6 @@ class Job:
         #: input-log partitions per topic are fixed at deployment time; a
         #: rescaled recovery re-spreads them over the new source instances
         self.num_source_partitions = parallelism
-        self.rescale_plan: RescalePlan | None = None
-        if self.config.rescale_to is not None:
-            self.rescale_plan = RescalePlan(
-                rescale_to=self.config.rescale_to,
-                at_recovery=self.config.rescale_at,
-            )
-            validate_rescale(graph, parallelism, self.rescale_plan.rescale_to,
-                             self.max_key_groups)
         self.inputs = inputs
         self.sim = Simulator()
         self.metrics = MetricsCollector()
@@ -272,22 +86,11 @@ class Job:
             self.config.state_backend, self.cost,
             max_chain=self.config.changelog_max_chain,
         )
-        if self.config.interval_policy not in ("fixed", "adaptive"):
-            raise ValueError(
-                f"interval_policy={self.config.interval_policy!r}; "
-                "choose 'fixed' or 'adaptive'"
-            )
+        self.lifecycle = LifecycleManager(self)
+        self.rescale_plan = self.lifecycle.build_rescale_plan()
         #: Young–Daly interval controller (None under the fixed policy);
         #: protocols consult checkpoint_interval_now() each tick
-        self.interval_controller: AdaptiveIntervalController | None = None
-        if self.config.interval_policy == "adaptive":
-            self.interval_controller = AdaptiveIntervalController(
-                initial_interval=self.config.checkpoint_interval,
-                assumed_mtbf=self.config.assumed_mtbf,
-                alpha=self.config.interval_ema_alpha,
-                min_interval=self.config.interval_min,
-                max_interval=self.config.interval_max,
-            )
+        self.interval_controller = self.lifecycle.build_interval_controller()
         self.recovering = False
         self.epoch = 0
         #: bumped on every rescaled redeploy; stale durability callbacks
@@ -306,6 +109,12 @@ class Job:
                 f"protocol {protocol!r} cannot run on cyclic dataflows "
                 "(marker deadlock — paper Section III-A)"
             )
+        if (self.config.channel_capacity_bytes or 0) > 0 and graph.has_cycle():
+            raise UnsupportedTopologyError(
+                "bounded channel capacity cannot run on cyclic dataflows: "
+                "credit-based flow control on a cycle can deadlock "
+                "(DESIGN.md section 13)"
+            )
         graph.validate(allow_cycles=True)
         for spec in graph.sources():
             if spec.source_topic not in inputs:
@@ -321,55 +130,18 @@ class Job:
         ]
         #: durable per-channel send log (UNC/CIC upstream backup)
         self.send_log: dict[ChannelId, list[Message]] = {}
-        self._chan_last_arrival: dict[ChannelId, float] = {}
         self.channel_dst: dict[ChannelId, InstanceRuntime] = {}
         self._partitioners: dict[int, Partitioner] = {}
-        self._wire()
+        self.transport = Transport(self)
+        self.lifecycle.wire_topology()
 
-    # ------------------------------------------------------------------ #
-    # Wiring
-    # ------------------------------------------------------------------ #
-
-    def _wire(self) -> None:
-        from repro.dataflow.channels import RouterBuffer
-
-        for name, spec in self.graph.operators.items():
-            for idx in range(self.parallelism):
-                instance = InstanceRuntime(self, spec, idx, self.workers[idx])
-                self.state_backend.prepare_instance(instance)
-                self.workers[idx].instances[name] = instance
-        for edge in self.graph.edges:
-            self._partitioners[edge.edge_id] = Partitioner(
-                edge, self.parallelism, self.max_key_groups
-            )
-        for worker in self.workers:
-            for instance in worker.instances.values():
-                out_edges = self.graph.out_edges(instance.op_name)
-                instance.out_edges = out_edges
-                instance.router = RouterBuffer(
-                    out_edges, self._partitioners, instance.index,
-                    self.cost.batch_max_records,
-                )
-                for edge in self.graph.in_edges(instance.op_name):
-                    instance.in_port_by_edge[edge.edge_id] = edge.port
-                    for src_idx in self._edge_src_indices(edge, instance.index):
-                        channel = (edge.edge_id, src_idx, instance.index)
-                        instance.in_channels.append(channel)
-                        self.channel_dst[channel] = instance
-                instance.open()
-
-    def _edge_src_indices(self, edge: EdgeSpec, dst_index: int) -> list[int]:
-        if edge.partitioning is Partitioning.FORWARD:
-            return [dst_index]
-        return list(range(self.parallelism))
+    # -- wiring helpers and introspection --------------------------------- #
 
     def edge_channel_dsts(self, edge: EdgeSpec, src_index: int) -> list[int]:
         """Destination instance indices reachable on ``edge`` from ``src_index``."""
         if edge.partitioning is Partitioning.FORWARD:
             return [src_index]
         return list(range(self.parallelism))
-
-    # -- introspection ---------------------------------------------------- #
 
     def instance_keys(self) -> list[InstanceKey]:
         """Every (operator, index) pair in deterministic order."""
@@ -403,7 +175,7 @@ class Job:
         return order * self.parallelism + key[1]
 
     # ------------------------------------------------------------------ #
-    # Data path
+    # Data path (flushing and transmission delegate to the transport)
     # ------------------------------------------------------------------ #
 
     def process_records(self, instance: InstanceRuntime, records: list[StreamRecord] | None,
@@ -435,81 +207,29 @@ class Job:
 
     def flush_ready(self, instance: InstanceRuntime) -> float:
         """Send router buffers that reached the batch threshold."""
-        cost = 0.0
-        for edge_id, dst, records, nbytes in instance.router.take_ready():
-            cost += self._send_data(instance, edge_id, dst, records, nbytes)
-        return cost
+        return self.transport.flush_ready(instance)
 
-    def flush_all(self, instance: InstanceRuntime) -> float:
-        """Send every staged router buffer regardless of fill."""
-        cost = 0.0
-        for edge_id, dst, records, nbytes in instance.router.take_all():
-            cost += self._send_data(instance, edge_id, dst, records, nbytes)
-        return cost
+    def flush_all(self, instance: InstanceRuntime, force: bool = False) -> float:
+        """Send every staged router buffer regardless of fill.
 
-    def _send_data(self, instance: InstanceRuntime, edge_id: int, dst: int,
-                   records: list[StreamRecord], payload_bytes: int) -> float:
-        channel = (edge_id, instance.index, dst)
-        seq = instance.out_seq.get(channel, 0) + 1
-        instance.out_seq[channel] = seq
-        msg = Message(
-            channel=channel,
-            seq=seq,
-            kind=DATA,
-            records=records,
-            payload_bytes=payload_bytes,
-            sent_at=self.sim.now,
-        )
-        extra_cost = self.protocol.on_send(instance, channel, msg)
-        cost = self.cost.serialize_cost(msg.total_bytes) + extra_cost
-        self.metrics.record_message(msg.payload_bytes, msg.protocol_bytes, len(records))
-        self._transmit(channel, msg)
-        return cost
+        ``force=True`` is the checkpoint-capture flush: parked batches
+        drain with a credit overdraft so the snapshot's sent-cursor covers
+        every produced record (see :meth:`Transport.flush_all`).
+        """
+        return self.transport.flush_all(instance, force=force)
 
     def send_marker(self, instance: InstanceRuntime, round_id: int) -> float:
         """Flush staged data, then emit a marker on every outgoing channel."""
-        cost = 0.0
-        for edge in instance.out_edges:
-            for edge_id, dst, records, nbytes in instance.router.take_edge(edge.edge_id):
-                cost += self._send_data(instance, edge_id, dst, records, nbytes)
-            for dst in self.edge_channel_dsts(edge, instance.index):
-                channel = (edge.edge_id, instance.index, dst)
-                msg = Message(
-                    channel=channel,
-                    seq=0,
-                    kind=MARKER,
-                    records=None,
-                    payload_bytes=0,
-                    protocol_bytes=self.cost.marker_bytes,
-                    # (round, sender's send-cursor): the cursor lets the
-                    # unaligned variant identify in-flight channel state
-                    meta=(round_id, instance.out_seq.get(channel, 0)),
-                    sent_at=self.sim.now,
-                )
-                cost += self.cost.serialize_cost(msg.protocol_bytes)
-                self.metrics.record_message(0, msg.protocol_bytes, 0)
-                self._transmit(channel, msg)
-        return cost
+        return self.transport.send_marker(instance, round_id)
 
     def _transmit(self, channel: ChannelId, msg: Message) -> None:
-        arrival = self.sim.now + self.cost.network_delay(msg.total_bytes)
-        last = self._chan_last_arrival.get(channel, 0.0)
-        if arrival <= last:
-            arrival = last + self.cost.channel_epsilon
-        self._chan_last_arrival[channel] = arrival
-        self.sim.schedule_at(arrival, self._deliver, channel, msg,
-                             self.deploy_epoch)
+        self.transport.transmit(channel, msg)
 
     def _deliver(self, channel: ChannelId, msg: Message,
                  deploy_epoch: int = 0) -> None:
-        if self.recovering or deploy_epoch != self.deploy_epoch:
-            return  # dropped, or addressed to a pre-rescale topology
-        worker = self.workers[channel[2]]
-        worker.deliver(channel, msg)
+        self.transport.deliver(channel, msg, deploy_epoch)
 
-    # ------------------------------------------------------------------ #
-    # Sources
-    # ------------------------------------------------------------------ #
+    # -- sources ----------------------------------------------------------- #
 
     def start_source_polls(self) -> None:
         """Kick off each source instance's self-clocking poll chain."""
@@ -559,9 +279,7 @@ class Job:
         self.sim.schedule(self.cost.source_poll_interval, self._enqueue_poll, instance)
         return cost
 
-    # ------------------------------------------------------------------ #
-    # Timers and linger flushes
-    # ------------------------------------------------------------------ #
+    # -- timers and linger flushes ------------------------------------------ #
 
     def register_timer(self, instance: InstanceRuntime, at: float, tag: Any) -> None:
         """Schedule ``on_timer(tag)`` for ``instance`` at virtual time ``at``."""
@@ -573,9 +291,6 @@ class Job:
                 worker.enqueue(("timer", instance, tag, epoch))
 
         self.sim.schedule_at(max(at, self.sim.now), fire)
-
-    def _start_linger_chains(self) -> None:
-        self._linger_tick()
 
     def _linger_tick(self) -> None:
         """One batched tick for every worker (a single simulator event).
@@ -595,38 +310,15 @@ class Job:
     # ------------------------------------------------------------------ #
 
     def checkpoint_interval_now(self) -> float:
-        """The interval checkpoint timers should use for their next tick.
-
-        The fixed policy returns the configured constant; the adaptive
-        policy returns the controller's current Young–Daly interval
-        (DESIGN.md section 12).  Protocols re-consult this every tick so
-        interval changes take effect at the next scheduling decision.
-        """
-        if self.interval_controller is not None:
-            return self.interval_controller.interval
-        return self.config.checkpoint_interval
+        """The interval checkpoint timers should use for their next tick
+        (fixed constant or the adaptive controller's current Young–Daly
+        optimum — see :meth:`LifecycleManager.checkpoint_interval_now`)."""
+        return self.lifecycle.checkpoint_interval_now()
 
     def note_checkpoint_duration(self, duration: float) -> None:
-        """Feed one completed checkpoint's duration to the controller.
-
-        The coordinated family reports completed *round* durations (the
-        round is its unit of checkpoint cost); the uncoordinated family
-        reports per-instance local/forced checkpoints.
-        """
-        if self.interval_controller is None:
-            return
-        self.interval_controller.observe_checkpoint(self.sim.now, duration)
-        self._sync_interval_updates()
-
-    def _sync_interval_updates(self) -> None:
-        """Mirror the controller's trajectory into the run's metrics.
-
-        The controller's ``updates`` list is the single source of truth
-        for when the interval changed; metrics copy whatever is new.
-        """
-        recorded = self.metrics.interval_updates
-        for entry in self.interval_controller.updates[len(recorded):]:
-            self.metrics.record_interval_update(*entry)
+        """Feed one completed checkpoint's duration to the adaptive
+        interval controller (no-op under the fixed policy)."""
+        self.lifecycle.note_checkpoint_duration(duration)
 
     def enqueue_checkpoint(self, instance: InstanceRuntime, kind: str,
                            round_id: int | None = None,
@@ -647,7 +339,7 @@ class Job:
         (otherwise those records would be dropped by a rollback — see the
         no-dropping half of the consistency definition).
         """
-        cost = self.flush_all(instance)
+        cost = self.flush_all(instance, force=True)
         cost += self.protocol.on_checkpoint_started(instance, kind, round_id)
         instance.checkpoint_counter += 1
         blob_key = f"{instance.key[0]}/{instance.key[1]}/{instance.checkpoint_counter}"
@@ -721,395 +413,14 @@ class Job:
             self.note_checkpoint_duration(durable.durable_at - durable.started_at)
 
     # ------------------------------------------------------------------ #
-    # Failure and recovery
+    # Failure and recovery (delegated to the lifecycle layer)
     # ------------------------------------------------------------------ #
 
     def _on_fail(self, worker_index: int) -> None:
-        if self.recovering:
-            return  # the pipeline is already down; fold into this recovery
-        if self.metrics.failure_at < 0:
-            self.metrics.failure_at = self.sim.now
-        self.metrics.record_outage_start(self.sim.now)
-        if self.interval_controller is not None:
-            self.interval_controller.observe_failure(self.sim.now)
-            self._sync_interval_updates()
-        # a planned kill may target an index beyond a downscaled deployment
-        self.workers[worker_index % self.parallelism].kill()
-
-    def _pending_rescale_target(self) -> int | None:
-        """The target parallelism if the upcoming recovery must rescale."""
-        plan = self.rescale_plan
-        if plan is None or self.recoveries_applied + 1 != plan.at_recovery:
-            return None
-        if plan.rescale_to == self.parallelism:
-            return None
-        return plan.rescale_to
+        self.lifecycle.on_fail(worker_index)
 
     def _on_detect(self, worker_index: int) -> None:
-        worker_index %= self.parallelism
-        if self.recovering or self.workers[worker_index].alive:
-            return  # folded into an in-flight recovery / already replaced
-        plan = self.protocol.build_recovery_plan(self.sim.now)
-        plan.rescale_to = self._pending_rescale_target()
-        self.metrics.record_recovery_line(
-            tuple(sorted(
-                (key, meta.checkpoint_id, meta.kind)
-                for key, meta in plan.line.items()
-            )),
-            tuple(sorted(
-                (channel, tuple(m.seq for m in messages))
-                for channel, messages in plan.replay.items() if messages
-            )),
-        )
-        # the paper's failure metrics describe the FIRST failure of a run;
-        # later failures still recover but do not overwrite the stamps
-        if self.metrics.detected_at < 0:
-            self.metrics.detected_at = self.sim.now
-            self.metrics.invalid_checkpoints = plan.invalid_checkpoints
-            self.metrics.total_checkpoints_at_failure = plan.total_checkpoints
-            self.metrics.replayed_messages = plan.replayed_messages
-            self.metrics.replayed_records = plan.replayed_records
-        self.recovering = True
-        self.epoch += 1
-        for worker in self.workers:
-            worker.reset_for_recovery()
-        restart = self._restart_duration(plan)
-        self.sim.schedule(restart, self._apply_recovery, plan)
-
-    def _restart_duration(self, plan: RecoveryPlan) -> float:
-        """How long until every worker is restored and ready (paper Fig. 11)."""
-        if plan.rescale_to is not None and plan.rescale_to != self.parallelism:
-            return self._rescaled_restart_duration(plan, plan.rescale_to)
-        cost_model = self.cost
-        per_worker = [0.0] * self.parallelism
-        for key, meta in plan.line.items():
-            if meta.kind != KIND_INITIAL:
-                per_worker[key[1]] += cost_model.chain_restore_delay(
-                    meta.restored_bytes, meta.chain_length + 1
-                )
-        for channel, messages in plan.replay.items():
-            if not messages:
-                continue
-            dst_worker = channel[2]
-            nbytes = sum(m.total_bytes for m in messages)
-            per_worker[dst_worker] += nbytes / cost_model.log_fetch_bandwidth
-            per_worker[dst_worker] += len(messages) * cost_model.replay_prep_per_message
-        orchestration = cost_model.restart_base + cost_model.restart_per_worker * self.parallelism
-        return orchestration + max(per_worker)
-
-    def _rescaled_restart_duration(self, plan: RecoveryPlan, p_new: int) -> float:
-        """Restart cost of a rescaled restore.
-
-        Every new worker issues ranged fetches against the blobs of the old
-        instances whose group ranges overlap its own: it pays the full
-        per-blob chain latency but only its byte share of each chain.
-        Replay-log fetches re-home to ``old destination % p_new``, where
-        the re-injected messages originate.
-        """
-        cost_model = self.cost
-        groups = self.max_key_groups
-        p_old = 1 + max(idx for _, idx in plan.line)
-        new_ranges = [group_range(j, p_new, groups) for j in range(p_new)]
-        per_worker = [0.0] * p_new
-        for key, meta in plan.line.items():
-            if meta.kind == KIND_INITIAL:
-                continue
-            old_range = group_range(key[1], p_old, groups)
-            if not len(old_range):
-                continue
-            for j, new_range in enumerate(new_ranges):
-                overlap = (min(old_range.stop, new_range.stop)
-                           - max(old_range.start, new_range.start))
-                if overlap <= 0:
-                    continue
-                share = overlap / len(old_range)
-                per_worker[j] += cost_model.chain_restore_delay(
-                    int(meta.restored_bytes * share), meta.chain_length + 1
-                )
-        for channel, messages in plan.replay.items():
-            if not messages:
-                continue
-            dst_worker = channel[2] % p_new
-            nbytes = sum(m.total_bytes for m in messages)
-            per_worker[dst_worker] += nbytes / cost_model.log_fetch_bandwidth
-            per_worker[dst_worker] += len(messages) * cost_model.replay_prep_per_message
-        orchestration = (cost_model.restart_base + cost_model.rescale_base
-                         + cost_model.restart_per_worker * max(p_old, p_new))
-        return orchestration + max(per_worker)
-
-    def _apply_recovery(self, plan: RecoveryPlan) -> None:
-        line_parallelism = 1 + max(idx for _, idx in plan.line)
-        target = plan.rescale_to or self.parallelism
-        if target != self.parallelism or line_parallelism != self.parallelism:
-            self._apply_rescaled_recovery(plan, target)
-            return
-        store = self.coordinator.blobstore
-        for key, meta in plan.line.items():
-            instance = self.instance(key)
-            if meta.kind == KIND_INITIAL:
-                instance.reset_to_virgin()
-            else:
-                payloads = [store.get(k) for k in store.chain_keys(meta.blob_key)]
-                if len(payloads) == 1:
-                    instance.restore_snapshot(payloads[0])
-                else:
-                    instance.restore_from_chain(payloads)
-                self.state_backend.on_restored(instance)
-        self._chan_last_arrival.clear()
-        for worker in self.workers:
-            worker.alive = True  # replacement container
-        if self.metrics.restart_completed_at < 0:
-            self.metrics.restart_completed_at = self.sim.now
-        self.metrics.record_outage_end(self.sim.now)
-        self.recovering = False
-        self.recoveries_applied += 1
-        self.protocol.on_recovery_applied(plan)
-        # replay in-flight messages (UNC/CIC): deterministic channel order
-        for channel in sorted(plan.replay):
-            for msg in plan.replay[channel]:
-                self._transmit(channel, msg)
-        self._resume_after_recovery()
-
-    def _resume_after_recovery(self) -> None:
-        """Restart source polling and worker CPUs after a rollback."""
-        for spec in self.graph.sources():
-            for idx in range(self.parallelism):
-                self._enqueue_poll(self.instance((spec.name, idx)))
-        for worker in self.workers:
-            worker.kick()
-
-    # ------------------------------------------------------------------ #
-    # Rescale-on-recovery (DESIGN.md section 11)
-    # ------------------------------------------------------------------ #
-
-    def _apply_rescaled_recovery(self, plan: RecoveryPlan, p_new: int) -> None:
-        """Restore the recovery line at a different parallelism.
-
-        The checkpoints of the line were taken by ``p_old`` instances; the
-        replacement deployment runs ``p_new``.  Keyed state moves along its
-        key groups, source cursors along their input partitions, replayed
-        in-flight records are re-routed through the new partitioners, and a
-        synthetic baseline checkpoint per new instance becomes the recovery
-        floor of the new topology (everything older describes instances
-        that no longer exist).
-        """
-        graph = self.graph
-        p_old = 1 + max(idx for _, idx in plan.line)
-        validate_rescale(graph, p_old, p_new, self.max_key_groups)
-        # materialize every old instance's state before the topology goes
-        # away: base+delta chains fold into one self-contained payload
-        materialized: dict[InstanceKey, dict | None] = {
-            key: self._materialize_line_payload(key, meta)
-            for key, meta in plan.line.items()
-        }
-        self._rebuild_topology(p_new)
-        virgin: dict[str, dict] = {}
-        for name, spec in graph.operators.items():
-            parts = []
-            for i in range(p_old):
-                payload = materialized.get((name, i))
-                if payload is None:
-                    if name not in virgin:
-                        virgin[name] = self._virgin_payload(spec)
-                    payload = virgin[name]
-                parts.append(payload)
-            for j in range(p_new):
-                instance = self.instance((name, j))
-                instance.restore_rescaled(parts, p_old,
-                                          self.num_source_partitions)
-                self.state_backend.on_restored(instance)
-        self.protocol.on_rescaled(plan)
-        for worker in self.workers:
-            worker.alive = True
-        if self.metrics.restart_completed_at < 0:
-            self.metrics.restart_completed_at = self.sim.now
-        self.metrics.record_outage_end(self.sim.now)
-        self.recovering = False
-        self.recoveries_applied += 1
-        # re-route the line's in-flight messages through the new topology,
-        # then stamp the synthetic baseline *after* the senders' cursors
-        # advanced: a later rollback to the baseline finds the re-injected
-        # messages inside its replay windows instead of losing them
-        injected = self._reinject_replay(plan, p_new)
-        self._install_rescale_baseline(injected)
-        group_sizes: dict[int, int] = {}
-        for instance in self.instances():
-            for group, nbytes in instance.operator.states.group_sizes(
-                    self.max_key_groups).items():
-                group_sizes[group] = group_sizes.get(group, 0) + nbytes
-        self.metrics.record_rescale(self.sim.now, p_old, p_new, group_sizes)
-        self.protocol.on_recovery_applied(plan)
-        self._resume_after_recovery()
-
-    def _materialize_line_payload(self, key: InstanceKey,
-                                  meta: CheckpointMeta) -> dict | None:
-        """Fold a checkpoint (and its delta chain) into one full payload."""
-        if meta.kind == KIND_INITIAL:
-            return None
-        store = self.coordinator.blobstore
-        payloads = [store.get(k) for k in store.chain_keys(meta.blob_key)]
-        if len(payloads) == 1 and not payloads[0].get("delta"):
-            return payloads[0]
-        spec = self.graph.operators[key[0]]
-        scratch = spec.factory()
-        scratch.open(None)
-        scratch.states.restore(payloads[0]["states"])
-        rids = set(payloads[0]["processed_rids"])
-        for delta in payloads[1:]:
-            scratch.states.apply_delta(delta["states"])
-            rids.update(delta["new_rids"])
-        last = payloads[-1]
-        return {
-            "states": scratch.states.snapshot(),
-            "out_seq": dict(last["out_seq"]),
-            "last_received": dict(last["last_received"]),
-            "processed_rids": rids,
-            "source_cursors": dict(last["source_cursors"]),
-            "extra": last["extra"],
-        }
-
-    def _virgin_payload(self, spec) -> dict:
-        """A virgin instance's contribution to a rescaled merge."""
-        scratch = spec.factory()
-        scratch.open(None)
-        return {
-            "states": scratch.states.snapshot(),
-            "out_seq": {},
-            "last_received": {},
-            "processed_rids": set(),
-            "source_cursors": {},
-            "extra": None,
-        }
-
-    def _rebuild_topology(self, p_new: int) -> None:
-        """Tear the physical deployment down and re-wire it at ``p_new``.
-
-        Logical identities survive (graph, input logs, blob store, metrics);
-        everything addressed by instance index or channel id is rebuilt.
-        Old workers are killed so callbacks scheduled against them no-op,
-        and per-operator checkpoint counters carry forward so blob keys
-        stay unique across deploy epochs.
-        """
-        carried = {
-            name: max(
-                self.workers[i].instances[name].checkpoint_counter
-                for i in range(self.parallelism)
-            )
-            for name in self.graph.operators
-        }
-        for worker in self.workers:
-            worker.kill()
-        self.deploy_epoch += 1
-        self.parallelism = p_new
-        self.coordinator.registry.clear()
-        self.send_log.clear()
-        self._chan_last_arrival.clear()
-        self.channel_dst.clear()
-        self._partitioners = {}
-        self.workers = [WorkerRuntime(self, i) for i in range(p_new)]
-        self._wire()
-        for name, spec in self.graph.operators.items():
-            for j in range(p_new):
-                instance = self.instance((name, j))
-                instance.checkpoint_counter = carried[name]
-                if spec.is_source:
-                    instance.assign_source_partitions(list(
-                        group_range(j, p_new, self.num_source_partitions)
-                    ))
-
-    def _reinject_replay(self, plan: RecoveryPlan,
-                         p_new: int) -> dict[ChannelId, list[Message]]:
-        """Re-route the line's in-flight records through the new topology.
-
-        Replayed messages were addressed to channels of the old deployment;
-        their records are re-partitioned (key -> group -> new owner) and
-        sent from ``old source index % p_new`` through the normal send
-        hooks, so the uncoordinated family logs them into the new epoch's
-        send log.  Returns the injected messages per new channel (the
-        unaligned protocol persists them as baseline channel state).
-        """
-        edges_by_id = {edge.edge_id: edge for edge in self.graph.edges}
-        groups = self.max_key_groups
-        buckets: dict[tuple[int, int, int], list[StreamRecord]] = {}
-        for channel in sorted(plan.replay):
-            edge = edges_by_id[channel[0]]
-            src = channel[1] % p_new
-            for msg in plan.replay[channel]:
-                if not msg.records:
-                    continue
-                for record in msg.records:
-                    if edge.partitioning is Partitioning.KEY:
-                        group = key_group(hash_key(edge.key_fn(record.payload)),
-                                          groups)
-                        dst = group * p_new // groups
-                    else:  # FORWARD (BROADCAST was rejected by validation)
-                        dst = src
-                    buckets.setdefault((edge.edge_id, src, dst), []).append(record)
-        injected: dict[ChannelId, list[Message]] = {}
-        for (edge_id, src, dst) in sorted(buckets):
-            records = buckets[(edge_id, src, dst)]
-            sender = self.instance((edges_by_id[edge_id].src, src))
-            nbytes = sum(r.size_bytes for r in records)
-            channel = (edge_id, src, dst)
-            seq = sender.out_seq.get(channel, 0) + 1
-            sender.out_seq[channel] = seq
-            msg = Message(
-                channel=channel, seq=seq, kind=DATA, records=records,
-                payload_bytes=nbytes, sent_at=self.sim.now,
-            )
-            self.protocol.on_send(sender, channel, msg)
-            self.metrics.record_message(msg.payload_bytes, msg.protocol_bytes,
-                                        len(records))
-            self._transmit(channel, msg)
-            injected.setdefault(channel, []).append(msg)
-        return injected
-
-    def _install_rescale_baseline(
-            self, injected: dict[ChannelId, list[Message]]) -> None:
-        """Checkpoint every new instance as the post-rescale recovery floor.
-
-        The baseline is bookkeeping, not a measured checkpoint: its bytes
-        already live in the store (they were fetched from the old blobs),
-        so it uploads nothing, becomes durable immediately and records no
-        metrics event.  Senders' cursors cover the re-injected replay
-        messages while receivers' are empty, so those messages sit inside
-        the baseline's replay windows.
-        """
-        metas: dict[InstanceKey, CheckpointMeta] = {}
-        now = self.sim.now
-        store = self.coordinator.blobstore
-        for key in self.instance_keys():
-            instance = self.instance(key)
-            instance.checkpoint_counter += 1
-            blob_key = f"{key[0]}/{key[1]}/{instance.checkpoint_counter}"
-            payload = instance.capture_snapshot()
-            if self.protocol.channel_state_in_snapshot:
-                payload["channel_state"] = {
-                    channel: list(messages)
-                    for channel, messages in injected.items()
-                    if self.channel_dst.get(channel) is instance
-                }
-            state_bytes = instance.state_bytes
-            meta = CheckpointMeta(
-                instance=key,
-                checkpoint_id=instance.checkpoint_counter,
-                kind=KIND_RESCALE,
-                round_id=None,
-                started_at=now,
-                durable_at=now,
-                state_bytes=state_bytes,
-                blob_key=blob_key,
-                last_sent=dict(instance.out_seq),
-                last_received=dict(instance.last_received),
-                source_offsets=(dict(instance.source_cursors)
-                                if instance.spec.is_source else None),
-                clock=self.protocol.instance_clock(instance),
-                upload_bytes=0,
-                restore_bytes=state_bytes,
-            )
-            store.put(blob_key, payload, state_bytes, now)
-            metas[key] = meta
-        self.protocol.install_rescale_baseline(metas)
+        self.lifecycle.on_detect(worker_index)
 
     # ------------------------------------------------------------------ #
     # Run loop
@@ -1120,25 +431,10 @@ class Job:
         config = self.config
         self.protocol.on_job_start()
         self.start_source_polls()
-        self._start_linger_chains()
-        scenario = scenario_from_config(config)
-        if scenario is not None:
-            events = scenario.events(
-                config.warmup, config.warmup + config.duration,
-                self.rng.stream("failure-scenario"),
-            )
-            injector = FailureInjector(
-                self.sim, events,
-                detection_delay=self.cost.detection_delay,
-                on_fail=self._on_fail,
-                on_detect=self._on_detect,
-                records=self.metrics.failure_records,
-                # resolve a scenario's raw worker draw against the LIVE
-                # parallelism (a rescale may have changed it by kill time)
-                worker_resolver=lambda index: index % self.parallelism,
-            )
-            injector.arm()
+        self._linger_tick()
+        self.lifecycle.arm_failure_injector()
         self.sim.run_until(config.warmup + config.duration)
+        self.transport.finalize()
         return RunResult(
             query=query_name or self.graph.name,
             protocol=self.protocol.name,

@@ -64,6 +64,17 @@ class InstanceRuntime(OperatorContext):
         self.rid_prefixes: dict[int, int] = {}
         #: protocol-private per-instance structure (e.g. HMNR vectors)
         self.proto: Any = None
+        #: is this instance blocked on channel credits?  While True its
+        #: worker defers the instance's tasks — the simulated equivalent
+        #: of a task thread blocking on a network-buffer request
+        #: (DESIGN.md section 13)
+        self.credit_blocked = False
+        #: outbound channels currently parked awaiting credits
+        self.parked_channels: set[ChannelId] = set()
+        #: cached credit gate for RouterBuffer drains (built lazily by the
+        #: transport; one closure per instance keeps the per-batch flush
+        #: path allocation-free)
+        self.credit_gate: Any = None
         #: reusable poll task tuple (sources only)
         self.poll_task = ("poll", self)
         if spec.is_source:
@@ -265,6 +276,9 @@ class WorkerRuntime:
         self._busy = False
         self.blocked: set[ChannelId] = set()
         self._blocked_buf: dict[ChannelId, deque[Message]] = {}
+        #: tasks deferred because their instance is credit-blocked,
+        #: per operator name, in arrival order
+        self._deferred: dict[str, deque[tuple]] = {}
 
     # ------------------------------------------------------------------ #
     # Delivery and channel blocking
@@ -286,10 +300,16 @@ class WorkerRuntime:
     def block_channel(self, channel: ChannelId) -> None:
         """Buffer instead of deliver on ``channel`` (COOR alignment)."""
         self.blocked.add(channel)
+        transport = self.job.transport
+        if transport.bounded:
+            transport.note_channel_blocked(channel)
 
     def unblock_channel(self, channel: ChannelId) -> None:
         """Release a channel and re-enqueue everything buffered on it, in order."""
         self.blocked.discard(channel)
+        transport = self.job.transport
+        if transport.bounded:
+            transport.note_channel_unblocked(channel)
         buffered = self._blocked_buf.pop(channel, None)
         if buffered:
             for msg in buffered:
@@ -339,25 +359,79 @@ class WorkerRuntime:
 
         Unaligned checkpoints persist these as channel state: they were sent
         before the upstream snapshot (FIFO puts them ahead of the marker)
-        but their effects are not in this instance's snapshot yet.
+        but their effects are not in this instance's snapshot yet.  The
+        scan must also cover tasks *deferred by credit blocking* — they
+        were popped off the CPU queue while the destination instance
+        awaited channel credits and are older than anything still queued,
+        so they come first.
         """
-        queued = [
+        queued: list[Message] = []
+        instance = self.job.channel_dst.get(channel)
+        if instance is not None:
+            deferred = self._deferred.get(instance.op_name)
+            if deferred:
+                queued.extend(
+                    task[2] for task in deferred
+                    if task[0] == "data" and task[1] == channel
+                )
+        queued.extend(
             task[2] for task in self._tasks
             if task[0] == "data" and task[1] == channel
-        ]
+        )
         buffered = self._blocked_buf.get(channel)
         if buffered:
             queued.extend(buffered)
         return queued
 
+    def _task_instance(self, task: tuple) -> "InstanceRuntime | None":
+        """The instance a task belongs to, for credit-block deferral.
+
+        ``flush``/``cpu``/``unpark`` tasks return None: the linger flush is
+        worker-wide (its gated drains skip parked buffers anyway), charged
+        CPU is already-spent time, and the unpark task is the unblocking
+        event itself — deferring any of them could never make progress.
+        """
+        kind = task[0]
+        if kind == "data":
+            return self.job.channel_dst.get(task[1])
+        if kind in ("ckpt", "timer", "poll"):
+            return task[1]
+        return None
+
     def _start_next(self) -> None:
-        if not self.alive or self.job.recovering or not self._tasks:
+        if not self.alive or self.job.recovering:
             self._busy = False
             return
-        self._busy = True
-        task = self._tasks.popleft()
-        duration = self._run(task)
-        self.job.sim.schedule(duration, self._complete)
+        tasks = self._tasks
+        while tasks:
+            task = tasks.popleft()
+            instance = self._task_instance(task)
+            if instance is not None and instance.credit_blocked:
+                # the instance is waiting for channel credits: defer its
+                # work (in order) and let the rest of the worker progress
+                self._deferred.setdefault(instance.op_name, deque()).append(task)
+                continue
+            self._busy = True
+            duration = self._run(task)
+            self.job.sim.schedule(duration, self._complete)
+            return
+        self._busy = False
+
+    def release_instance(self, instance: "InstanceRuntime") -> None:
+        """Credits returned: re-queue the instance's deferred tasks, in order.
+
+        The CPU restart is *scheduled*, never run synchronously: a release
+        can fire from inside a forced flush between a checkpoint's flush
+        and its state capture (the unaligned protocol snapshots at marker
+        arrival, outside any CPU task) — running a deferred data task in
+        that window would apply input whose outputs the captured cursors
+        do not cover, breaking the rollback's no-dropping guarantee.
+        """
+        deferred = self._deferred.pop(instance.op_name, None)
+        if deferred:
+            self._tasks.extendleft(reversed(deferred))
+        if not self._busy and self._tasks:
+            self.job.sim.schedule(0.0, self.kick)
 
     def _complete(self) -> None:
         self._busy = False
@@ -379,10 +453,17 @@ class WorkerRuntime:
             return self._run_flush()
         if kind == "cpu":
             return task[1]
+        if kind == "unpark":
+            _, instance, edge_id, dst = task
+            return self.job.transport.finish_unpark(instance, edge_id, dst)
         raise AssertionError(f"unknown task kind {kind!r}")
 
     def _run_data(self, channel: ChannelId, msg: Message) -> float:
         job = self.job
+        transport = job.transport
+        if transport.bounded:
+            # consuming the message returns its credits to the sender
+            transport.on_consumed(channel, msg)
         instance = job.channel_dst[channel]
         cost = job.cost.serialize_cost(msg.total_bytes)
         cost += job.protocol.on_data_received(instance, channel, msg)
@@ -417,15 +498,19 @@ class WorkerRuntime:
         """The failure injector stops this worker instantly."""
         self.alive = False
         self._tasks.clear()
+        self._deferred.clear()
         self._busy = False
 
     def reset_for_recovery(self) -> None:
         """Drop all queued work and channel buffers before the rollback."""
         self._tasks.clear()
+        self._deferred.clear()
         self._busy = False
         self.blocked.clear()
         self._blocked_buf.clear()
         for instance in self.instances.values():
+            instance.credit_blocked = False
+            instance.parked_channels.clear()
             if instance.router is not None:
                 instance.router.clear()
 

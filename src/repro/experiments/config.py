@@ -13,7 +13,7 @@ Select with ``CHECKMATE_SCALE=quick|default|full``.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

@@ -80,6 +80,17 @@ _SECTIONS = (
      "--failure-scenario 'poisson:mtbf=12' --interval-policy adaptive`; "
      "the `--failure-scenario` spec grammar and `--interval-policy "
      "{fixed,adaptive}` are documented in DESIGN.md section 12."),
+    ("backpressure", "Backpressure — bounded channels x protocol x skew",
+     "Extension (DESIGN.md section 13): channels carry a per-channel byte "
+     "budget under credit-based flow control — a sender whose channel is "
+     "out of credits parks its batch and blocks until the receiver "
+     "consumes.  With bounds on, COOR's barrier alignment genuinely "
+     "stalls upstream senders under hot-key skew (a channel blocked for "
+     "alignment stops being consumed, so its credits stay held), while "
+     "the unaligned variant and UNC drain past barriers: their "
+     "alignment-attributed blocked time is ~zero and their backpressure "
+     "is pure queue saturation.  Reproduce one cell with `python -m repro "
+     "query q12 --protocol coor --hot-ratio 0.3 --channel-capacity 1024`."),
     ("ablation_interval", "Ablation — checkpoint-interval sweep", ""),
     ("ablation_logging", "Ablation — UNC logging tax & participation", ""),
     ("ablation_schedules", "Ablation — per-operator checkpoint schedules", ""),

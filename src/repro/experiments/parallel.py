@@ -42,7 +42,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: bump when RunResult / metrics layout changes so stale cache entries
 #: from an older code revision are never served
-CACHE_VERSION = 4
+CACHE_VERSION = 5
 
 
 # --------------------------------------------------------------------- #
@@ -84,6 +84,9 @@ class RunRequest:
     failure_scenario: str | None = None
     #: checkpoint-interval policy: 'fixed' | 'adaptive' (Young–Daly)
     interval_policy: str = "fixed"
+    #: per-channel credit budget in bytes (0 = unbounded channels); the
+    #: credit-based flow-control knob of DESIGN.md section 13
+    channel_capacity_bytes: int = 0
     config: RuntimeConfig | None = None
 
     def effective_config(self) -> RuntimeConfig:
@@ -103,6 +106,7 @@ class RunRequest:
             max_key_groups=self.max_key_groups,
             failure_scenario=self.failure_scenario,
             interval_policy=self.interval_policy,
+            channel_capacity_bytes=self.channel_capacity_bytes,
         )
 
 

@@ -33,6 +33,7 @@ def run_query(
     max_key_groups: int = 128,
     failure_scenario: str | None = None,
     interval_policy: str = "fixed",
+    channel_capacity_bytes: int = 0,
 ) -> RunResult:
     """Deploy ``spec`` under ``protocol`` and execute one measured run.
 
@@ -61,6 +62,7 @@ def run_query(
         max_key_groups=max_key_groups,
         failure_scenario=failure_scenario,
         interval_policy=interval_policy,
+        channel_capacity_bytes=channel_capacity_bytes,
         config=config,
     )
     return run_with_spec(spec, request)

@@ -118,6 +118,25 @@ class MetricsCollector:
     #: interval controller; empty under the fixed policy
     interval_updates: list[tuple[float, float]] = field(default_factory=list)
 
+    # -- transport backpressure (bounded channels, DESIGN.md §13) ---------- #
+    #: per-channel cumulative seconds a sender spent parked awaiting
+    #: credits; empty on unbounded channels
+    blocked_time_by_channel: dict = field(default_factory=dict)
+    #: sum of blocked_time_by_channel (channel-seconds of backpressure)
+    blocked_time_total: float = 0.0
+    #: the subset of blocked_time_total where the receiver had the channel
+    #: barrier-blocked (COOR alignment) while the sender waited — the
+    #: paper's alignment-stall pathology, isolated from plain queue
+    #: saturation; structurally zero for protocols that never block
+    #: channels (UNC/CIC/unaligned)
+    blocked_time_aligned: float = 0.0
+    #: batches parked by credit exhaustion over the whole run
+    sends_parked: int = 0
+    #: per-channel peak in-flight (transmitted, unconsumed) DATA bytes
+    peak_in_flight_bytes: dict = field(default_factory=dict)
+    #: peak of the total in-flight bytes across all channels
+    peak_total_in_flight_bytes: int = 0
+
     # -- rescale-on-recovery ------------------------------------------------ #
     #: when the (first) rescaled restore was applied, -1 if none happened
     rescaled_at: float = -1.0
@@ -176,6 +195,30 @@ class MetricsCollector:
     def record_interval_update(self, now: float, interval: float) -> None:
         """The adaptive controller changed the checkpoint interval."""
         self.interval_updates.append((now, interval))
+
+    def record_blocked_time(self, channel, elapsed: float,
+                            aligned_elapsed: float = 0.0) -> None:
+        """A parked batch left (or the run ended): account its wait.
+
+        ``aligned_elapsed`` is the measured overlap of the wait with the
+        receiver's barrier-alignment windows (never more than ``elapsed``).
+        """
+        if elapsed <= 0:
+            return
+        self.blocked_time_by_channel[channel] = (
+            self.blocked_time_by_channel.get(channel, 0.0) + elapsed
+        )
+        self.blocked_time_total += elapsed
+        if aligned_elapsed > 0:
+            self.blocked_time_aligned += min(aligned_elapsed, elapsed)
+
+    def note_queue_depth(self, channel, depth_bytes: int,
+                         total_bytes: int) -> None:
+        """Track per-channel and total peak in-flight bytes (transmit time)."""
+        if depth_bytes > self.peak_in_flight_bytes.get(channel, 0):
+            self.peak_in_flight_bytes[channel] = depth_bytes
+        if total_bytes > self.peak_total_in_flight_bytes:
+            self.peak_total_in_flight_bytes = total_bytes
 
     def record_rescale(self, now: float, from_parallelism: int,
                        to_parallelism: int,

@@ -178,6 +178,13 @@ class RuntimeConfig:
     #: size of the key-group address space routing and keyed state are
     #: partitioned over; fixed per deployment, bounds useful parallelism
     max_key_groups: int = 128
+    #: per-channel credit budget in bytes for credit-based flow control
+    #: (DESIGN.md section 13): senders whose channel holds this many
+    #: unconsumed in-flight bytes park further batches and block until the
+    #: receiver consumes.  0 (the default) disables the bound — channels
+    #: are unbounded and backpressure never materialises, matching the
+    #: pre-section-13 behaviour exactly
+    channel_capacity_bytes: int = 0
     #: inject a failure at this offset into the measured window, or None
     failure_at: float | None = None
     #: index of the worker to kill

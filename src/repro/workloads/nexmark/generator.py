@@ -28,7 +28,6 @@ from repro.workloads.nexmark.model import (
     Bid,
     NUM_CATEGORIES,
     Person,
-    Q3_CATEGORY,
     Q3_STATES,
     US_STATES,
 )

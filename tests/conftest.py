@@ -78,7 +78,8 @@ def run_count_job(protocol: str, parallelism: int = 3, rate: float = 300.0,
                   failure_at: float | None = 6.0, input_until: float | None = None,
                   checkpoint_interval: float = 3.0, seed: int = 3,
                   state_backend: str = "full", changelog_max_chain: int = 4,
-                  rescale_to: int | None = None, rescale_at: int = 1):
+                  rescale_to: int | None = None, rescale_at: int = 1,
+                  channel_capacity_bytes: int = 0):
     """Run the counting pipeline; input stops early so queues drain."""
     if input_until is None:
         input_until = warmup + duration - 4.0
@@ -92,6 +93,7 @@ def run_count_job(protocol: str, parallelism: int = 3, rate: float = 300.0,
         changelog_max_chain=changelog_max_chain,
         rescale_to=rescale_to,
         rescale_at=rescale_at,
+        channel_capacity_bytes=channel_capacity_bytes,
     )
     log = make_event_log(rate, input_until, parallelism, seed=seed)
     job = Job(build_count_graph(), protocol, parallelism, {"events": log}, config)

@@ -5,7 +5,6 @@ controller's chosen interval must land within 20% of the analytic
 Young–Daly optimum ``sqrt(2 * MTBF * C)``.
 """
 
-import math
 import random
 
 import pytest

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.cic import CicState, CommunicationInducedProtocol, PiggybackSnapshot
-from repro.sim.costs import CostModel
 
 from tests.conftest import run_count_job
 

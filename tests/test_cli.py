@@ -60,6 +60,18 @@ def test_query_with_adaptive_interval(capsys):
     assert "adaptive interval" in out
 
 
+def test_query_with_channel_capacity(capsys):
+    code = main([
+        "query", "q12", "--protocol", "coor", "--parallelism", "4",
+        "--duration", "12", "--warmup", "2", "--hot-ratio", "0.3",
+        "--channel-capacity", "1024",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "backpressure" in out
+    assert "parks" in out
+
+
 def test_query_rejects_rescale_without_failure(capsys):
     code = main([
         "query", "q1", "--protocol", "unc", "--parallelism", "2",

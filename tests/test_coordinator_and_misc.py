@@ -1,6 +1,5 @@
 """Coverage for the coordinator control plane and small utilities."""
 
-import pytest
 
 from repro.core.base import CheckpointMeta
 from repro.dataflow.runtime import Job

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.experiments import figures
-from repro.experiments.config import ExperimentScale, current_scale, scale_by_name
+from repro.experiments.config import current_scale, scale_by_name
 from repro.experiments.runner import run_query
 from repro.workloads.nexmark import QUERIES
 
@@ -101,7 +101,7 @@ def test_all_experiments_registry():
     assert set(figures.ALL_EXPERIMENTS) == {
         "fig7", "table2", "fig8", "fig9", "fig10", "fig11",
         "table3", "fig12", "fig13", "table4", "state_size", "rescale",
-        "multi_failure",
+        "multi_failure", "backpressure",
     }
 
 

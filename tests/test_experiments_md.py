@@ -1,6 +1,5 @@
 """Tests for the EXPERIMENTS.md assembler."""
 
-import pathlib
 
 from repro.experiments.experiments_md import assemble, write
 

@@ -4,7 +4,6 @@ import csv
 import io
 import json
 
-import pytest
 
 from repro.dataflow.runtime import Job
 from repro.metrics.export import latency_series_csv, results_csv, run_json, run_summary

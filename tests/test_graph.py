@@ -3,7 +3,6 @@
 import pytest
 
 from repro.dataflow.graph import (
-    EdgeSpec,
     GraphError,
     LogicalGraph,
     Partitioning,

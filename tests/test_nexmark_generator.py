@@ -3,7 +3,7 @@
 import pytest
 
 from repro.workloads.nexmark.generator import GeneratorConfig, NexmarkGenerator
-from repro.workloads.nexmark.model import Auction, Bid, Person, Q3_STATES
+from repro.workloads.nexmark.model import Bid, Q3_STATES
 
 
 def test_bids_log_rate_and_partitions():

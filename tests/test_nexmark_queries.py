@@ -33,7 +33,6 @@ def test_q1_topology_has_no_shuffle():
 
 def test_q1_price_conversion_factor():
     from repro.workloads.nexmark.model import Bid
-    from repro.dataflow.operators import MapOperator
 
     graph = QUERIES["q1"].build_graph(1)
     op = graph.operators["map_convert"].factory()

@@ -11,7 +11,7 @@ from repro.dataflow.runtime import Job
 from repro.sim.costs import RuntimeConfig
 from repro.workloads.nexmark import QUERIES
 
-from tests.conftest import build_count_graph, make_event_log, run_count_job
+from tests.conftest import run_count_job
 
 
 def expected_counts(job):

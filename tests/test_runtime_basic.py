@@ -2,11 +2,10 @@
 
 import pytest
 
-from repro.dataflow.graph import LogicalGraph, Partitioning, UnsupportedTopologyError
-from repro.dataflow.operators import MapOperator, SinkOperator, SourceOperator
+from repro.dataflow.graph import LogicalGraph, Partitioning
+from repro.dataflow.operators import SinkOperator, SourceOperator
 from repro.dataflow.runtime import Job
 from repro.sim.costs import RuntimeConfig
-from repro.storage.kafka import PartitionedLog
 
 from tests.conftest import build_count_graph, make_event_log, run_count_job
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.costs import CostModel, RuntimeConfig
+from repro.sim.costs import RuntimeConfig
 
 
 def test_network_delay_has_latency_floor(cost_model):

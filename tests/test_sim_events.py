@@ -1,6 +1,5 @@
 """Unit tests for the event queue primitives."""
 
-import pytest
 
 from repro.sim.events import EventHandle, EventQueue
 

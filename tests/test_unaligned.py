@@ -8,7 +8,7 @@ from repro.dataflow.runtime import Job
 from repro.sim.costs import RuntimeConfig
 from repro.workloads.cyclic import REACHABILITY
 
-from tests.conftest import build_count_graph, make_event_log, run_count_job
+from tests.conftest import run_count_job
 
 
 def test_registered_in_protocol_registry():

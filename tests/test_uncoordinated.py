@@ -1,8 +1,6 @@
 """Tests of the uncoordinated protocol (UNC)."""
 
-import pytest
 
-from repro.core.checkpoint_graph import CheckpointGraph, maximal_consistent_line
 from repro.core.recovery import build_replay_sets, rollback_distance_records
 from repro.dataflow.channels import DATA, Message
 from repro.core.base import CheckpointMeta, initial_checkpoint
