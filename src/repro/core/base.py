@@ -182,7 +182,7 @@ class CheckpointProtocol:
     #: carry into the synthetic baseline of a rescaled restore?
     channel_state_in_snapshot = False
 
-    def __init__(self, job: "Job"):
+    def __init__(self, job: "Job") -> None:
         self.job = job
 
     @property

@@ -156,7 +156,7 @@ def rollback_propagation(graph: CheckpointGraph) -> RecoveryLineResult:
     }
     pruned: list[Node] = []
     while True:
-        root_nodes = {(instance, ckpt_id) for instance, ckpt_id in root.items()}
+        root_nodes = sorted((instance, ckpt_id) for instance, ckpt_id in root.items())
         marked: set[InstanceKey] = set()
         for node in root_nodes:
             for other in root_nodes:

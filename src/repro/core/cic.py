@@ -28,7 +28,7 @@ checkpoints, keeping the simulation tractable at high parallelism.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.core.base import register_protocol
 from repro.core.uncoordinated import UncoordinatedProtocol
@@ -36,6 +36,7 @@ from repro.dataflow.channels import ChannelId, Message
 from repro.metrics.collectors import KIND_FORCED
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.base import RecoveryPlan
     from repro.dataflow.worker import InstanceRuntime
 
 
@@ -65,8 +66,9 @@ class CicState:
     taken: list[bool] = field(default_factory=list)
     sent_to: set[int] = field(default_factory=set)
     _snapshot: PiggybackSnapshot | None = None
-    #: per inbound channel: the last piggyback object already merged
-    merged: dict[ChannelId, int] = field(default_factory=dict)
+    #: per inbound channel: the last piggyback snapshot already merged
+    #: (held by reference so identity checks cannot alias a recycled id)
+    merged: dict[ChannelId, PiggybackSnapshot] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.ckpt:
@@ -139,7 +141,7 @@ class CommunicationInducedProtocol(UncoordinatedProtocol):
                 ordinal=self.job.instance_ordinal(instance.key), n=n
             )
 
-    def on_rescaled(self, plan) -> None:
+    def on_rescaled(self, plan: RecoveryPlan) -> None:
         """HMNR vectors are sized by instance count: rebuild them fresh.
 
         The rescaled restore is a globally consistent cut (everything
@@ -195,9 +197,9 @@ class CommunicationInducedProtocol(UncoordinatedProtocol):
         return any(piggy.greater(k) for k in state.sent_to)
 
     def _merge(self, state: CicState, channel: ChannelId, piggy: PiggybackSnapshot) -> None:
-        if state.merged.get(channel) == id(piggy):
+        if state.merged.get(channel) is piggy:
             return  # same snapshot already merged on this channel
-        state.merged[channel] = id(piggy)
+        state.merged[channel] = piggy
         changed = False
         if piggy.lc > state.lc:
             state.lc = piggy.lc
@@ -235,12 +237,12 @@ class CommunicationInducedProtocol(UncoordinatedProtocol):
         state.on_checkpoint()
         return 0.0
 
-    def capture_extra(self, instance: "InstanceRuntime"):
+    def capture_extra(self, instance: "InstanceRuntime") -> Any:
         """Embed the HMNR vectors in the snapshot payload."""
         state: CicState = instance.proto
         return state.capture()
 
-    def restore_extra(self, instance: "InstanceRuntime", extra) -> None:
+    def restore_extra(self, instance: "InstanceRuntime", extra: Any) -> None:
         """Reinstall the HMNR vectors from a restored snapshot."""
         if extra is not None:
             state: CicState = instance.proto

@@ -32,6 +32,7 @@ from repro.dataflow.channels import ChannelId, Message
 from repro.metrics.collectors import KIND_COOR, KIND_ROUND, CheckpointEvent
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.base import InstanceKey
     from repro.dataflow.runtime import Job
     from repro.dataflow.worker import InstanceRuntime
 
@@ -44,7 +45,7 @@ class CoordinatedProtocol(CheckpointProtocol):
     requires_logging = False
     supports_cycles = False
 
-    def __init__(self, job: "Job"):
+    def __init__(self, job: "Job") -> None:
         super().__init__(job)
         self._round = 0
         self._active_round: int | None = None
@@ -194,7 +195,7 @@ class CoordinatedProtocol(CheckpointProtocol):
         self._align.clear()
         self._active_round = None
 
-    def install_rescale_baseline(self, metas) -> None:
+    def install_rescale_baseline(self, metas: dict[InstanceKey, CheckpointMeta]) -> None:
         """Record the synthetic baseline as a *completed* round.
 
         COOR recovery lines are completed rounds; without this, a failure

@@ -34,7 +34,10 @@ from repro.core.base import InstanceKey
 from repro.core.checkpoint_graph import CheckpointGraph, maximal_consistent_line
 
 if TYPE_CHECKING:  # pragma: no cover
+    from collections.abc import Iterable
+
     from repro.dataflow.runtime import Job
+    from repro.storage.blobstore import BlobStore
 
 
 @dataclass(frozen=True)
@@ -55,7 +58,7 @@ class GcStats:
     blobs_pinned: int = 0
 
 
-def pinned_blob_keys(store, retained_blob_keys) -> set[str]:
+def pinned_blob_keys(store: BlobStore, retained_blob_keys: Iterable[str]) -> set[str]:
     """Blobs that must survive reclamation: every chain link (base and
     intermediate deltas) reachable from a retained checkpoint's blob."""
     pinned: set[str] = set()

@@ -35,6 +35,8 @@ from repro.dataflow.channels import ChannelId, Message
 from repro.metrics.collectors import KIND_COOR, KIND_INITIAL, CheckpointEvent
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.base import RecoveryPlan
+    from repro.dataflow.runtime import Job
     from repro.dataflow.worker import InstanceRuntime
 
 
@@ -45,7 +47,7 @@ class _PendingCheckpoint:
                  "channel_bytes", "started_at")
 
     def __init__(self, round_id: int, pending: set[ChannelId],
-                 snapshot: dict, meta: CheckpointMeta, started_at: float):
+                 snapshot: dict, meta: CheckpointMeta, started_at: float) -> None:
         self.round_id = round_id
         self.pending = pending
         self.snapshot = snapshot
@@ -66,7 +68,7 @@ class UnalignedCoordinatedProtocol(CoordinatedProtocol):
     #: restore must carry the re-routed replay into its baseline blobs
     channel_state_in_snapshot = True
 
-    def __init__(self, job):
+    def __init__(self, job: "Job") -> None:
         super().__init__(job)
         self._pending: dict[tuple, _PendingCheckpoint] = {}
 
@@ -239,7 +241,7 @@ class UnalignedCoordinatedProtocol(CoordinatedProtocol):
     # Recovery — COOR's line plus channel-state replay
     # ------------------------------------------------------------------ #
 
-    def build_recovery_plan(self, now: float):
+    def build_recovery_plan(self, now: float) -> RecoveryPlan:
         """Restore the latest completed round plus its channel state."""
         plan = super().build_recovery_plan(now)
         replay: dict[ChannelId, list[Message]] = {}
@@ -254,12 +256,12 @@ class UnalignedCoordinatedProtocol(CoordinatedProtocol):
         plan.replay = replay
         return plan
 
-    def on_recovery_applied(self, plan) -> None:
+    def on_recovery_applied(self, plan: RecoveryPlan) -> None:
         """Drop pending unaligned captures along with the aborted round."""
         super().on_recovery_applied(plan)
         self._pending.clear()
 
-    def on_rescaled(self, plan) -> None:
+    def on_rescaled(self, plan: RecoveryPlan) -> None:
         """Reset alignment and pending captures for the new topology."""
         super().on_rescaled(plan)
         self._pending.clear()

@@ -22,8 +22,12 @@ It is used by the test suite to verify:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.base import CheckpointMeta, InstanceKey
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dataflow.runtime import Job
 from repro.dataflow.channels import ChannelId
 
 Interval = tuple[InstanceKey, int]
@@ -44,7 +48,7 @@ class ExecutionHistory:
     _built: bool = False
 
     @classmethod
-    def from_job(cls, job) -> "ExecutionHistory":
+    def from_job(cls, job: "Job") -> "ExecutionHistory":
         """Collect history from a finished :class:`~repro.dataflow.runtime.Job`."""
         edges_by_id = {edge.edge_id: edge for edge in job.graph.edges}
         endpoints = {

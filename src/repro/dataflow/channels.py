@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from repro.dataflow.graph import EdgeSpec, GraphError, Partitioning
 from repro.dataflow.keygroups import DEFAULT_MAX_KEY_GROUPS, key_group
@@ -79,7 +79,7 @@ class Partitioner:
     """
 
     def __init__(self, edge: EdgeSpec, parallelism: int,
-                 max_key_groups: int = DEFAULT_MAX_KEY_GROUPS):
+                 max_key_groups: int = DEFAULT_MAX_KEY_GROUPS) -> None:
         self.edge = edge
         self.parallelism = parallelism
         self.max_key_groups = max_key_groups
@@ -133,7 +133,7 @@ class RouterBuffer:
                  "_staged_bytes", "_n_ready", "_blocked")
 
     def __init__(self, edges: list[EdgeSpec], partitioners: dict[int, Partitioner],
-                 src_index: int, batch_max: int):
+                 src_index: int, batch_max: int) -> None:
         self._batch_max = batch_max
         #: edge_id -> dst -> staged buffer (created lazily per dst)
         self._by_edge: dict[int, dict[int, _Buffer]] = {
@@ -248,7 +248,9 @@ class RouterBuffer:
         elif len(buf.records) >= self._batch_max:
             self._n_ready -= 1
 
-    def take_ready(self, gate=None) -> list[tuple[int, int, list[StreamRecord], int]]:
+    def take_ready(
+        self, gate: Callable[[int, int, int], bool] | None = None,
+    ) -> list[tuple[int, int, list[StreamRecord], int]]:
         """Drain buffers at/over the batch threshold -> (edge, dst, records, bytes).
 
         ``gate(edge_id, dst, nbytes)`` is the transport's credit check: a
@@ -274,7 +276,9 @@ class RouterBuffer:
                 ready.append((edge_id, dst, buf.records, buf.bytes))
         return ready
 
-    def take_all(self, gate=None) -> list[tuple[int, int, list[StreamRecord], int]]:
+    def take_all(
+        self, gate: Callable[[int, int, int], bool] | None = None,
+    ) -> list[tuple[int, int, list[StreamRecord], int]]:
         """Drain every non-empty buffer.
 
         With a ``gate`` (linger flush): blocked buffers stay parked and

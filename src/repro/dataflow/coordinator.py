@@ -23,7 +23,7 @@ if TYPE_CHECKING:  # pragma: no cover
 class Coordinator:
     """Metadata registry plus control-plane messaging."""
 
-    def __init__(self, job: "Job"):
+    def __init__(self, job: "Job") -> None:
         self.job = job
         self.registry = CheckpointRegistry()
         self.blobstore = BlobStore()

@@ -67,7 +67,7 @@ class OperatorSpec:
 class LogicalGraph:
     """Builder and container for a dataflow topology."""
 
-    def __init__(self, name: str = "job"):
+    def __init__(self, name: str = "job") -> None:
         self.name = name
         self.operators: dict[str, OperatorSpec] = {}
         self.edges: list[EdgeSpec] = []

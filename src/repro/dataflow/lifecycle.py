@@ -22,7 +22,9 @@ from repro.dataflow.records import StreamRecord
 from repro.metrics.collectors import KIND_INITIAL, KIND_RESCALE
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.dataflow.graph import OperatorSpec
     from repro.dataflow.runtime import InstanceKey, Job
+    from repro.sim.failure import AdaptiveIntervalController, RescalePlan
 
 
 class LifecycleManager:
@@ -35,14 +37,14 @@ class LifecycleManager:
     (DESIGN.md section 12).
     """
 
-    def __init__(self, job: "Job"):
+    def __init__(self, job: "Job") -> None:
         self.job = job
 
     # ------------------------------------------------------------------ #
     # Deployment wiring
     # ------------------------------------------------------------------ #
 
-    def build_rescale_plan(self):
+    def build_rescale_plan(self) -> RescalePlan | None:
         """The deployment's planned rescale-on-recovery, if configured."""
         from repro.sim.failure import RescalePlan
 
@@ -55,7 +57,7 @@ class LifecycleManager:
                          job.max_key_groups)
         return plan
 
-    def build_interval_controller(self):
+    def build_interval_controller(self) -> AdaptiveIntervalController | None:
         """The Young–Daly controller, or None under the fixed policy."""
         from repro.sim.failure import AdaptiveIntervalController
 
@@ -442,7 +444,7 @@ class LifecycleManager:
             "extra": last["extra"],
         }
 
-    def virgin_payload(self, spec) -> dict:
+    def virgin_payload(self, spec: OperatorSpec) -> dict:
         """A virgin instance's contribution to a rescaled merge."""
         scratch = spec.factory()
         scratch.open(None)

@@ -98,7 +98,7 @@ class MapOperator(Operator):
 
     cpu_per_record = 0.0015
 
-    def __init__(self, fn: Callable[[Any], Any], out_size: Callable[[Any], int] | None = None):
+    def __init__(self, fn: Callable[[Any], Any], out_size: Callable[[Any], int] | None = None) -> None:
         super().__init__()
         self._fn = fn
         self._out_size = out_size
@@ -115,7 +115,7 @@ class FilterOperator(Operator):
 
     cpu_per_record = 0.0008
 
-    def __init__(self, predicate: Callable[[Any], bool]):
+    def __init__(self, predicate: Callable[[Any], bool]) -> None:
         super().__init__()
         self._predicate = predicate
 
@@ -131,7 +131,7 @@ class FlatMapOperator(Operator):
 
     cpu_per_record = 0.0015
 
-    def __init__(self, fn: Callable[[Any], list], out_size: Callable[[Any], int] | None = None):
+    def __init__(self, fn: Callable[[Any], list], out_size: Callable[[Any], int] | None = None) -> None:
         super().__init__()
         self._fn = fn
         self._out_size = out_size
@@ -164,7 +164,7 @@ class IncrementalJoinOperator(Operator):
         right_key: Callable[[Any], Any],
         combine: Callable[[Any, Any], Any],
         out_size: int = 128,
-    ):
+    ) -> None:
         super().__init__()
         self._left_key = left_key
         self._right_key = right_key
@@ -230,7 +230,7 @@ class WindowedJoinOperator(Operator):
         combine: Callable[[Any, Any], Any],
         window: float = 10.0,
         out_size: int = 128,
-    ):
+    ) -> None:
         super().__init__()
         self._left_key = left_key
         self._right_key = right_key
@@ -313,7 +313,7 @@ class WindowedCountOperator(Operator):
 
     cpu_per_record = 0.0018
 
-    def __init__(self, key_fn: Callable[[Any], Any], window: float = 10.0, out_size: int = 48):
+    def __init__(self, key_fn: Callable[[Any], Any], window: float = 10.0, out_size: int = 48) -> None:
         super().__init__()
         self._key_fn = key_fn
         self.window = window
@@ -368,7 +368,7 @@ class SlidingWindowCountOperator(Operator):
     cpu_per_record = 0.0022
 
     def __init__(self, key_fn: Callable[[Any], Any], window_range: float = 10.0,
-                 slide: float = 2.0, out_size: int = 56):
+                 slide: float = 2.0, out_size: int = 56) -> None:
         super().__init__()
         if slide <= 0 or window_range < slide:
             raise ValueError("need slide > 0 and range >= slide")
@@ -436,7 +436,7 @@ class MaxPerKeyOperator(Operator):
 
     def __init__(self, group_fn: Callable[[Any], Any],
                  value_fn: Callable[[Any], int],
-                 item_fn: Callable[[Any], Any], out_size: int = 48):
+                 item_fn: Callable[[Any], Any], out_size: int = 48) -> None:
         super().__init__()
         self._group_fn = group_fn
         self._value_fn = value_fn

@@ -28,7 +28,7 @@ every protocol.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Container, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Container, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dataflow.worker import InstanceRuntime
@@ -70,7 +70,7 @@ class ValueState:
 
     __slots__ = ("_value", "_size", "_dirty", "_tracked")
 
-    def __init__(self, initial: Any = None, size_bytes: int = 0):
+    def __init__(self, initial: Any = None, size_bytes: int = 0) -> None:
         self._value = initial
         self._size = size_bytes
         self._dirty = False
@@ -219,9 +219,10 @@ class KeyedMapState:
         if not self._dirty and not self._deleted:
             return None
         written = {
-            key: (self._data[key], self._sizes[key]) for key in self._dirty
+            key: (self._data[key], self._sizes[key])
+            for key in sorted(self._dirty, key=repr)
         }
-        return (DIFF, written, tuple(self._deleted), self._total)
+        return (DIFF, written, tuple(sorted(self._deleted, key=repr)), self._total)
 
     def delta_bytes(self) -> int:
         """Bytes a delta of the current changes would upload."""
@@ -297,7 +298,7 @@ class KeyedListState:
     __slots__ = ("_data", "_entry_bytes", "_total", "_dirty", "_deleted",
                  "_all_dirty", "_tracked", "_key_bytes")
 
-    def __init__(self, entry_bytes: int = 48):
+    def __init__(self, entry_bytes: int = 48) -> None:
         self._data: dict[Any, list] = {}
         self._entry_bytes = entry_bytes
         self._total = 0
@@ -338,7 +339,7 @@ class KeyedListState:
                 self._deleted.add(key)
                 self._key_bytes.pop(key, None)
 
-    def remove_value(self, key: Any, predicate) -> int:
+    def remove_value(self, key: Any, predicate: Callable[[Any], bool]) -> int:
         """Drop entries matching ``predicate``; returns how many were removed."""
         values = self._data.get(key)
         if not values:
@@ -405,8 +406,10 @@ class KeyedListState:
             return None
         # a written key re-uploads its whole list: append-only lists make
         # this a per-key rewrite, still a large win when few keys are hot
-        written = {key: list(self._data[key]) for key in self._dirty}
-        return (DIFF, written, tuple(self._deleted), self._total)
+        written = {
+            key: list(self._data[key]) for key in sorted(self._dirty, key=repr)
+        }
+        return (DIFF, written, tuple(sorted(self._deleted, key=repr)), self._total)
 
     def delta_bytes(self) -> int:
         """Bytes a delta of the current changes would upload."""
@@ -596,7 +599,7 @@ class StateBackend:
     name = "full"
 
     def __init__(self, cost_model: "CostModel | None" = None,
-                 max_chain: int = 0):
+                 max_chain: int = 0) -> None:
         self.cost_model = cost_model
         self.max_chain = max_chain
 
@@ -667,7 +670,7 @@ class ChangelogBackend(StateBackend):
     name = "changelog"
 
     def __init__(self, cost_model: "CostModel | None" = None,
-                 max_chain: int = 4):
+                 max_chain: int = 4) -> None:
         super().__init__(cost_model, max_chain=max(1, max_chain))
         self._track: dict[tuple, _ChainTrack] = {}
 

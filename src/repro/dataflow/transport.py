@@ -33,7 +33,7 @@ deterministic function of its request, and changing the capacity changes
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.dataflow.channels import ChannelId, DATA, MARKER, Message
 
@@ -53,7 +53,7 @@ class _Park(object):
 
     __slots__ = ("instance", "since", "aligned_accum", "aligned_since")
 
-    def __init__(self, instance, since: float):
+    def __init__(self, instance: "InstanceRuntime", since: float) -> None:
         self.instance = instance
         self.since = since
         self.aligned_accum = 0.0
@@ -66,7 +66,7 @@ class Transport:
     __slots__ = ("job", "capacity", "_last_arrival", "in_flight_bytes",
                  "total_in_flight", "_parked", "_claimed")
 
-    def __init__(self, job: "Job"):
+    def __init__(self, job: "Job") -> None:
         self.job = job
         #: per-channel credit budget in bytes; 0 disables flow control
         self.capacity = int(job.config.channel_capacity_bytes or 0)
@@ -105,7 +105,9 @@ class Transport:
         in_flight = self.in_flight_bytes.get(channel, 0)
         return in_flight == 0 or in_flight + nbytes <= self.capacity
 
-    def _gate(self, instance: "InstanceRuntime"):
+    def _gate(
+        self, instance: "InstanceRuntime",
+    ) -> Callable[[int, int, int], bool] | None:
         """Credit gate for ``RouterBuffer`` drains; parks on refusal.
 
         One closure per instance, built lazily and cached — ``flush_ready``

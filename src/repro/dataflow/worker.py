@@ -24,7 +24,7 @@ if TYPE_CHECKING:  # pragma: no cover
 class InstanceRuntime(OperatorContext):
     """One parallel instance of an operator, hosted on one worker."""
 
-    def __init__(self, job: "Job", spec: OperatorSpec, index: int, worker: "WorkerRuntime"):
+    def __init__(self, job: "Job", spec: OperatorSpec, index: int, worker: "WorkerRuntime") -> None:
         self.job = job
         self.spec = spec
         self.index = index
@@ -267,7 +267,7 @@ class InstanceRuntime(OperatorContext):
 class WorkerRuntime:
     """One simulated machine: a CPU, its operator instances, its channel state."""
 
-    def __init__(self, job: "Job", index: int):
+    def __init__(self, job: "Job", index: int) -> None:
         self.job = job
         self.index = index
         self.alive = True

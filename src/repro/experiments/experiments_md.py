@@ -116,6 +116,7 @@ Scale: `{scale}`.  Generated: {generated}.
 def assemble(results_dir: str = "results", scale: str = "default") -> str:
     """Stitch the rendered result blocks into the EXPERIMENTS.md text."""
     directory = pathlib.Path(results_dir)
+    # repro-lint: disable=RL003 -- document timestamp for the reader; runs post-simulation, never on simulated time
     parts = [_HEADER.format(scale=scale, generated=date.today().isoformat())]
     for name, title, paper_note in _SECTIONS:
         path = directory / f"{name}.txt"

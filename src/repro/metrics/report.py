@@ -23,6 +23,7 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
 
 def _fmt(value: Any) -> str:
     if isinstance(value, float):
+        # repro-lint: disable=RL007 -- -1.0 is an exact assigned "metric unavailable" sentinel, never arithmetic output
         if value == -1.0:
             return "n/a"
         if abs(value) >= 100:

@@ -27,7 +27,7 @@ class EventHandle:
 
     __slots__ = ("time", "seq", "fn", "args", "cancelled")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple) -> None:
         self.time = time
         self.seq = seq
         self.fn = fn

@@ -30,11 +30,15 @@ list up front, so the same config always injects the same failures.
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.sim.simulator import Simulator
+
+if TYPE_CHECKING:  # annotation-only: scenarios draw from registry streams
+    import random
+
+    from repro.sim.costs import RuntimeConfig
 
 
 @dataclass(frozen=True)
@@ -109,7 +113,7 @@ class SingleKillScenario(FailureScenario):
 
     kind = "single"
 
-    def __init__(self, at: float, worker: int = 0):
+    def __init__(self, at: float, worker: int = 0) -> None:
         self.at = at
         self.worker = worker
 
@@ -129,7 +133,7 @@ class TraceScenario(FailureScenario):
 
     kind = "trace"
 
-    def __init__(self, kills: tuple[tuple[float, int], ...]):
+    def __init__(self, kills: tuple[tuple[float, int], ...]) -> None:
         if not kills:
             raise ValueError("a trace scenario needs at least one kill")
         self.kills = tuple(sorted(kills))
@@ -160,7 +164,7 @@ class PoissonScenario(FailureScenario):
     kind = "poisson"
 
     def __init__(self, mtbf: float, min_gap: float = 4.0,
-                 first_offset: float | None = None):
+                 first_offset: float | None = None) -> None:
         if mtbf <= 0:
             raise ValueError("mtbf must be positive")
         self.mtbf = mtbf
@@ -190,7 +194,7 @@ class CorrelatedScenario(FailureScenario):
 
     kind = "correlated"
 
-    def __init__(self, at: float, k: int = 2, worker: int = 0):
+    def __init__(self, at: float, k: int = 2, worker: int = 0) -> None:
         if k < 1:
             raise ValueError("k must be at least 1")
         self.at = at
@@ -222,7 +226,7 @@ class FlakyNodeScenario(FailureScenario):
     kind = "flaky"
 
     def __init__(self, worker: int, mtbf: float, slowdown: float = 2.0,
-                 min_gap: float = 4.0):
+                 min_gap: float = 4.0) -> None:
         if mtbf <= 0:
             raise ValueError("mtbf must be positive")
         if slowdown < 1.0:
@@ -330,7 +334,7 @@ def parse_scenario(spec: str) -> FailureScenario:
     )
 
 
-def scenario_from_config(config) -> FailureScenario | None:
+def scenario_from_config(config: RuntimeConfig) -> FailureScenario | None:
     """The scenario a :class:`~repro.sim.costs.RuntimeConfig` asks for.
 
     ``failure_scenario`` (a spec string) wins; otherwise the legacy
@@ -372,7 +376,7 @@ class FailureInjector:
         on_detect: Callable[[int], None],
         records: list[FailureRecord] | None = None,
         worker_resolver: Callable[[int], int] | None = None,
-    ):
+    ) -> None:
         self._sim = sim
         self._events = sorted(events, key=lambda e: e.at)
         self._detection_delay = detection_delay

@@ -14,7 +14,7 @@ import zlib
 class RngRegistry:
     """Hands out independent :class:`random.Random` streams by name."""
 
-    def __init__(self, seed: int):
+    def __init__(self, seed: int) -> None:
         self._seed = seed
         self._streams: dict[str, random.Random] = {}
 

@@ -8,9 +8,9 @@ nodes to the ``srcnodes`` topic; both are round-robin partitioned.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 
+from repro.sim.rng import RngRegistry
 from repro.storage.kafka import PartitionedLog
 
 LINK_SIZE = 64
@@ -74,7 +74,7 @@ class CyclicGenerator:
         if rate <= 0 or until <= 0:
             raise ValueError("rate and until must be positive")
         cfg = self.config
-        rng = random.Random((self.seed * 15485863) ^ 0xC1C)
+        rng = RngRegistry(self.seed).stream("workload.cyclic.events")
         links = PartitionedLog("links", self.parallelism)
         srcnodes = PartitionedLog("srcnodes", self.parallelism)
         live_links: list[tuple[int, int]] = []

@@ -18,11 +18,14 @@ timestamps monotonic as the Kafka substrate requires.
 
 from __future__ import annotations
 
-import random
-import zlib
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
+from repro.sim.rng import RngRegistry
 from repro.storage.kafka import PartitionedLog
+
+if TYPE_CHECKING:  # annotation-only: draws flow through RngRegistry streams
+    import random
 from repro.workloads.nexmark.model import (
     Auction,
     Bid,
@@ -88,9 +91,10 @@ class NexmarkGenerator:
         """A pure bid stream (Q1, Q12) at aggregate ``rate`` events/second."""
         if rate <= 0 or until <= 0:
             raise ValueError("rate and until must be positive")
-        # crc32, not hash(): str hashes are salted per process and would
-        # make generated inputs unreproducible across runs/workers
-        rng = random.Random((self.seed * 7919) ^ zlib.crc32(topic.encode()))
+        # a named registry stream (crc32-derived, never hash()) keeps the
+        # generated inputs reproducible across runs/workers and independent
+        # of any other consumer of the experiment seed
+        rng = RngRegistry(self.seed).stream(f"workload.nexmark.{topic}")
         log = PartitionedLog(topic, self.parallelism)
         bidder_space = self.config.bidder_space_per_worker * self.parallelism
         total = int(rate * until)
@@ -134,7 +138,9 @@ class NexmarkGenerator:
         """
         if rate <= 0 or until <= 0:
             raise ValueError("rate and until must be positive")
-        rng = random.Random((self.seed * 104729) ^ zlib.crc32(persons_topic.encode()))
+        rng = RngRegistry(self.seed).stream(
+            f"workload.nexmark.{persons_topic}+{auctions_topic}"
+        )
         persons = PartitionedLog(persons_topic, self.parallelism)
         auctions = PartitionedLog(auctions_topic, self.parallelism)
         person_share = self.config.person_share

@@ -1,0 +1,5 @@
+"""RL000 fixture: a suppression pragma with no justification string."""
+
+
+def route(key: str, width: int) -> int:
+    return hash(key) % width  # repro-lint: disable=RL001

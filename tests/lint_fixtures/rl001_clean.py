@@ -1,0 +1,7 @@
+"""RL001 clean fixture: crc32-derived values only."""
+
+import zlib
+
+
+def route(key: str, width: int) -> int:
+    return zlib.crc32(key.encode("utf-8")) % width

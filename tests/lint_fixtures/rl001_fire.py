@@ -1,0 +1,9 @@
+"""RL001 fire fixture: builtin hash()/id() in a deterministic layer."""
+
+
+def route(key: str, width: int) -> int:
+    return hash(key) % width
+
+
+def memo_key(obj: object) -> int:
+    return id(obj)

@@ -1,0 +1,6 @@
+"""RL001 suppression fixture: a justified pragma covers the call."""
+
+
+def route(key: str, width: int) -> int:
+    # repro-lint: disable=RL001 -- fixture: exercising a justified suppression
+    return hash(key) % width

@@ -1,0 +1,10 @@
+"""RL002 clean fixture: registry streams; TYPE_CHECKING import is exempt."""
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    import random
+
+
+def draw(rng: "random.Random") -> float:
+    return rng.random()

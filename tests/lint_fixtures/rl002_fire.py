@@ -1,0 +1,9 @@
+"""RL002 fire fixture: runtime random imports outside sim/rng.py."""
+
+import random
+from random import Random
+
+
+def draw() -> float:
+    rng = Random(7)
+    return rng.random() + random.random()

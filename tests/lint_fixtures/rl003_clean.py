@@ -1,0 +1,9 @@
+"""RL003 clean fixture: virtual time only."""
+
+
+class Task:
+    def __init__(self, sim: object) -> None:
+        self.sim = sim
+
+    def stamp(self) -> float:
+        return self.sim.now

@@ -1,0 +1,11 @@
+"""RL003 fire fixture: wall-clock reads in a simulated layer."""
+
+import time
+from datetime import date
+from time import perf_counter
+
+
+def stamp() -> float:
+    started = time.time()
+    label = date.today()
+    return started + perf_counter() + len(str(label))

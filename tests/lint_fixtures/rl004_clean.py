@@ -1,0 +1,11 @@
+"""RL004 clean fixture: sorted() wrappers and order-insensitive reducers."""
+
+
+def emit(pending: set[str]) -> list[str]:
+    return [item for item in sorted(pending)]
+
+
+def snapshot(entries: dict[str, int]) -> tuple:
+    dirty = {"b", "a"}
+    total = sum(len(key) for key in dirty)
+    return tuple(sorted(dirty)), sorted(entries.keys()), total

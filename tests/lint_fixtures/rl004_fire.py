@@ -1,0 +1,13 @@
+"""RL004 fire fixture: unordered iteration feeding ordered output."""
+
+
+def emit(pending: set[str]) -> list[str]:
+    return [item for item in pending]
+
+
+def snapshot(entries: dict[str, int]) -> tuple:
+    dirty = {"b", "a"}
+    out = []
+    for key in dirty:
+        out.append(key)
+    return tuple(dirty), list(entries.keys()), out

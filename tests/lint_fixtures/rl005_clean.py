@@ -1,0 +1,13 @@
+"""RL005 clean fixture: None defaults and slotted hot-path dataclass."""
+
+from dataclasses import dataclass
+
+
+def collect(into: list | None = None) -> list:
+    return [] if into is None else into
+
+
+@dataclass(frozen=True, slots=True)
+class Record:
+    rid: int
+    payload: object

@@ -1,0 +1,13 @@
+"""RL005 fire fixture: mutable default + non-slotted hot-path dataclass."""
+
+from dataclasses import dataclass
+
+
+def collect(into: list = []) -> list:
+    return into
+
+
+@dataclass
+class Record:
+    rid: int
+    payload: object

@@ -1,0 +1,16 @@
+"""RL006 clean fixture: the scheduled callback closes over the epoch."""
+
+
+class Runtime:
+    def __init__(self, sim: object) -> None:
+        self.sim = sim
+        self.epoch = 0
+
+    def kick(self, delay: float) -> None:
+        epoch = self.epoch
+
+        def fire() -> None:
+            if epoch == self.epoch:
+                self.kick(delay)
+
+        self.sim.schedule(delay, fire)

@@ -1,0 +1,9 @@
+"""RL006 fire fixture: a scheduled callback with no epoch in sight."""
+
+
+class Runtime:
+    def __init__(self, sim: object) -> None:
+        self.sim = sim
+
+    def kick(self, delay: float) -> None:
+        self.sim.schedule(delay, self.kick, delay)

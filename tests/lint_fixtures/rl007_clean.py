@@ -1,0 +1,5 @@
+"""RL007 clean fixture: tolerances, inequalities and integer counts."""
+
+
+def checks(availability: float, blocked_s: float, parked: int) -> bool:
+    return availability >= 1.0 - 1e-9 and blocked_s <= 1e-9 and parked == 0

@@ -1,0 +1,5 @@
+"""RL007 fire fixture: floats compared with == / !=."""
+
+
+def checks(availability: float, blocked_s: float) -> bool:
+    return availability == 1.0 and blocked_s != 0.0

@@ -1,0 +1,8 @@
+"""RL008 clean fixture: specific exceptions only."""
+
+
+def settle(credits: dict[int, int], channel: int) -> int:
+    try:
+        return credits[channel]
+    except KeyError:
+        return 0

@@ -1,0 +1,15 @@
+"""RL008 fire fixture: blanket exception handlers on a protocol path."""
+
+
+def settle(credits: dict[int, int], channel: int) -> int:
+    try:
+        return credits[channel]
+    except Exception:
+        return 0
+
+
+def upload(snapshot: dict) -> bool:
+    try:
+        return bool(snapshot)
+    except:  # noqa: E722
+        return False

@@ -21,7 +21,7 @@ def test_overall_docstring_coverage_at_least_90():
     all_missing = [m for _, _, missing in results.values() for m in missing]
     assert coverage >= 90.0, (
         f"docstring coverage {coverage:.1f}% < 90%; missing: "
-        + "; ".join(all_missing[:10])
+        + "; ".join(m.render() for m in all_missing[:10])
     )
 
 
@@ -31,5 +31,5 @@ def test_sim_and_dataflow_fully_documented():
     for pkg in STRICT_PACKAGES:
         subtree = ROOT.parent / pkg
         results = scan_tree(subtree)
-        missing = [m for _, _, miss in results.values() for m in miss]
+        missing = [m.render() for _, _, miss in results.values() for m in miss]
         assert not missing, f"undocumented definitions in {pkg}: {missing}"

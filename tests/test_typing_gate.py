@@ -1,0 +1,58 @@
+"""Annotation-completeness gate for the strict-typed packages.
+
+CI runs mypy with ``disallow_untyped_defs`` over ``repro.dataflow``,
+``repro.sim`` and ``repro.core`` (see ``[tool.mypy]`` in pyproject.toml);
+this test enforces the *completeness* half of that contract locally, so a
+missing annotation fails fast in ``pytest`` without a mypy install: every
+function definition in the strict packages must annotate its return type
+and every parameter (``self``/``cls`` excluded).
+"""
+
+import ast
+import pathlib
+
+from tools.analysis_common import Finding, SourceFile, report, walk_python_files
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: packages mypy checks with disallow_untyped_defs / disallow_incomplete_defs
+STRICT_PACKAGES = ("dataflow", "sim", "core")
+
+
+def _unannotated(src: SourceFile) -> list[Finding]:
+    findings = []
+    for node in ast.walk(src.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        gaps = []
+        if node.returns is None:
+            gaps.append("return")
+        args = node.args
+        params = args.posonlyargs + args.args + args.kwonlyargs
+        if args.vararg:
+            params.append(args.vararg)
+        if args.kwarg:
+            params.append(args.kwarg)
+        for i, param in enumerate(params):
+            if i == 0 and param.arg in ("self", "cls"):
+                continue
+            if param.annotation is None:
+                gaps.append(param.arg)
+        if gaps:
+            findings.append(Finding(
+                path=src.rel, line=node.lineno, code="TYP001",
+                message=f"{node.name} missing annotations: {', '.join(gaps)}",
+            ))
+    return findings
+
+
+def test_strict_packages_fully_annotated():
+    findings = []
+    for pkg in STRICT_PACKAGES:
+        for path in walk_python_files(SRC / pkg):
+            findings.extend(_unannotated(SourceFile.load(path)))
+    assert not findings, (
+        "unannotated definitions in strict-typed packages "
+        "(mypy's disallow_untyped_defs will reject these in CI):\n"
+        + report(findings)
+    )

@@ -1,0 +1,91 @@
+"""Shared plumbing for the repo's static-analysis gates.
+
+Both :mod:`tools.check_docstrings` (docstring coverage) and
+:mod:`tools.repro_lint` (determinism / protocol-invariant rules) walk the
+same tree and report in the same one-finding-per-line format, so editors
+and CI logs parse them identically::
+
+    path/to/file.py:LINE: CODE message
+
+The module deliberately has no dependencies beyond the standard library:
+the gates must run on a bare checkout before any requirements install.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One analyzer finding, pointing at a source line.
+
+    ``code`` is the gate's rule identifier (``RL003``, ``DOC``, ...);
+    ``key`` (path, code, message) identifies the finding across runs —
+    line numbers are deliberately excluded so unrelated edits above a
+    baselined finding do not churn the baseline.
+    """
+
+    path: str
+    line: int
+    code: str
+    message: str
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """Line-independent identity used for baseline matching."""
+        return (self.path, self.code, self.message)
+
+    def render(self) -> str:
+        """The shared ``path:line: CODE message`` report format."""
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+@dataclass(slots=True)
+class SourceFile:
+    """A parsed source file handed to every analyzer pass.
+
+    Parsing once and sharing the tree keeps a multi-rule scan at one
+    ``ast.parse`` per file; ``lines`` backs comment-level features
+    (suppression pragmas) that the AST cannot see.
+    """
+
+    path: pathlib.Path
+    rel: str
+    text: str
+    lines: list[str] = field(default_factory=list)
+    tree: ast.Module | None = None
+
+    @classmethod
+    def load(cls, path: pathlib.Path) -> "SourceFile":
+        """Read and parse ``path``; ``rel`` is kept POSIX-style for reports.
+
+        Paths are reported as given (gates are invoked from the repo
+        root), so baselines stay stable across machines.
+        """
+        text = path.read_text(encoding="utf-8")
+        return cls(
+            path=path,
+            rel=path.as_posix(),
+            text=text,
+            lines=text.splitlines(),
+            tree=ast.parse(text),
+        )
+
+
+def walk_python_files(root: pathlib.Path) -> list[pathlib.Path]:
+    """Every ``*.py`` under ``root`` (or ``root`` itself), sorted.
+
+    Sorting makes scan output and baselines order-stable regardless of
+    filesystem enumeration order.
+    """
+    if root.is_file():
+        return [root]
+    return sorted(root.rglob("*.py"))
+
+
+def report(findings: list[Finding]) -> str:
+    """Render findings one per line in the shared format."""
+    return "\n".join(f.render() for f in findings)

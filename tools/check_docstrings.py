@@ -8,6 +8,11 @@ drops below the floor.  Additionally, the packages listed in
 the simulation substrate and the dataflow runtime carries at least a
 one-line summary — these are the layers other modules program against.
 
+Missing definitions are reported in the shared gate format of
+:mod:`tools.analysis_common` (``path:line: CODE message``), code
+``DOC001``, so CI logs and editors parse this gate and ``repro-lint``
+identically.
+
 Usage::
 
     python tools/check_docstrings.py [--fail-under 90] [--verbose] [ROOT]
@@ -22,6 +27,11 @@ import argparse
 import ast
 import pathlib
 import sys
+
+if __package__ in (None, ""):  # invoked as `python tools/check_docstrings.py`
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from tools.analysis_common import Finding, SourceFile, report, walk_python_files
 
 #: packages that must be at 100% public-docstring coverage
 STRICT_PACKAGES = ("repro/sim", "repro/dataflow")
@@ -51,26 +61,26 @@ def _walk_definitions(tree: ast.Module):
                         yield "method", f"{node.name}.{child.name}", child
 
 
-def scan_file(path: pathlib.Path) -> tuple[int, int, list[str]]:
-    """(documented, total, missing-names) for one source file."""
-    tree = ast.parse(path.read_text(encoding="utf-8"))
+def scan_file(path: pathlib.Path) -> tuple[int, int, list[Finding]]:
+    """(documented, total, missing findings) for one source file."""
+    src = SourceFile.load(path)
     documented = total = 0
-    missing: list[str] = []
-    for kind, name, node in _walk_definitions(tree):
+    missing: list[Finding] = []
+    for kind, name, node in _walk_definitions(src.tree):
         total += 1
         if ast.get_docstring(node):
             documented += 1
         else:
-            missing.append(f"{path}:{getattr(node, 'lineno', 1)} {kind} {name}")
+            missing.append(Finding(
+                path=src.rel, line=getattr(node, "lineno", 1),
+                code="DOC001", message=f"undocumented {kind} {name}",
+            ))
     return documented, total, missing
 
 
-def scan_tree(root: pathlib.Path) -> dict[pathlib.Path, tuple[int, int, list[str]]]:
+def scan_tree(root: pathlib.Path) -> dict[pathlib.Path, tuple[int, int, list[Finding]]]:
     """Scan every ``*.py`` under ``root``; returns per-file results."""
-    return {
-        path: scan_file(path)
-        for path in sorted(root.rglob("*.py"))
-    }
+    return {path: scan_file(path) for path in walk_python_files(root)}
 
 
 def _in_strict_package(path: pathlib.Path) -> bool:
@@ -106,7 +116,7 @@ def main(argv: list[str] | None = None) -> int:
     total = sum(t for _, t, _ in results.values())
     coverage = 100.0 * documented / total if total else 100.0
 
-    strict_missing: list[str] = []
+    strict_missing: list[Finding] = []
     for path, (_, _, missing) in results.items():
         if _in_strict_package(path):
             strict_missing.extend(missing)
@@ -119,8 +129,7 @@ def main(argv: list[str] | None = None) -> int:
     all_missing = [m for _, _, missing in results.values() for m in missing]
     if all_missing:
         print(f"missing docstrings ({len(all_missing)}):")
-        for entry in all_missing:
-            print(f"  {entry}")
+        print(report(all_missing))
 
     print(f"docstring coverage: {coverage:.1f}% "
           f"({documented}/{total} public definitions), "

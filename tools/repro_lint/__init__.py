@@ -1,0 +1,37 @@
+"""repro-lint: AST-based determinism & protocol-invariant analyzer.
+
+Encodes the repo's hand-enforced invariants (crc32-only hashing,
+RngRegistry-stream-only randomness, virtual-time-only simulated layers,
+ordered iteration into payloads, hot-path hygiene, epoch-guarded
+callbacks, no float equality in checks, no blanket exception handlers)
+as named, suppressible rules.  See DESIGN.md section 14.
+
+Usage::
+
+    python -m tools.repro_lint [roots ...]
+"""
+
+from tools.repro_lint.config import LintConfig, RuleScope, default_config, fixture_config
+from tools.repro_lint.engine import (
+    DEFAULT_BASELINE,
+    load_baseline,
+    main,
+    scan_file,
+    scan_paths,
+    write_baseline,
+)
+from tools.repro_lint.rules import RULES
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "LintConfig",
+    "RULES",
+    "RuleScope",
+    "default_config",
+    "fixture_config",
+    "load_baseline",
+    "main",
+    "scan_file",
+    "scan_paths",
+    "write_baseline",
+]

@@ -1,0 +1,7 @@
+"""``python -m tools.repro_lint`` — run the analyzer from the repo root."""
+
+import sys
+
+from tools.repro_lint.engine import main
+
+sys.exit(main())

@@ -1,0 +1,181 @@
+"""Rule engine, suppression handling, baseline and CLI for repro-lint.
+
+Scan flow: walk the requested roots, parse each file once, run every
+rule whose configured scope matches, then drop findings covered by an
+inline suppression pragma::
+
+    some_call()  # repro-lint: disable=RL006 -- why this is epoch-safe
+
+A pragma covers its own line; a pragma on a comment-only line covers the
+next line.  Several codes may be disabled at once
+(``disable=RL001,RL004``).  The justification after ``--`` is
+**required**: a suppression without one is itself reported (code RL000)
+and fails the gate — tribal knowledge has to be written down to count.
+
+Baseline: findings whose ``(path, code, message)`` key appears in the
+checked-in baseline file are reported as *baselined* and do not fail the
+gate, so pre-existing debt fails closed on new code only.  The shipped
+baseline is empty (every finding was fixed or justified); the self-tests
+assert it matches a fresh scan so it cannot rot silently.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+from tools.analysis_common import Finding, SourceFile, walk_python_files
+from tools.repro_lint.config import LintConfig, default_config
+from tools.repro_lint.rules import RULES
+
+#: pragma grammar: ``# repro-lint: disable=RL001[,RL002] -- justification``
+_PRAGMA = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<codes>[A-Z0-9,\s]+?)"
+    r"(?:\s+--\s*(?P<why>\S.*))?\s*$"
+)
+
+#: default baseline location, next to the engine
+DEFAULT_BASELINE = pathlib.Path(__file__).resolve().parent / "baseline.json"
+
+
+class Suppressions:
+    """Parsed suppression pragmas of one source file."""
+
+    def __init__(self, src: SourceFile):
+        #: line -> (set of codes, justification or None, pragma line no)
+        self.by_line: dict[int, tuple[set[str], str | None, int]] = {}
+        for lineno, text in enumerate(src.lines, start=1):
+            match = _PRAGMA.search(text)
+            if match is None:
+                continue
+            codes = {c.strip() for c in match.group("codes").split(",") if c.strip()}
+            why = match.group("why")
+            entry = (codes, why, lineno)
+            # a comment-only pragma line covers the next line instead
+            target = lineno + 1 if text.lstrip().startswith("#") else lineno
+            self.by_line[target] = entry
+
+    def covering(self, finding: Finding) -> tuple[set[str], str | None, int] | None:
+        """The pragma covering ``finding``'s line and code, if any."""
+        entry = self.by_line.get(finding.line)
+        if entry is not None and finding.code in entry[0]:
+            return entry
+        return None
+
+
+def scan_file(src: SourceFile, config: LintConfig) -> list[Finding]:
+    """Run every in-scope rule over one parsed file, honouring pragmas."""
+    raw: list[Finding] = []
+    for code, _name, check in RULES:
+        if config.scope_for(code).matches(src.rel):
+            raw.extend(check(src, config))
+    # rules may report one construct from several angles — dedupe exact
+    # (line, code, message) repeats so reports and baselines stay stable
+    seen: set[tuple[int, str, str]] = set()
+    unique: list[Finding] = []
+    for finding in sorted(raw, key=lambda f: (f.line, f.code, f.message)):
+        marker = (finding.line, finding.code, finding.message)
+        if marker not in seen:
+            seen.add(marker)
+            unique.append(finding)
+
+    suppressions = Suppressions(src)
+    kept: list[Finding] = []
+    for finding in unique:
+        entry = suppressions.covering(finding)
+        if entry is None:
+            kept.append(finding)
+            continue
+        _codes, why, pragma_line = entry
+        if not why:
+            kept.append(Finding(
+                path=finding.path, line=pragma_line, code="RL000",
+                message=f"suppression of {finding.code} carries no "
+                        "justification; write one after ' -- '",
+            ))
+    return kept
+
+
+def scan_paths(roots: list[pathlib.Path],
+               config: LintConfig | None = None) -> list[Finding]:
+    """Scan every ``*.py`` under the given roots; findings sorted by file."""
+    config = config or default_config()
+    findings: list[Finding] = []
+    for root in roots:
+        for path in walk_python_files(root):
+            findings.extend(scan_file(SourceFile.load(path), config))
+    return sorted(findings, key=lambda f: (f.path, f.line, f.code))
+
+
+def load_baseline(path: pathlib.Path) -> set[tuple[str, str, str]]:
+    """The baselined finding keys (empty when the file is absent)."""
+    if not path.exists():
+        return set()
+    entries = json.loads(path.read_text(encoding="utf-8"))
+    return {tuple(entry) for entry in entries}
+
+
+def write_baseline(path: pathlib.Path, findings: list[Finding]) -> None:
+    """Persist the finding keys of a scan as the new baseline."""
+    entries = sorted(finding.key for finding in findings)
+    path.write_text(
+        json.dumps([list(entry) for entry in entries], indent=2) + "\n",
+        encoding="utf-8",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; exit 0 iff no non-baselined findings."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based determinism & protocol-invariant analyzer",
+    )
+    parser.add_argument("roots", nargs="*", default=["src/repro"],
+                        help="files or directories to scan (default: src/repro)")
+    parser.add_argument("--baseline", type=pathlib.Path, default=DEFAULT_BASELINE,
+                        help="baseline file of accepted pre-existing findings")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="fail on every finding, baselined or not")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from this scan and exit 0")
+    parser.add_argument("--verbose", action="store_true",
+                        help="also list the rules and their scopes")
+    args = parser.parse_args(argv)
+
+    config = default_config()
+    if args.verbose:
+        for code, name, _check in RULES:
+            scope = config.scope_for(code)
+            print(f"  {code} {name}: include={list(scope.include)} "
+                  f"exclude={list(scope.exclude)}")
+
+    findings = scan_paths([pathlib.Path(root) for root in args.roots], config)
+
+    if args.update_baseline:
+        write_baseline(args.baseline, findings)
+        print(f"baseline updated: {len(findings)} finding(s) -> {args.baseline}")
+        return 0
+
+    baseline = set() if args.no_baseline else load_baseline(args.baseline)
+    new = [f for f in findings if f.key not in baseline]
+    old = [f for f in findings if f.key in baseline]
+    stale = baseline - {f.key for f in findings}
+
+    for finding in new:
+        print(finding.render())
+    if old:
+        print(f"({len(old)} baselined finding(s) not shown; "
+              "fix them to shrink the baseline)")
+    if stale:
+        print(f"note: {len(stale)} baseline entr(ies) no longer match any "
+              "finding — run --update-baseline to prune")
+    print(f"repro-lint: {len(new)} new finding(s), {len(old)} baselined, "
+          f"{len(RULES)} rules")
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,479 @@
+"""The determinism and protocol-invariant rules (RL001–RL008).
+
+Each rule encodes one invariant the reproduction's byte-identical-state
+claim rests on (DESIGN.md section 14 has the full table and rationale).
+Rules are pure functions over a parsed :class:`~tools.analysis_common.SourceFile`;
+scoping and suppression live in :mod:`tools.repro_lint.engine`.
+
+The rules are deliberately *syntactic* over-approximations in the IC3
+spirit: they may flag code that is dynamically safe (suppress with a
+written justification) but they never miss the syntactic pattern they
+encode — which is exactly the property hand review has twice failed to
+provide (PR 1's salted ``hash()`` seeding, the cross-process cache-parity
+fixes).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from tools.analysis_common import Finding, SourceFile
+
+if TYPE_CHECKING:
+    from tools.repro_lint.config import LintConfig
+
+#: registry of (code, human name, check function), filled by @rule
+RULES: list[tuple[str, str, "Callable[[SourceFile, LintConfig], list[Finding]]"]] = []
+
+
+def rule(code: str, name: str):
+    """Register a rule function under ``code``."""
+    def register(fn: "Callable[[SourceFile, LintConfig], list[Finding]]"):
+        RULES.append((code, name, fn))
+        return fn
+    return register
+
+
+def _finding(src: SourceFile, node: ast.AST, code: str, message: str) -> Finding:
+    return Finding(path=src.rel, line=getattr(node, "lineno", 1),
+                   code=code, message=message)
+
+
+def _walk_outside_type_checking(tree: ast.Module) -> Iterator[ast.AST]:
+    """ast.walk, but skipping ``if TYPE_CHECKING:`` blocks.
+
+    Annotation-only imports (``random.Random`` in a signature) are
+    invisible at runtime and must not trip the runtime-draw rules.
+    """
+    def is_type_checking(test: ast.AST) -> bool:
+        return (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") or (
+            isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+        )
+
+    stack: list[ast.AST] = [tree]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, ast.If) and is_type_checking(node.test):
+            stack.extend(node.orelse)
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+# --------------------------------------------------------------------- #
+# RL001 — no hash()/id()-derived values in deterministic layers
+# --------------------------------------------------------------------- #
+
+@rule("RL001", "no-salted-hash")
+def check_hash_id(src: SourceFile, config: "LintConfig") -> list[Finding]:
+    """Flag calls to builtin ``hash()`` / ``id()``.
+
+    ``hash(str)`` is salted per process and ``id()`` values can alias
+    after garbage collection — neither may feed rids, routing, seeds or
+    snapshot content.  Use ``zlib.crc32`` / ``records._name_hash``.
+    """
+    findings = []
+    for node in ast.walk(src.tree):
+        if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+                and node.func.id in ("hash", "id")):
+            findings.append(_finding(
+                src, node, "RL001",
+                f"builtin {node.func.id}() is process-dependent "
+                "(salted / aliasable); derive values with zlib.crc32 or "
+                "records._name_hash",
+            ))
+    return findings
+
+
+# --------------------------------------------------------------------- #
+# RL002 — all randomness flows through RngRegistry streams
+# --------------------------------------------------------------------- #
+
+@rule("RL002", "rng-registry-only")
+def check_random_use(src: SourceFile, config: "LintConfig") -> list[Finding]:
+    """Flag runtime use of the ``random`` module or ``numpy.random``.
+
+    Every draw must come from a named ``RngRegistry`` stream so adding a
+    consumer of randomness never perturbs existing streams.  Importing
+    ``random`` under ``TYPE_CHECKING`` for annotations is fine.
+    """
+    findings = []
+    for node in _walk_outside_type_checking(src.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root == "random" or alias.name.startswith("numpy.random"):
+                    findings.append(_finding(
+                        src, node, "RL002",
+                        f"import of {alias.name!r} outside sim/rng.py; "
+                        "draw from RngRegistry streams instead "
+                        "(TYPE_CHECKING-only imports are exempt)",
+                    ))
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module.split(".")[0] == "random" or module.startswith("numpy.random"):
+                findings.append(_finding(
+                    src, node, "RL002",
+                    f"import from {module!r} outside sim/rng.py; "
+                    "draw from RngRegistry streams instead",
+                ))
+            elif module == "numpy" and any(a.name == "random" for a in node.names):
+                findings.append(_finding(
+                    src, node, "RL002",
+                    "import of numpy.random outside sim/rng.py; "
+                    "draw from RngRegistry streams instead",
+                ))
+        elif isinstance(node, ast.Attribute):
+            if (node.attr == "random" and isinstance(node.value, ast.Name)
+                    and node.value.id in ("numpy", "np")):
+                findings.append(_finding(
+                    src, node, "RL002",
+                    "numpy.random use outside sim/rng.py; "
+                    "draw from RngRegistry streams instead",
+                ))
+    return findings
+
+
+# --------------------------------------------------------------------- #
+# RL003 — no wall-clock in simulated layers
+# --------------------------------------------------------------------- #
+
+_WALL_CLOCK = {
+    "time": {"time", "time_ns", "monotonic", "monotonic_ns",
+             "perf_counter", "perf_counter_ns"},
+    "datetime": {"now", "utcnow", "today"},
+    "date": {"today"},
+}
+
+
+@rule("RL003", "no-wall-clock")
+def check_wall_clock(src: SourceFile, config: "LintConfig") -> list[Finding]:
+    """Flag wall-clock reads (``time.time``, ``datetime.now``, ...).
+
+    Simulated layers live on ``Simulator.now``; a wall-clock read there
+    makes results machine- and load-dependent.
+    """
+    findings = []
+    for node in ast.walk(src.tree):
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            if node.attr in _WALL_CLOCK.get(node.value.id, ()):
+                findings.append(_finding(
+                    src, node, "RL003",
+                    f"wall-clock read {node.value.id}.{node.attr}; simulated "
+                    "layers must use Simulator.now (virtual time)",
+                ))
+        elif isinstance(node, ast.ImportFrom) and node.module == "time":
+            names = sorted(a.name for a in node.names
+                           if a.name in _WALL_CLOCK["time"])
+            if names:
+                findings.append(_finding(
+                    src, node, "RL003",
+                    f"wall-clock import from time: {', '.join(names)}; "
+                    "simulated layers must use Simulator.now (virtual time)",
+                ))
+    return findings
+
+
+# --------------------------------------------------------------------- #
+# RL004 — no unordered iteration feeding ordered output
+# --------------------------------------------------------------------- #
+
+#: reducers whose result cannot depend on iteration order
+_ORDER_INSENSITIVE = {"sum", "min", "max", "any", "all", "len",
+                      "set", "frozenset", "sorted"}
+#: calls that materialize iteration order into an ordered value
+_MATERIALIZERS = {"tuple", "list"}
+
+
+class _SetNames(ast.NodeVisitor):
+    """Collect names and ``self.<attr>`` attributes bound to sets."""
+
+    def __init__(self) -> None:
+        self.names: set[str] = set()
+        self.attrs: set[str] = set()
+
+    def _is_set_expr(self, value: ast.AST | None) -> bool:
+        if isinstance(value, ast.Set) or isinstance(value, ast.SetComp):
+            return True
+        if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+            return value.func.id in ("set", "frozenset")
+        return False
+
+    def _is_set_annotation(self, annotation: ast.AST) -> bool:
+        target = annotation
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        return (isinstance(target, ast.Name)
+                and target.id in ("set", "frozenset", "Set", "FrozenSet"))
+
+    def _record(self, target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            self.names.add(target.id)
+        elif isinstance(target, ast.Attribute) and isinstance(target.value, ast.Name):
+            if target.value.id == "self":
+                self.attrs.add(target.attr)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._is_set_expr(node.value):
+            for target in node.targets:
+                self._record(target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if self._is_set_annotation(node.annotation) or self._is_set_expr(node.value):
+            self._record(node.target)
+        self.generic_visit(node)
+
+    def visit_arg(self, node: ast.arg) -> None:
+        if node.annotation is not None and self._is_set_annotation(node.annotation):
+            self.names.add(node.arg)
+
+
+@rule("RL004", "no-unordered-iteration")
+def check_unordered_iteration(src: SourceFile, config: "LintConfig") -> list[Finding]:
+    """Flag iteration over set-typed values without ``sorted(...)``.
+
+    Set iteration order depends on insertion/deletion history and — for
+    strings — on the per-process hash salt, so a ``for`` loop, a
+    comprehension, or a ``tuple()``/``list()`` materialization over a bare
+    set can differ between two processes that are in the same logical
+    state (the class of bug behind the cross-process cache-parity fixes).
+    ``dict.keys()`` materialized via ``tuple()``/``list()`` into payloads
+    is flagged too; order-insensitive reducers (``sum``, ``any``, ...)
+    and ``sorted(...)`` wrappers are not.
+    """
+    collector = _SetNames()
+    collector.visit(src.tree)
+
+    def is_set_ish(node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in collector.names
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            return node.value.id == "self" and node.attr in collector.attrs
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in ("set", "frozenset")
+        return False
+
+    def is_keys_call(node: ast.AST) -> bool:
+        return (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "keys" and not node.args)
+
+    #: comprehensions appearing directly inside an order-insensitive
+    #: reducer are exempt — sum()/any()/sorted() cannot leak the order
+    exempt: set[int] = set()
+    for node in ast.walk(src.tree):
+        if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+                and node.func.id in _ORDER_INSENSITIVE):
+            for arg in node.args:
+                exempt.add(id(arg))
+
+    findings = []
+    for node in ast.walk(src.tree):
+        if isinstance(node, ast.For) and is_set_ish(node.iter):
+            findings.append(_finding(
+                src, node, "RL004",
+                "iteration over a bare set; wrap the iterable in "
+                "sorted(...) so emission/snapshot order is history- and "
+                "process-independent",
+            ))
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            if id(node) in exempt:
+                continue
+            for gen in node.generators:
+                if is_set_ish(gen.iter):
+                    findings.append(_finding(
+                        src, node, "RL004",
+                        "comprehension over a bare set; wrap the iterable "
+                        "in sorted(...) so the result order is history- "
+                        "and process-independent",
+                    ))
+                    break
+        elif (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+                and node.func.id in _MATERIALIZERS and len(node.args) == 1):
+            arg = node.args[0]
+            if is_set_ish(arg) or is_keys_call(arg):
+                what = "dict.keys()" if is_keys_call(arg) else "a bare set"
+                findings.append(_finding(
+                    src, node, "RL004",
+                    f"{node.func.id}() materializes {what} in arbitrary "
+                    "order; use sorted(...) so the payload is history- and "
+                    "process-independent",
+                ))
+    return findings
+
+
+# --------------------------------------------------------------------- #
+# RL005 — mutable defaults; non-slotted dataclasses on the hot path
+# --------------------------------------------------------------------- #
+
+def _mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.SetComp, ast.DictComp)):
+        return True
+    return (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id in ("list", "dict", "set", "defaultdict", "deque"))
+
+
+@rule("RL005", "hot-path-hygiene")
+def check_hot_path(src: SourceFile, config: "LintConfig") -> list[Finding]:
+    """Flag mutable default arguments, and (on hot-path modules) any
+    ``@dataclass`` without ``slots=True``.
+
+    A mutable default is shared across calls — state that silently leaks
+    between runs breaks reproducibility.  On the per-event hot path,
+    attribute dicts cost measurable simulator throughput, so records,
+    messages and events must be slotted.
+    """
+    findings = []
+    for node in ast.walk(src.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _mutable_default(default):
+                    findings.append(_finding(
+                        src, default, "RL005",
+                        f"mutable default argument in {node.name}(); "
+                        "default to None and allocate inside the body",
+                    ))
+        elif isinstance(node, ast.ClassDef) and any(
+                src.rel.startswith(prefix) for prefix in config.hot_path):
+            for deco in node.decorator_list:
+                target = deco.func if isinstance(deco, ast.Call) else deco
+                name = target.attr if isinstance(target, ast.Attribute) else (
+                    target.id if isinstance(target, ast.Name) else None
+                )
+                if name != "dataclass":
+                    continue
+                slotted = isinstance(deco, ast.Call) and any(
+                    kw.arg == "slots"
+                    and isinstance(kw.value, ast.Constant) and kw.value.value
+                    for kw in deco.keywords
+                )
+                if not slotted:
+                    findings.append(_finding(
+                        src, node, "RL005",
+                        f"dataclass {node.name} on a hot-path module "
+                        "without slots=True; per-event allocations pay "
+                        "for the attribute dict",
+                    ))
+    return findings
+
+
+# --------------------------------------------------------------------- #
+# RL006 — scheduled callbacks must be epoch-aware
+# --------------------------------------------------------------------- #
+
+@rule("RL006", "epoch-guarded-callbacks")
+def check_epoch_guard(src: SourceFile, config: "LintConfig") -> list[Finding]:
+    """Flag ``sim.schedule(...)`` calls with no epoch in sight.
+
+    A callback scheduled on the simulator can fire after a recovery
+    rolled the run back (``Job.epoch``) or after a rescaled redeploy
+    replaced the topology (``Job.deploy_epoch``).  The enclosing function
+    must reference an epoch — passing it as a callback argument, closing
+    over it, or checking it — or carry a written justification for why
+    the callback is epoch-agnostic.
+    """
+    findings = []
+
+    def function_mentions_epoch(fn: ast.AST) -> bool:
+        for inner in ast.walk(fn):
+            if isinstance(inner, ast.Name) and "epoch" in inner.id:
+                return True
+            if isinstance(inner, ast.Attribute) and "epoch" in inner.attr:
+                return True
+        return False
+
+    def is_schedule_call(node: ast.AST) -> bool:
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("schedule", "schedule_at")
+                and isinstance(node.func.value, ast.Attribute)
+                and node.func.value.attr == "sim")
+
+    for node in ast.walk(src.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        mentions = function_mentions_epoch(node)
+        for inner in ast.walk(node):
+            if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and inner is not node:
+                continue  # nested defs get their own visit
+            if is_schedule_call(inner) and not mentions:
+                findings.append(_finding(
+                    src, inner, "RL006",
+                    f"sim.schedule in {node.name}() without an epoch "
+                    "guard; stale callbacks must drop themselves after "
+                    "recovery/rescale (check Job.epoch / deploy_epoch)",
+                ))
+    return findings
+
+
+# --------------------------------------------------------------------- #
+# RL007 — no float equality in metrics and checks
+# --------------------------------------------------------------------- #
+
+@rule("RL007", "no-float-equality")
+def check_float_equality(src: SourceFile, config: "LintConfig") -> list[Finding]:
+    """Flag ``==`` / ``!=`` against float literals.
+
+    Metrics are sums of cost-model floats; exact equality silently turns
+    a check into noise when an upstream accumulation changes.  Compare
+    counts (ints), use inequalities, or an explicit tolerance.
+    """
+    findings = []
+    for node in ast.walk(src.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            continue
+        operands = [node.left, *node.comparators]
+        for operand in operands:
+            value = operand
+            if isinstance(value, ast.UnaryOp) and isinstance(value.op, ast.USub):
+                value = value.operand
+            if isinstance(value, ast.Constant) and isinstance(value.value, float):
+                findings.append(_finding(
+                    src, node, "RL007",
+                    "float compared with ==/!=; compare the underlying "
+                    "count, use an inequality, or an explicit tolerance",
+                ))
+                break
+    return findings
+
+
+# --------------------------------------------------------------------- #
+# RL008 — no blanket exception handlers on credit/checkpoint paths
+# --------------------------------------------------------------------- #
+
+@rule("RL008", "no-blanket-except")
+def check_blanket_except(src: SourceFile, config: "LintConfig") -> list[Finding]:
+    """Flag ``except Exception`` / bare ``except`` in protocol layers.
+
+    A swallowed error on the credit or checkpoint path converts an
+    invariant violation (lost credits, an unregistered checkpoint) into
+    silent state divergence — exactly what the differential suites exist
+    to catch.  Catch the specific exception or let it propagate.
+    """
+    findings = []
+    for node in ast.walk(src.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        blanket = node.type is None or (
+            isinstance(node.type, ast.Name)
+            and node.type.id in ("Exception", "BaseException")
+        )
+        if blanket:
+            findings.append(_finding(
+                src, node, "RL008",
+                "blanket exception handler on a protocol layer; catch "
+                "the specific exception or let it propagate to the "
+                "differential suites",
+            ))
+    return findings
