@@ -95,6 +95,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="per-channel credit budget in bytes for "
                             "credit-based flow control; 0 (default) keeps "
                             "channels unbounded (DESIGN.md §13)")
+    query.add_argument("--shards", type=int, default=1,
+                       help="split this one run into N independent "
+                            "key-group shards and merge their results "
+                            "(requires all source out-edges to be "
+                            "KEY-partitioned; DESIGN.md §15)")
+    query.add_argument("--jobs", type=int, default=0,
+                       help="worker processes for --shards (default: one "
+                            "per shard)")
     query.add_argument("--seed", type=int, default=7)
     return parser
 
@@ -200,18 +208,41 @@ def _cmd_query(args) -> int:
         print("--rescale-to requires --failure-at or --failure-scenario "
               "(the rescale is applied by a recovery)", file=sys.stderr)
         return 2
-    result = run_query(
-        spec, args.protocol, args.parallelism, rate=rate,
-        duration=args.duration, warmup=args.warmup,
-        failure_at=args.failure_at, hot_ratio=args.hot_ratio,
-        checkpoint_interval=args.checkpoint_interval, seed=args.seed,
-        state_backend=args.state_backend,
-        rescale_to=args.rescale_to, rescale_at=args.rescale_at,
-        max_key_groups=args.max_key_groups,
-        failure_scenario=args.failure_scenario,
-        interval_policy=args.interval_policy,
-        channel_capacity_bytes=args.channel_capacity,
-    )
+    if args.shards > 1:
+        from repro.experiments.parallel import RunRequest
+        from repro.experiments.sharding import run_sharded
+
+        request = RunRequest(
+            query=spec.name, protocol=args.protocol,
+            parallelism=args.parallelism, rate=rate,
+            duration=args.duration, warmup=args.warmup,
+            failure_at=args.failure_at, hot_ratio=args.hot_ratio,
+            checkpoint_interval=args.checkpoint_interval, seed=args.seed,
+            state_backend=args.state_backend,
+            rescale_to=args.rescale_to, rescale_at=args.rescale_at,
+            max_key_groups=args.max_key_groups,
+            failure_scenario=args.failure_scenario,
+            interval_policy=args.interval_policy,
+            channel_capacity_bytes=args.channel_capacity,
+        )
+        jobs = args.jobs if args.jobs > 0 else args.shards
+        with ParallelRunner(jobs=jobs) as runner:
+            result = run_sharded(request, args.shards, runner=runner)
+        print(f"[sharded] {args.shards} key-group shards across "
+              f"{jobs} worker processes")
+    else:
+        result = run_query(
+            spec, args.protocol, args.parallelism, rate=rate,
+            duration=args.duration, warmup=args.warmup,
+            failure_at=args.failure_at, hot_ratio=args.hot_ratio,
+            checkpoint_interval=args.checkpoint_interval, seed=args.seed,
+            state_backend=args.state_backend,
+            rescale_to=args.rescale_to, rescale_at=args.rescale_at,
+            max_key_groups=args.max_key_groups,
+            failure_scenario=args.failure_scenario,
+            interval_policy=args.interval_policy,
+            channel_capacity_bytes=args.channel_capacity,
+        )
     series = result.latency_series()
     p50 = percentile([v for v in series.p50 if v > 0], 50)
     p99 = percentile([v for v in series.p99 if v > 0], 50)

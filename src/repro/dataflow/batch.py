@@ -1,0 +1,149 @@
+"""Columnar record batches for the simulator hot path (DESIGN.md section 15).
+
+A :class:`RecordBatch` carries the four per-record fields of
+:class:`~repro.dataflow.records.StreamRecord` as parallel columns
+(``rids``, ``payloads``, ``source_ts``, ``sizes``) instead of a list of
+record objects.  The layout exists for one reason: the seed engine walked
+every record as an individual Python object (attribute loads, per-record
+``route`` calls, per-record rid mixing), which capped end-to-end
+throughput around 313k records/s (``results/BENCH_transport.json``) and
+forced the paper's protocol sweeps to quick scale.  Columns let the hot
+loops move to C-speed primitives — list ``extend`` for routing,
+``set.update``/``set.isdisjoint`` for rid dedup, numpy uint64 kernels for
+lineage derivation (:func:`~repro.dataflow.records.derived_rids`).
+
+Three invariants keep the columnar path byte-identical to the per-record
+path (the differential suite in ``tests/test_columnar_differential.py``
+enforces them):
+
+* **identical values** — rids come from the same mix arithmetic
+  (vectorized with wraparound uint64 multiplies, converted back to Python
+  ints), payloads/timestamps/sizes are the same objects;
+* **identical boundaries** — a batch staged onto a
+  :class:`~repro.dataflow.channels.RouterBuffer` crosses the batch-size
+  threshold at exactly the same record as the per-record ``route`` loop,
+  so messages, sequence numbers and checkpoint cursors match;
+* **identical ordering** — iteration (replay, channel-state capture)
+  yields :class:`StreamRecord` views in column order, and destination
+  buffers are created in first-occurrence order like the scalar router.
+
+Batches are *logically immutable once routed*: the builder methods
+(``append``/``extend*``) are for constructing a batch; after a batch is
+handed to the router or a message, nothing mutates its columns, so
+downstream kernels may alias them (e.g. a map output sharing the input's
+``source_ts`` column).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.dataflow.records import StreamRecord
+
+__all__ = ["RecordBatch"]
+
+
+class RecordBatch:
+    """A columnar batch of stream records (four parallel columns)."""
+
+    __slots__ = ("rids", "payloads", "source_ts", "sizes")
+
+    def __init__(
+        self,
+        rids: list[int] | None = None,
+        payloads: list[Any] | None = None,
+        source_ts: list[float] | None = None,
+        sizes: list[int] | None = None,
+    ) -> None:
+        """Wrap the given columns (shared, not copied); empty by default."""
+        self.rids: list[int] = rids if rids is not None else []
+        self.payloads: list[Any] = payloads if payloads is not None else []
+        self.source_ts: list[float] = source_ts if source_ts is not None else []
+        self.sizes: list[int] = sizes if sizes is not None else []
+
+    @classmethod
+    def from_records(cls, records: Iterable[StreamRecord]) -> "RecordBatch":
+        """Decompose per-record objects into a columnar batch."""
+        batch = cls()
+        batch.extend_records(records)
+        return batch
+
+    # -- sizing ----------------------------------------------------------- #
+
+    def __len__(self) -> int:
+        """Number of records in the batch."""
+        return len(self.rids)
+
+    def payload_bytes(self) -> int:
+        """Total payload bytes across the batch (sum of the size column)."""
+        return sum(self.sizes)
+
+    # -- record views ------------------------------------------------------ #
+
+    def __iter__(self) -> Iterator[StreamRecord]:
+        """Yield per-record views in column order (replay/channel-state path)."""
+        for rid, payload, ts, size in zip(self.rids, self.payloads,
+                                          self.source_ts, self.sizes):
+            yield StreamRecord(rid=rid, payload=payload, source_ts=ts,
+                               size_bytes=size)
+
+    def __getitem__(self, index: int) -> StreamRecord:
+        """Materialize the record at ``index`` as a :class:`StreamRecord`."""
+        return StreamRecord(rid=self.rids[index], payload=self.payloads[index],
+                            source_ts=self.source_ts[index],
+                            size_bytes=self.sizes[index])
+
+    def __repr__(self) -> str:
+        """Compact debugging form (count and byte total only)."""
+        return f"RecordBatch(n={len(self.rids)}, bytes={sum(self.sizes)})"
+
+    # -- builders ----------------------------------------------------------- #
+
+    def append(self, record: StreamRecord) -> None:
+        """Append one record, decomposed into the columns."""
+        self.rids.append(record.rid)
+        self.payloads.append(record.payload)
+        self.source_ts.append(record.source_ts)
+        self.sizes.append(record.size_bytes)
+
+    def extend_records(self, records: Iterable[StreamRecord]) -> None:
+        """Append per-record objects, decomposed into the columns."""
+        for record in records:
+            self.rids.append(record.rid)
+            self.payloads.append(record.payload)
+            self.source_ts.append(record.source_ts)
+            self.sizes.append(record.size_bytes)
+
+    def extend(self, other: "RecordBatch") -> int:
+        """Append every row of ``other`` (column-wise); returns bytes added."""
+        self.rids.extend(other.rids)
+        self.payloads.extend(other.payloads)
+        self.source_ts.extend(other.source_ts)
+        self.sizes.extend(other.sizes)
+        return sum(other.sizes)
+
+    def extend_select(self, other: "RecordBatch", indices: list[int]) -> int:
+        """Append the selected rows of ``other``; returns bytes added."""
+        rids = other.rids
+        payloads = other.payloads
+        source_ts = other.source_ts
+        sizes = other.sizes
+        self.rids.extend([rids[i] for i in indices])
+        self.payloads.extend([payloads[i] for i in indices])
+        self.source_ts.extend([source_ts[i] for i in indices])
+        added = [sizes[i] for i in indices]
+        self.sizes.extend(added)
+        return sum(added)
+
+    def select(self, indices: list[int]) -> "RecordBatch":
+        """A new batch holding the selected rows (filter/dedup survivors)."""
+        rids = self.rids
+        payloads = self.payloads
+        source_ts = self.source_ts
+        sizes = self.sizes
+        return RecordBatch(
+            rids=[rids[i] for i in indices],
+            payloads=[payloads[i] for i in indices],
+            source_ts=[source_ts[i] for i in indices],
+            sizes=[sizes[i] for i in indices],
+        )

@@ -17,11 +17,16 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.dataflow.batch import RecordBatch
 from repro.dataflow.graph import EdgeSpec, GraphError, Partitioning
 from repro.dataflow.keygroups import DEFAULT_MAX_KEY_GROUPS, key_group
 from repro.dataflow.records import StreamRecord
 
 ChannelId = tuple[int, int, int]
+
+#: what a message/buffer may carry: per-record objects or a columnar batch
+#: (both expose ``len``, iteration in record order, and truthiness)
+Records = list[StreamRecord] | RecordBatch
 
 DATA = 0
 MARKER = 1
@@ -35,7 +40,7 @@ class Message:
     channel: ChannelId
     seq: int
     kind: int
-    records: list[StreamRecord] | None
+    records: Records | None
     payload_bytes: int
     protocol_bytes: int = 0
     piggyback: Any = None
@@ -100,8 +105,35 @@ class Partitioner:
 
 @dataclass(slots=True)
 class _Buffer:
-    records: list[StreamRecord] = field(default_factory=list)
+    records: Records = field(default_factory=list)
     bytes: int = 0
+
+
+def _extend_buffer(buf: _Buffer, batch: RecordBatch,
+                   indices: list[int] | None) -> int:
+    """Append (selected rows of) ``batch`` to a buffer; returns bytes added.
+
+    Handles both buffer representations: columnar buffers extend
+    column-wise; list buffers (a per-record ``route`` call interleaved
+    with batch routing) materialize :class:`StreamRecord` views.
+    """
+    recs = buf.records
+    if indices is None:
+        if type(recs) is RecordBatch:
+            added = recs.extend(batch)
+        else:
+            added = batch.payload_bytes()
+            recs.extend(batch)
+    elif type(recs) is RecordBatch:
+        added = recs.extend_select(batch, indices)
+    else:
+        sizes = batch.sizes
+        added = 0
+        for i in indices:
+            recs.append(batch[i])
+            added += sizes[i]
+    buf.bytes += added
+    return added
 
 
 class RouterBuffer:
@@ -216,6 +248,70 @@ class RouterBuffer:
         self._staged += staged
         self._staged_bytes += staged_bytes
 
+    def route_batch(self, batch: RecordBatch) -> None:
+        """Stage one columnar batch onto (edge, destination) buffers.
+
+        Equivalent to :meth:`route` over the batch's records — same
+        first-occurrence buffer creation order, same ready-threshold
+        crossings, same staged counters — but the per-record Python loop
+        survives only on KEY edges (one memoised dict probe per record);
+        FORWARD/BROADCAST edges stage whole columns with one ``extend``.
+        """
+        n = len(batch)
+        if not n:
+            return
+        batch_max = self._batch_max
+        blocked = self._blocked
+        n_ready = 0
+        staged = 0
+        staged_bytes = 0
+        for edge_id, buffers, static, key_fn, parallelism, max_groups, memo \
+                in self._plans:
+            if static is None:  # KEY partitioning: hash per record
+                payloads = batch.payloads
+                by_dst: dict[int, list[int]] = {}
+                for i in range(n):
+                    routing_key = key_fn(payloads[i])
+                    dst = memo.get(routing_key)
+                    if dst is None:
+                        group = key_group(hash_key(routing_key), max_groups)
+                        dst = group * parallelism // max_groups
+                        if len(memo) >= 1 << 17:
+                            memo.clear()
+                        memo[routing_key] = dst
+                    idxs = by_dst.get(dst)
+                    if idxs is None:
+                        by_dst[dst] = [i]
+                    else:
+                        idxs.append(i)
+                for dst, idxs in by_dst.items():
+                    buf = buffers.get(dst)
+                    if buf is None:
+                        buf = _Buffer(records=RecordBatch())
+                        buffers[dst] = buf
+                    before = len(buf.records)
+                    staged_bytes += _extend_buffer(
+                        buf, batch, None if len(idxs) == n else idxs)
+                    if before < batch_max <= before + len(idxs) \
+                            and (edge_id, dst) not in blocked:
+                        n_ready += 1
+                staged += n
+            else:  # FORWARD / BROADCAST: constant destination set
+                for dst in static:
+                    buf = buffers.get(dst)
+                    if buf is None:
+                        buf = _Buffer(records=RecordBatch())
+                        buffers[dst] = buf
+                    before = len(buf.records)
+                    staged_bytes += _extend_buffer(buf, batch, None)
+                    if before < batch_max <= before + n \
+                            and (edge_id, dst) not in blocked:
+                        n_ready += 1
+                staged += n * len(static)
+        self._n_ready += n_ready
+        self._staged += staged
+        self._staged_bytes += staged_bytes
+
     # -- credit blocking ------------------------------------------------- #
 
     def block(self, edge_id: int, dst: int) -> None:
@@ -249,13 +345,15 @@ class RouterBuffer:
             self._n_ready -= 1
 
     def take_ready(
-        self, gate: Callable[[int, int, int], bool] | None = None,
-    ) -> list[tuple[int, int, list[StreamRecord], int]]:
+        self, gate: Callable[[int, int, int, int], bool] | None = None,
+    ) -> list[tuple[int, int, Records, int]]:
         """Drain buffers at/over the batch threshold -> (edge, dst, records, bytes).
 
-        ``gate(edge_id, dst, nbytes)`` is the transport's credit check: a
-        buffer refused by the gate is blocked in place instead of drained
-        (the gate records the park on its side).
+        ``gate(edge_id, dst, nbytes, nrecords)`` is the transport's credit
+        check: a buffer refused by the gate is blocked in place instead of
+        drained (the gate records the park on its side).  The record count
+        travels with the byte count so zero-size records still cost
+        credits (a size-0 batch must not slip past a parked channel).
         """
         if not self._n_ready:
             return []
@@ -269,7 +367,8 @@ class RouterBuffer:
                 buf = buffers[dst]
                 if len(buf.records) < batch_max or (edge_id, dst) in blocked:
                     continue
-                if gate is not None and not gate(edge_id, dst, buf.bytes):
+                if gate is not None and not gate(edge_id, dst, buf.bytes,
+                                                 len(buf.records)):
                     self.block(edge_id, dst)
                     continue
                 self._pop(edge_id, dst, buf, blocked=False)
@@ -277,8 +376,8 @@ class RouterBuffer:
         return ready
 
     def take_all(
-        self, gate: Callable[[int, int, int], bool] | None = None,
-    ) -> list[tuple[int, int, list[StreamRecord], int]]:
+        self, gate: Callable[[int, int, int, int], bool] | None = None,
+    ) -> list[tuple[int, int, Records, int]]:
         """Drain every non-empty buffer.
 
         With a ``gate`` (linger flush): blocked buffers stay parked and
@@ -296,7 +395,7 @@ class RouterBuffer:
                 if gate is not None:
                     if (edge_id, dst) in blocked:
                         continue
-                    if not gate(edge_id, dst, buf.bytes):
+                    if not gate(edge_id, dst, buf.bytes, len(buf.records)):
                         self.block(edge_id, dst)
                         continue
                     self._pop(edge_id, dst, buf, blocked=False)
@@ -305,7 +404,7 @@ class RouterBuffer:
                 drained.append((edge_id, dst, buf.records, buf.bytes))
         return drained
 
-    def take_edge(self, edge_id: int) -> list[tuple[int, int, list[StreamRecord], int]]:
+    def take_edge(self, edge_id: int) -> list[tuple[int, int, Records, int]]:
         """Drain buffers of one edge (used before emitting a marker).
 
         Always forced — a marker must follow every record produced before
@@ -324,7 +423,7 @@ class RouterBuffer:
             drained.append((edge_id, dst, buf.records, buf.bytes))
         return drained
 
-    def take_channel(self, edge_id: int, dst: int) -> tuple[list[StreamRecord], int] | None:
+    def take_channel(self, edge_id: int, dst: int) -> tuple[Records, int] | None:
         """Forcibly drain one (edge, dst) buffer -> (records, bytes) or None.
 
         Used when credits return to a parked channel: the whole buffer
@@ -342,6 +441,13 @@ class RouterBuffer:
         """Bytes currently staged for one (edge, dst) buffer."""
         buf = self._by_edge[edge_id].get(dst)
         return buf.bytes if buf is not None else 0
+
+    def staged_for(self, edge_id: int, dst: int) -> tuple[int, int]:
+        """(bytes, records) currently staged for one (edge, dst) buffer."""
+        buf = self._by_edge[edge_id].get(dst)
+        if buf is None:
+            return 0, 0
+        return buf.bytes, len(buf.records)
 
     @property
     def staged_records(self) -> int:

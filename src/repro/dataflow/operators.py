@@ -14,9 +14,11 @@ contents are cleared when it expires (Section VI, Q8/Q12).
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
 
-from repro.dataflow.records import StreamRecord, joined_rid
+from repro.dataflow.batch import RecordBatch
+from repro.dataflow.records import StreamRecord, derived_rid, derived_rids, joined_rid
 from repro.dataflow.state import KeyedListState, KeyedMapState, StateRegistry, ValueState
 
 
@@ -41,6 +43,10 @@ class OperatorContext:
 
     def record_output(self, record: StreamRecord) -> None:
         """Sink hook: report a record as final output (drives latency metrics)."""
+        raise NotImplementedError
+
+    def record_outputs(self, source_ts: list[float]) -> None:
+        """Batch sink hook: report one output per origin timestamp."""
         raise NotImplementedError
 
 
@@ -69,6 +75,24 @@ class Operator:
         """Consume one record, return output records."""
         raise NotImplementedError
 
+    def process_batch(self, batch: RecordBatch, port: str) -> RecordBatch | None:
+        """Consume a columnar batch, return an output batch (or None).
+
+        The base implementation is the per-record fallback: it materializes
+        record views, calls :meth:`process`, and re-columnarizes the
+        outputs — semantically identical to the per-record path (stateful
+        operators rely on this), while still letting the runtime route and
+        flush once per batch.  Stateless operators override it with a
+        column-wise kernel (DESIGN.md section 15 lists the fusion rules).
+        """
+        out = RecordBatch()
+        process = self.process
+        for record in batch:
+            outputs = process(record, port)
+            if outputs:
+                out.extend_records(outputs)
+        return out if len(out.rids) else None
+
     def on_timer(self, tag: Any) -> list[StreamRecord]:
         """Handle a previously registered timer."""
         return []
@@ -92,6 +116,10 @@ class SourceOperator(Operator):
         """Forward the log record into the pipeline unchanged."""
         return [record]
 
+    def process_batch(self, batch: RecordBatch, port: str) -> RecordBatch | None:
+        """Forward the polled batch into the pipeline unchanged."""
+        return batch
+
 
 class MapOperator(Operator):
     """1-to-1 transformation (NexMark Q1's currency conversion)."""
@@ -109,6 +137,24 @@ class MapOperator(Operator):
         size = self._out_size(payload) if self._out_size else record.size_bytes
         return [record.derive(self.ctx.op_name, payload, size)]
 
+    def process_batch(self, batch: RecordBatch, port: str) -> RecordBatch | None:
+        """Apply the mapping function across the whole batch in one call.
+
+        Lineage ids derive through the vectorized kernel; the timestamp
+        (and, without ``out_size``, the size) columns are aliased from the
+        input — batches are immutable once routed, so sharing is safe.
+        """
+        fn = self._fn
+        payloads = [fn(p) for p in batch.payloads]
+        out_size = self._out_size
+        sizes = [out_size(p) for p in payloads] if out_size else batch.sizes
+        return RecordBatch(
+            rids=derived_rids(self.ctx.op_name, batch.rids),
+            payloads=payloads,
+            source_ts=batch.source_ts,
+            sizes=sizes,
+        )
+
 
 class FilterOperator(Operator):
     """Keep records whose payload satisfies the predicate."""
@@ -124,6 +170,17 @@ class FilterOperator(Operator):
         if self._predicate(record.payload):
             return [record]
         return []
+
+    def process_batch(self, batch: RecordBatch, port: str) -> RecordBatch | None:
+        """Apply the predicate column-wise; survivors keep their rids."""
+        predicate = self._predicate
+        payloads = batch.payloads
+        keep = [i for i in range(len(payloads)) if predicate(payloads[i])]
+        if len(keep) == len(payloads):
+            return batch
+        if not keep:
+            return None
+        return batch.select(keep)
 
 
 class FlatMapOperator(Operator):
@@ -143,6 +200,24 @@ class FlatMapOperator(Operator):
             size = self._out_size(payload) if self._out_size else record.size_bytes
             outputs.append(record.derive(self.ctx.op_name, payload, size, emission_index=i))
         return outputs
+
+    def process_batch(self, batch: RecordBatch, port: str) -> RecordBatch | None:
+        """Expand each record, building the output columns directly."""
+        op = self.ctx.op_name
+        fn = self._fn
+        out_size = self._out_size
+        out = RecordBatch()
+        rids, payloads = out.rids, out.payloads
+        ts_col, sizes = out.source_ts, out.sizes
+        in_rids, in_ts, in_sizes = batch.rids, batch.source_ts, batch.sizes
+        for j, parent_payload in enumerate(batch.payloads):
+            parent, ts, base = in_rids[j], in_ts[j], in_sizes[j]
+            for i, payload in enumerate(fn(parent_payload)):
+                rids.append(derived_rid(op, parent, i))
+                payloads.append(payload)
+                ts_col.append(ts)
+                sizes.append(out_size(payload) if out_size else base)
+        return out if len(rids) else None
 
 
 class IncrementalJoinOperator(Operator):
@@ -472,3 +547,109 @@ class SinkOperator(Operator):
         """Report the record as final pipeline output."""
         self.ctx.record_output(record)
         return []
+
+    def process_batch(self, batch: RecordBatch, port: str) -> RecordBatch | None:
+        """Report the whole batch as final pipeline output (one metrics call)."""
+        self.ctx.record_outputs(batch.source_ts)
+        return None
+
+
+# --------------------------------------------------------------------- #
+# Operator fusion for stateless chains (DESIGN.md section 15)
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class MapStage:
+    """One 1-to-1 stage of a fused stateless chain.
+
+    ``name`` is the stage's *operator name for lineage purposes*: outputs
+    derive their rids against it, exactly as an unfused
+    :class:`MapOperator` deployed under that name would.
+    """
+
+    name: str
+    fn: Callable[[Any], Any]
+    out_size: Callable[[Any], int] | None = None
+
+
+@dataclass(frozen=True)
+class FilterStage:
+    """One predicate stage of a fused stateless chain.
+
+    Filters forward surviving records unchanged (same rid), so the stage
+    ``name`` is only documentation — it never enters lineage derivation.
+    """
+
+    name: str
+    predicate: Callable[[Any], bool]
+
+
+class FusedStatelessOperator(Operator):
+    """A chain of stateless map/filter stages processed in one call.
+
+    Fusion rules (DESIGN.md section 15): only stateless 1-to-1 map and
+    filter stages fuse — they need no state registry, no timers, and no
+    re-keying, so a FORWARD chain of them collapses into one operator
+    without changing channel topology.  Each map stage keeps its own
+    operator name for lineage derivation, making fusion *rid-transparent*:
+    the fused pipeline emits records byte-identical to the unfused chain's
+    final output, so checkpoints, dedup sets and recovery lines cannot
+    tell the difference.  Stateful, 1-to-N, or re-keying operators end a
+    fusible segment and stay standalone.
+    """
+
+    def __init__(self, stages: Sequence[MapStage | FilterStage],
+                 cpu_per_record: float | None = None) -> None:
+        super().__init__()
+        if not stages:
+            raise ValueError("a fused chain needs at least one stage")
+        self.stages = tuple(stages)
+        if cpu_per_record is None:
+            # the fused operator still pays every stage's per-record CPU:
+            # fusion removes routing/flush overhead, not modelled work
+            cpu_per_record = sum(
+                MapOperator.cpu_per_record if type(stage) is MapStage
+                else FilterOperator.cpu_per_record
+                for stage in self.stages
+            )
+        self.cpu_per_record = cpu_per_record
+
+    def process(self, record: StreamRecord, port: str) -> list[StreamRecord]:
+        """Apply every stage to one record (reference per-record path)."""
+        for stage in self.stages:
+            if type(stage) is FilterStage:
+                if not stage.predicate(record.payload):
+                    return []
+            else:
+                payload = stage.fn(record.payload)
+                size = (stage.out_size(payload) if stage.out_size
+                        else record.size_bytes)
+                record = record.derive(stage.name, payload, size)
+        return [record]
+
+    def process_batch(self, batch: RecordBatch, port: str) -> RecordBatch | None:
+        """Apply every stage column-wise; the batch crosses the chain once."""
+        for stage in self.stages:
+            if not len(batch.rids):
+                return None
+            if type(stage) is FilterStage:
+                predicate = stage.predicate
+                payloads = batch.payloads
+                keep = [i for i in range(len(payloads))
+                        if predicate(payloads[i])]
+                if len(keep) != len(payloads):
+                    batch = batch.select(keep)
+            else:
+                fn = stage.fn
+                payloads = [fn(p) for p in batch.payloads]
+                out_size = stage.out_size
+                sizes = ([out_size(p) for p in payloads] if out_size
+                         else batch.sizes)
+                batch = RecordBatch(
+                    rids=derived_rids(stage.name, batch.rids),
+                    payloads=payloads,
+                    source_ts=batch.source_ts,
+                    sizes=sizes,
+                )
+        return batch if len(batch.rids) else None

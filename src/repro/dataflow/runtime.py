@@ -29,7 +29,8 @@ from dataclasses import replace
 from typing import Any, Callable
 
 from repro.core.base import CheckpointMeta, CheckpointRegistry, create_protocol
-from repro.dataflow.channels import ChannelId, Message, Partitioner
+from repro.dataflow.batch import RecordBatch
+from repro.dataflow.channels import ChannelId, Message, Partitioner, Records
 from repro.dataflow.coordinator import Coordinator
 from repro.dataflow.graph import (
     EdgeSpec,
@@ -39,7 +40,11 @@ from repro.dataflow.graph import (
 )
 from repro.dataflow.keygroups import validate_key_space
 from repro.dataflow.lifecycle import LifecycleManager
-from repro.dataflow.records import StreamRecord, source_rid_from_prefix
+from repro.dataflow.records import (
+    StreamRecord,
+    source_rid_from_prefix,
+    source_rids_from_prefix,
+)
 from repro.dataflow.results import RunResult
 from repro.dataflow.state import create_state_backend
 from repro.dataflow.transport import Transport
@@ -73,6 +78,10 @@ class Job:
         self.initial_parallelism = parallelism
         self.config = config or RuntimeConfig()
         self.cost = self.config.cost_model
+        #: columnar batch processing (DESIGN.md section 15): the default
+        #: data path; ``columnar=False`` keeps the per-record reference
+        #: path alive for the differential suites
+        self.columnar = bool(self.config.columnar)
         self.max_key_groups = self.config.max_key_groups
         validate_key_space(parallelism, self.max_key_groups, context="job deployment")
         #: input-log partitions per topic are fixed at deployment time; a
@@ -178,18 +187,30 @@ class Job:
     # Data path (flushing and transmission delegate to the transport)
     # ------------------------------------------------------------------ #
 
-    def process_records(self, instance: InstanceRuntime, records: list[StreamRecord] | None,
+    def process_records(self, instance: InstanceRuntime, records: Records | None,
                         port: str) -> float:
-        """Run operator logic over a batch; returns virtual CPU cost."""
+        """Run operator logic over a batch; returns virtual CPU cost.
+
+        In columnar mode every input — polled batches, replayed
+        per-record lists, reinjected channel state — is processed through
+        the batch path, so router buffers stay uniformly columnar.  The
+        per-record reference path (``columnar=False``) is retained for
+        the differential suites; both paths charge CPU as
+        ``cpu_per_record * records_processed`` so their virtual-time
+        arithmetic is bit-identical.
+        """
         if not records:
             return 0.0
-        cost = 0.0
+        if self.columnar:
+            if type(records) is not RecordBatch:
+                records = RecordBatch.from_records(records)
+            return self._process_batch(instance, records, port)
         dedup = self.protocol.requires_dedup
         operator = instance.operator
-        per_record = operator.cpu_per_record
         seen = instance.processed_rids
         journal = instance.rid_journal
         router = instance.router
+        processed = 0
         for record in records:
             if dedup:
                 if record.rid in seen:
@@ -199,11 +220,82 @@ class Job:
                 if journal is not None:
                     journal.append(record.rid)
             outputs = operator.process(record, port)
-            cost += per_record
+            processed += 1
             if outputs:
                 router.route(outputs)
+        cost = operator.cpu_per_record * processed
         cost += self.flush_ready(instance)
         return cost
+
+    def _process_batch(self, instance: InstanceRuntime, batch: RecordBatch,
+                       port: str) -> float:
+        """Columnar twin of the per-record loop in :meth:`process_records`.
+
+        Dedup filters the rid column (C-speed set operations on the
+        no-duplicate fast path), the operator consumes the whole batch in
+        one :meth:`~repro.dataflow.operators.Operator.process_batch` call,
+        and the outputs route once — the three per-record Python costs the
+        seed engine paid (dedup bookkeeping, ``process``, ``route``) each
+        collapse to per-batch calls.
+        """
+        if self.protocol.requires_dedup:
+            rids = batch.rids
+            seen = instance.processed_rids
+            if seen.isdisjoint(rids) and len(set(rids)) == len(rids):
+                # fast path: nothing already processed, no intra-batch
+                # duplicates — admit the whole rid column at C speed
+                seen.update(rids)
+                journal = instance.rid_journal
+                if journal is not None:
+                    journal.extend(rids)
+            else:
+                batch = self._dedup_batch(instance, batch)
+        n = len(batch.rids)
+        if not n:
+            return self.flush_ready(instance)
+        operator = instance.operator
+        outputs = operator.process_batch(batch, port)
+        cost = operator.cpu_per_record * n
+        if outputs is not None and len(outputs.rids):
+            instance.router.route_batch(outputs)
+        cost += self.flush_ready(instance)
+        return cost
+
+    def _dedup_batch(self, instance: InstanceRuntime,
+                     batch: RecordBatch) -> RecordBatch:
+        """Drop already-processed rids from a batch (slow path, dups present).
+
+        Mirrors the per-record dedup exactly: first occurrence wins (also
+        within the batch), survivors journal in arrival order.
+        """
+        seen = instance.processed_rids
+        journal = instance.rid_journal
+        keep: list[int] = []
+        duplicates = 0
+        for i, rid in enumerate(batch.rids):
+            if rid in seen:
+                duplicates += 1
+                continue
+            seen.add(rid)
+            if journal is not None:
+                journal.append(rid)
+            keep.append(i)
+        self.metrics.duplicates_skipped += duplicates
+        if len(keep) == len(batch.rids):
+            return batch
+        return batch.select(keep)
+
+    def route_outputs(self, instance: InstanceRuntime,
+                      outputs: list[StreamRecord]) -> None:
+        """Stage per-record outputs produced outside the data path (timers).
+
+        In columnar mode they are columnarized first so the instance's
+        router buffers keep a uniform representation.
+        """
+        if self.columnar:
+            instance.router.route_batch(RecordBatch.from_records(outputs))
+        else:
+            instance.router.route(outputs)
 
     def flush_ready(self, instance: InstanceRuntime) -> float:
         """Send router buffers that reached the batch threshold."""
@@ -266,15 +358,25 @@ class Job:
                 continue
             self.metrics.record_ingest(self.sim.now, len(log_records))
             prefix = instance.rid_prefixes[part_index]
-            records = [
-                StreamRecord(
-                    rid=source_rid_from_prefix(prefix, r.offset),
-                    payload=r.payload,
-                    source_ts=r.available_at,
-                    size_bytes=r.size_bytes,
+            records: Records
+            if self.columnar:
+                records = RecordBatch(
+                    rids=source_rids_from_prefix(
+                        prefix, [r.offset for r in log_records]),
+                    payloads=[r.payload for r in log_records],
+                    source_ts=[r.available_at for r in log_records],
+                    sizes=[r.size_bytes for r in log_records],
                 )
-                for r in log_records
-            ]
+            else:
+                records = [
+                    StreamRecord(
+                        rid=source_rid_from_prefix(prefix, r.offset),
+                        payload=r.payload,
+                        source_ts=r.available_at,
+                        size_bytes=r.size_bytes,
+                    )
+                    for r in log_records
+                ]
             instance.source_cursors[part_index] = log_records[-1].offset + 1
             cost += self.process_records(instance, records, "in")
         # repro-lint: disable=RL006 -- self-clocking poll chain; the guard lives in _enqueue_poll, which re-checks liveness at fire time
@@ -430,14 +532,71 @@ class Job:
     # Run loop
     # ------------------------------------------------------------------ #
 
-    def run(self, rate: float = 0.0, query_name: str = "") -> RunResult:
-        """Execute the job for warmup + duration virtual seconds."""
+    def data_quiescent(self) -> bool:
+        """Is every input record either fully processed or still unread?
+
+        True when no record-bearing work exists anywhere: not recovering,
+        nothing on the wire (:attr:`Transport.pending_data`), no worker
+        holds queued/deferred data tasks, alignment buffers or staged
+        router output, and every source cursor has consumed its whole
+        partition.  Perpetual poll/linger chains and pending checkpoints
+        are deliberately ignored — they carry no records.  (Operators
+        that emit records *from timers* would not be covered; none of the
+        library operators do.)
+        """
+        if self.recovering or self.transport.pending_data:
+            return False
+        for worker in self.workers:
+            if worker.has_record_work():
+                return False
+        for spec in self.graph.sources():
+            log = self.inputs[spec.source_topic]
+            for idx in range(self.parallelism):
+                instance = self.instance((spec.name, idx))
+                for part_index, cursor in instance.source_cursors.items():
+                    if cursor < len(log.partition(part_index)):
+                        return False
+        return True
+
+    def drain(self, step: float = 0.25, max_wait: float = 120.0) -> float:
+        """Deterministic drain barrier: run until :meth:`data_quiescent`.
+
+        Replaces timing-dependent "run a bit longer and hope" windows in
+        tests: the simulator advances in ``step``-sized slices until every
+        produced record has landed (including post-failure replay), or
+        raises after ``max_wait`` virtual seconds — a wedged pipeline is a
+        bug, not a reason to widen a window.  Returns the virtual time at
+        which quiescence was observed.
+        """
+        deadline = self.sim.now + max_wait
+        while not self.data_quiescent():
+            if self.sim.now >= deadline:
+                raise RuntimeError(
+                    f"drain barrier: pipeline failed to quiesce within "
+                    f"{max_wait} virtual seconds (pending_data="
+                    f"{self.transport.pending_data}, recovering="
+                    f"{self.recovering})"
+                )
+            self.sim.run_until(min(self.sim.now + step, deadline))
+        return self.sim.now
+
+    def run(self, rate: float = 0.0, query_name: str = "",
+            drain: bool = False) -> RunResult:
+        """Execute the job for warmup + duration virtual seconds.
+
+        ``drain=True`` appends the deterministic drain barrier after the
+        measurement window, so callers comparing final state (differential
+        suites) observe a quiescent pipeline instead of racing in-flight
+        records.
+        """
         config = self.config
         self.protocol.on_job_start()
         self.start_source_polls()
         self._linger_tick()
         self.lifecycle.arm_failure_injector()
         self.sim.run_until(config.warmup + config.duration)
+        if drain:
+            self.drain()
         self.transport.finalize()
         return RunResult(
             query=query_name or self.graph.name,

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
-from repro.dataflow.channels import ChannelId, DATA, MARKER, Message
+from repro.dataflow.channels import ChannelId, DATA, MARKER, Message, Records
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dataflow.runtime import Job
@@ -64,17 +64,26 @@ class Transport:
     """Channel transmission and credit-based flow control for one job."""
 
     __slots__ = ("job", "capacity", "_last_arrival", "in_flight_bytes",
-                 "total_in_flight", "_parked", "_claimed")
+                 "total_in_flight", "_parked", "_claimed", "pending_data")
 
     def __init__(self, job: "Job") -> None:
         self.job = job
         #: per-channel credit budget in bytes; 0 disables flow control
         self.capacity = int(job.config.channel_capacity_bytes or 0)
         self._last_arrival: dict[ChannelId, float] = {}
-        #: per-channel DATA bytes transmitted but not yet consumed
+        #: per-channel DATA credit units transmitted but not yet consumed.
+        #: A message costs ``max(total_bytes, record_count)`` units: bytes
+        #: normally, but at least one unit per record, so zero-size records
+        #: cannot slip past a saturated channel for free (a size-0 batch
+        #: would otherwise debit nothing and bypass the park)
         self.in_flight_bytes: dict[ChannelId, int] = {}
         #: sum of :attr:`in_flight_bytes` (kept incrementally)
         self.total_in_flight = 0
+        #: DATA messages transmitted but not yet delivered (or dropped at
+        #: delivery).  This is the wire half of the deterministic drain
+        #: barrier (:meth:`Job.data_quiescent`): when it reaches zero and
+        #: no worker holds record work, every produced record has landed
+        self.pending_data = 0
         #: parked channels: channel -> open :class:`_Park` ledger entry.
         #: Entries live until the park is *closed* (sent, force-drained,
         #: reset or run end) — a dispatched-but-unrun unpark task does not
@@ -93,21 +102,25 @@ class Transport:
     # Credits
     # ------------------------------------------------------------------ #
 
-    def has_credit(self, channel: ChannelId, nbytes: int) -> bool:
-        """May ``nbytes`` more be transmitted on ``channel`` right now?
+    def has_credit(self, channel: ChannelId, nbytes: int,
+                   nrecords: int = 0) -> bool:
+        """May a batch of ``nbytes``/``nrecords`` be transmitted right now?
 
         An empty channel always accepts (a single batch larger than the
         whole budget must still be deliverable, or it could never leave);
-        otherwise the in-flight bytes plus the batch must fit the budget.
+        otherwise the in-flight units plus the batch's cost —
+        ``max(nbytes, nrecords)``, so zero-size records still pay — must
+        fit the budget.
         """
         if self.capacity <= 0:
             return True
         in_flight = self.in_flight_bytes.get(channel, 0)
-        return in_flight == 0 or in_flight + nbytes <= self.capacity
+        cost = nbytes if nbytes >= nrecords else nrecords
+        return in_flight == 0 or in_flight + cost <= self.capacity
 
     def _gate(
         self, instance: "InstanceRuntime",
-    ) -> Callable[[int, int, int], bool] | None:
+    ) -> Callable[[int, int, int, int], bool] | None:
         """Credit gate for ``RouterBuffer`` drains; parks on refusal.
 
         One closure per instance, built lazily and cached — ``flush_ready``
@@ -118,9 +131,9 @@ class Transport:
             return None
         gate = instance.credit_gate
         if gate is None:
-            def gate(edge_id: int, dst: int, nbytes: int) -> bool:
+            def gate(edge_id: int, dst: int, nbytes: int, nrecords: int) -> bool:
                 channel = (edge_id, instance.index, dst)
-                if self.has_credit(channel, nbytes):
+                if self.has_credit(channel, nbytes, nrecords):
                     return True
                 self._park(instance, channel)
                 return False
@@ -209,7 +222,7 @@ class Transport:
         held = self.in_flight_bytes.get(channel, 0)
         if held <= 0:
             return  # transmitted before a recovery reset; nothing to return
-        freed = min(held, msg.total_bytes)
+        freed = min(held, max(msg.total_bytes, msg.record_count))
         self.in_flight_bytes[channel] = held - freed
         self.total_in_flight -= freed
         park = self._parked.get(channel)
@@ -219,7 +232,8 @@ class Transport:
         edge_id, _src, dst = channel
         if not instance.worker.alive or self.job.recovering:
             return
-        if not self.has_credit(channel, instance.router.staged_bytes_for(edge_id, dst)):
+        staged_bytes, staged_records = instance.router.staged_for(edge_id, dst)
+        if not self.has_credit(channel, staged_bytes, staged_records):
             return
         self._claimed.add(channel)
         instance.worker.enqueue_front(("unpark", instance, edge_id, dst))
@@ -281,7 +295,7 @@ class Transport:
     # ------------------------------------------------------------------ #
 
     def send_data(self, instance: "InstanceRuntime", edge_id: int, dst: int,
-                  records: list, payload_bytes: int) -> float:
+                  records: "Records", payload_bytes: int) -> float:
         """Build, account and transmit one DATA message; returns CPU cost."""
         job = self.job
         channel = (edge_id, instance.index, dst)
@@ -343,11 +357,14 @@ class Transport:
     def transmit(self, channel: ChannelId, msg: Message) -> None:
         """Schedule delivery with per-channel FIFO arrival ordering."""
         job = self.job
-        if self.capacity > 0 and msg.kind == DATA:
-            depth = self.in_flight_bytes.get(channel, 0) + msg.total_bytes
-            self.in_flight_bytes[channel] = depth
-            self.total_in_flight += msg.total_bytes
-            job.metrics.note_queue_depth(channel, depth, self.total_in_flight)
+        if msg.kind == DATA:
+            self.pending_data += 1
+            if self.capacity > 0:
+                cost = max(msg.total_bytes, msg.record_count)
+                depth = self.in_flight_bytes.get(channel, 0) + cost
+                self.in_flight_bytes[channel] = depth
+                self.total_in_flight += cost
+                job.metrics.note_queue_depth(channel, depth, self.total_in_flight)
         arrival = job.sim.now + job.cost.network_delay(msg.total_bytes)
         last = self._last_arrival.get(channel, 0.0)
         if arrival <= last:
@@ -360,6 +377,10 @@ class Transport:
                 deploy_epoch: int = 0) -> None:
         """Hand an arrived message to the destination worker (or drop it)."""
         job = self.job
+        if msg.kind == DATA and self.pending_data > 0:
+            # counted down even when the message is about to be dropped —
+            # the drain barrier tracks wire occupancy, not acceptance
+            self.pending_data -= 1
         if job.recovering or deploy_epoch != job.deploy_epoch:
             return  # dropped, or addressed to a pre-rescale topology
         worker = job.workers[channel[2]]

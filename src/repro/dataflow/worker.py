@@ -111,6 +111,10 @@ class InstanceRuntime(OperatorContext):
         """Report a sink record to the metrics (OperatorContext hook)."""
         self.job.metrics.record_output(self.job.sim.now, record.source_ts)
 
+    def record_outputs(self, source_ts: list[float]) -> None:
+        """Report a batch of sink records to the metrics (OperatorContext hook)."""
+        self.job.metrics.record_output_batch(self.job.sim.now, source_ts)
+
     # -- bookkeeping -------------------------------------------------------- #
 
     @property
@@ -480,7 +484,7 @@ class WorkerRuntime:
         outputs = instance.operator.on_timer(tag)
         cost = 0.0002
         if outputs:
-            instance.router.route(outputs)
+            self.job.route_outputs(instance, outputs)
         cost += self.job.flush_ready(instance)
         return cost
 
@@ -517,3 +521,27 @@ class WorkerRuntime:
     def staged_records(self) -> int:
         """Records staged in the worker's router buffers (linger check)."""
         return sum(i.router.staged_records for i in self.instances.values() if i.router)
+
+    def has_record_work(self) -> bool:
+        """Does this worker hold any record-bearing work right now?
+
+        The per-worker half of the deterministic drain barrier
+        (:meth:`Job.data_quiescent`): queued or credit-deferred data
+        tasks, alignment-buffered messages, and staged router output all
+        count; perpetual poll/linger/timer chains deliberately do not —
+        they carry no records themselves.
+        """
+        if self._blocked_buf:
+            return True
+        for task in self._tasks:
+            if task[0] == "data":
+                return True
+        for deferred in self._deferred.values():
+            for task in deferred:
+                if task[0] == "data":
+                    return True
+        for instance in self.instances.values():
+            router = instance.router
+            if router is not None and router.staged_records:
+                return True
+        return False

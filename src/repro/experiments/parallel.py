@@ -42,7 +42,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: bump when RunResult / metrics layout changes so stale cache entries
 #: from an older code revision are never served
-CACHE_VERSION = 5
+CACHE_VERSION = 6
 
 
 # --------------------------------------------------------------------- #
@@ -87,6 +87,12 @@ class RunRequest:
     #: per-channel credit budget in bytes (0 = unbounded channels); the
     #: credit-based flow-control knob of DESIGN.md section 13
     channel_capacity_bytes: int = 0
+    #: when set, run only the input slice whose source keys fall in
+    #: key-group range ``shard_index`` of ``shard_count`` — one shard of
+    #: an intra-run split (:mod:`repro.experiments.sharding`, DESIGN.md
+    #: section 15); ``None`` runs the whole input
+    shard_index: int | None = None
+    shard_count: int = 1
     config: RuntimeConfig | None = None
 
     def effective_config(self) -> RuntimeConfig:
@@ -179,6 +185,8 @@ def request_key(request: "RunRequest | MstRequest") -> str:
             "parallelism": request.parallelism,
             "rate": request.rate,
             "hot_ratio": request.hot_ratio,
+            "shard_index": request.shard_index,
+            "shard_count": request.shard_count,
             "config": _jsonable(asdict(request.effective_config())),
         }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
@@ -225,11 +233,18 @@ def run_with_spec(spec: "QuerySpec", request: RunRequest) -> "RunResult":
     from repro.dataflow.runtime import Job
 
     config = request.effective_config()
+    graph = spec.build_graph(request.parallelism)
     inputs = spec.make_job_inputs(
         request.rate, request.warmup + request.duration + 1.0,
         request.parallelism, request.hot_ratio, request.seed,
     )
-    graph = spec.build_graph(request.parallelism)
+    if request.shard_index is not None:
+        from repro.experiments.sharding import shard_inputs
+
+        # intra-run sharding: keep only the key-group slice this shard
+        # owns (the filter copies; the memoised logs are never mutated)
+        inputs = shard_inputs(graph, inputs, request.shard_index,
+                              request.shard_count, request.max_key_groups)
     job = Job(graph, request.protocol, request.parallelism, inputs, config)
     return job.run(rate=request.rate, query_name=spec.name)
 

@@ -1,0 +1,325 @@
+"""Intra-run sharding: one run split across independent key-group ranges.
+
+:class:`~repro.experiments.parallel.ParallelRunner` (DESIGN.md section 9)
+parallelizes *across* runs — a grid sweep fans out, but one large run
+still simulates serially.  Sharding splits a **single run** into
+``shard_count`` independent sub-simulations along the key-group address
+space (:mod:`repro.dataflow.keygroups`): shard ``i`` keeps exactly the
+input records whose routing key falls in ``group_range(i, shard_count,
+max_key_groups)``, runs the *full* pipeline over that slice, and the
+per-shard results merge additively (DESIGN.md section 15).
+
+Soundness rests on key-group isolation, checked structurally by
+:func:`validate_shardable`:
+
+* every source out-edge is KEY-partitioned — the input filter applies the
+  edge's own ``key_fn`` to raw log payloads, so "which shard owns this
+  record" is exactly "which key-group range owns it";
+* no edge downstream of a source is KEY-partitioned — a re-keying
+  exchange could merge records of *different* source keys into one
+  aggregate, which a key-group split would silently compute per shard;
+* no BROADCAST edges — a broadcast record's effects are duplicated
+  across instances and cannot be attributed to one key group.
+
+Under those checks every input record's entire downstream effect (derived
+records, keyed state, sink outputs) stays inside its own shard, so for a
+drained run the merged per-key state and the additive counters (sink /
+ingest counts, data and protocol bytes, checkpoint accounting) equal the
+unsharded run's.  Load-dependent measurements — latencies, queue peaks,
+blocked time — reflect each shard running at ``1/shard_count`` of the
+offered load and are merged best-effort, never invented; the docstring of
+:func:`merge_metrics` spells out each field's rule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import TYPE_CHECKING
+
+from repro.dataflow.channels import hash_key
+from repro.dataflow.graph import GraphError, LogicalGraph, Partitioning
+from repro.dataflow.keygroups import group_range, key_group, validate_key_space
+from repro.dataflow.results import RunResult
+from repro.metrics.collectors import MetricsCollector
+from repro.storage.kafka import PartitionedLog
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.parallel import ParallelRunner, RunRequest
+
+
+class ShardingError(GraphError):
+    """Raised when a graph or request cannot be sharded soundly."""
+
+
+# --------------------------------------------------------------------- #
+# Validation and input filtering
+# --------------------------------------------------------------------- #
+
+def validate_shardable(graph: LogicalGraph) -> None:
+    """Reject topologies whose runs do not decompose along key groups.
+
+    The three structural conditions (module docstring) are *sufficient*
+    for records of different key groups to never meet: all keyed exchange
+    happens on the source key, so the run is a disjoint union of per-group
+    sub-runs.  Operators must additionally be key-local — their state and
+    outputs for one key must not read another key's records — which is a
+    semantic property of the operator code; the differential tests in
+    ``tests/test_sharding.py`` audit it for the shipped pipelines.
+    """
+    for edge in graph.edges:
+        if edge.partitioning is Partitioning.BROADCAST:
+            raise ShardingError(
+                f"cannot shard: BROADCAST edge {edge.src}->{edge.dst} "
+                "duplicates records across instances, so their effects "
+                "cannot be attributed to one key group"
+            )
+        if graph.operators[edge.src].is_source:
+            if edge.partitioning is not Partitioning.KEY:
+                raise ShardingError(
+                    f"cannot shard: source out-edge {edge.src}->{edge.dst} "
+                    f"is {edge.partitioning.value}; input records can only "
+                    "be assigned to shards through a KEY edge's key_fn"
+                )
+        elif edge.partitioning is Partitioning.KEY:
+            raise ShardingError(
+                f"cannot shard: edge {edge.src}->{edge.dst} re-keys "
+                "downstream of a source; a derived key may merge records "
+                "of different source key groups into one aggregate"
+            )
+    for spec in graph.sources():
+        if not graph.out_edges(spec.name):
+            raise ShardingError(
+                f"cannot shard: source {spec.name!r} has no out-edges to "
+                "take a sharding key from"
+            )
+
+
+def shard_inputs(graph: LogicalGraph, inputs: dict[str, PartitionedLog],
+                 shard_index: int, shard_count: int,
+                 max_key_groups: int) -> dict[str, PartitionedLog]:
+    """The slice of ``inputs`` owned by shard ``shard_index``.
+
+    Every source topic is filtered to the records whose key group (under
+    the source out-edge's ``key_fn``) falls in ``group_range(shard_index,
+    shard_count, max_key_groups)``.  Filtered logs are *new* objects —
+    the originals (possibly shared through the input memo) are never
+    mutated — with offsets renumbered contiguously and availability
+    timestamps preserved, so source cursors and checkpoints inside the
+    shard are self-consistent.  Shards partition the input: every record
+    lands in exactly one shard's slice.
+    """
+    validate_shardable(graph)
+    if not 0 <= shard_index < shard_count:
+        raise ShardingError(
+            f"shard_index {shard_index} outside [0, {shard_count})"
+        )
+    validate_key_space(shard_count, max_key_groups, context="sharding")
+    groups = group_range(shard_index, shard_count, max_key_groups)
+    sharded = dict(inputs)
+    for spec in graph.sources():
+        log = inputs[spec.source_topic]
+        key_fns = [edge.key_fn for edge in graph.out_edges(spec.name)]
+        filtered = PartitionedLog(log.topic, len(log.partitions))
+        for index, partition in enumerate(log.partitions):
+            slice_partition = filtered.partition(index)
+            for record in partition.records:
+                payload = record.payload
+                owners = {
+                    key_group(hash_key(fn(payload)), max_key_groups)
+                    for fn in key_fns
+                }
+                if len(owners) > 1:
+                    raise ShardingError(
+                        f"cannot shard: out-edges of source {spec.name!r} "
+                        "route one record to different key groups "
+                        f"({sorted(owners)}); sharding needs a single "
+                        "owner per record"
+                    )
+                if owners.pop() in groups:
+                    slice_partition.append(record.available_at, payload,
+                                           record.size_bytes)
+        sharded[spec.source_topic] = filtered
+    return sharded
+
+
+# --------------------------------------------------------------------- #
+# Request fan-out
+# --------------------------------------------------------------------- #
+
+def shard_requests(request: "RunRequest",
+                   shard_count: int) -> "list[RunRequest]":
+    """Fan one request into ``shard_count`` shard requests.
+
+    Each shard request carries the *same* configuration (same seed, same
+    failure schedule, same parallelism — the split is along data, not
+    along instances) plus its ``(shard_index, shard_count)`` coordinates;
+    :func:`repro.experiments.parallel.run_with_spec` applies the input
+    filter, and :func:`repro.experiments.parallel.request_key` hashes the
+    coordinates, so shards cache independently of the unsharded run.
+    """
+    if request.shard_index is not None:
+        raise ShardingError(
+            f"request is already shard {request.shard_index}/"
+            f"{request.shard_count}; shards cannot be re-sharded"
+        )
+    if shard_count < 1:
+        raise ShardingError(f"shard_count must be >= 1, got {shard_count}")
+    validate_key_space(shard_count, request.max_key_groups,
+                       context="sharding")
+    return [replace(request, shard_index=index, shard_count=shard_count)
+            for index in range(shard_count)]
+
+
+# --------------------------------------------------------------------- #
+# Merging
+# --------------------------------------------------------------------- #
+
+def _merge_outages(parts: list[MetricsCollector]) -> list[list[float]]:
+    """Union of the shards' outage spans (down if *any* shard is down)."""
+    spans = sorted(
+        (span for metrics in parts for span in metrics.outages),
+        key=lambda span: span[0],
+    )
+    merged: list[list[float]] = []
+    for start, end in spans:
+        close = math.inf if end < 0 else end
+        if merged and start <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], close)
+        else:
+            merged.append([start, close])
+    return [[start, -1.0 if end == math.inf else end]
+            for start, end in merged]
+
+
+def merge_metrics(parts: list[MetricsCollector]) -> MetricsCollector:
+    """Merge per-shard collectors into one run-level collector.
+
+    Additive fields (exact — every record lives in exactly one shard):
+    sink/ingest counts, latency samples, data/protocol/message/record
+    counters, checkpoint events and byte accounting, replay counters,
+    blocked-time totals, per-group state bytes.
+
+    Best-effort fields (shards are separate processes, so no global
+    instant exists): failure stamps take the earliest detection and the
+    latest restart; outages merge as the interval union; queue peaks
+    report the worst single shard; recovery lines concatenate in shard
+    order.
+    """
+    merged = MetricsCollector()
+    for metrics in parts:
+        for second, values in metrics.latencies.items():
+            merged.latencies.setdefault(second, []).extend(values)
+        for second, count in metrics.sink_counts.items():
+            merged.sink_counts[second] = (
+                merged.sink_counts.get(second, 0) + count
+            )
+        for second, count in metrics.ingest_counts.items():
+            merged.ingest_counts[second] = (
+                merged.ingest_counts.get(second, 0) + count
+            )
+        merged.data_bytes += metrics.data_bytes
+        merged.protocol_bytes += metrics.protocol_bytes
+        merged.messages_sent += metrics.messages_sent
+        merged.records_sent += metrics.records_sent
+        merged.checkpoints.extend(metrics.checkpoints)
+        merged.forced_checkpoints += metrics.forced_checkpoints
+        merged.duplicates_skipped += metrics.duplicates_skipped
+        merged.checkpoint_bytes_uploaded += metrics.checkpoint_bytes_uploaded
+        merged.checkpoint_bytes_materialized += (
+            metrics.checkpoint_bytes_materialized
+        )
+        merged.replayed_messages += metrics.replayed_messages
+        merged.replayed_records += metrics.replayed_records
+        merged.recovery_lines.extend(metrics.recovery_lines)
+        merged.failure_records.extend(metrics.failure_records)
+        merged.interval_updates.extend(metrics.interval_updates)
+        for channel, blocked in metrics.blocked_time_by_channel.items():
+            merged.blocked_time_by_channel[channel] = (
+                merged.blocked_time_by_channel.get(channel, 0.0) + blocked
+            )
+        merged.blocked_time_total += metrics.blocked_time_total
+        merged.blocked_time_aligned += metrics.blocked_time_aligned
+        merged.sends_parked += metrics.sends_parked
+        for channel, peak in metrics.peak_in_flight_bytes.items():
+            if peak > merged.peak_in_flight_bytes.get(channel, 0):
+                merged.peak_in_flight_bytes[channel] = peak
+        merged.peak_total_in_flight_bytes = max(
+            merged.peak_total_in_flight_bytes,
+            metrics.peak_total_in_flight_bytes,
+        )
+        for group, state_bytes in metrics.group_state_bytes.items():
+            merged.group_state_bytes[group] = (
+                merged.group_state_bytes.get(group, 0) + state_bytes
+            )
+    merged.interval_updates.sort(key=lambda update: update[0])
+    merged.outages = _merge_outages(parts)
+    merged.failure_at = max((m.failure_at for m in parts), default=-1.0)
+    detections = [m.detected_at for m in parts if m.detected_at >= 0]
+    merged.detected_at = min(detections) if detections else -1.0
+    restarts = [m.restart_completed_at for m in parts
+                if m.restart_completed_at >= 0]
+    merged.restart_completed_at = max(restarts) if restarts else -1.0
+    invalid = [m.invalid_checkpoints for m in parts
+               if m.invalid_checkpoints >= 0]
+    merged.invalid_checkpoints = sum(invalid) if invalid else -1
+    totals = [m.total_checkpoints_at_failure for m in parts
+              if m.total_checkpoints_at_failure >= 0]
+    merged.total_checkpoints_at_failure = sum(totals) if totals else -1
+    rescaled = [m for m in parts if m.rescaled_at >= 0]
+    if rescaled:
+        earliest = min(rescaled, key=lambda m: m.rescaled_at)
+        merged.rescaled_at = earliest.rescaled_at
+        merged.rescale_from = earliest.rescale_from
+        merged.rescale_to = earliest.rescale_to
+    return merged
+
+
+def merge_shard_results(results: list[RunResult]) -> RunResult:
+    """Merge per-shard :class:`RunResult`\\ s into one run-level result.
+
+    Scalars (query, protocol, parallelism, rate, window) come from shard
+    0 — every shard ran the identical configuration.  Coordinated rounds
+    count as completed only when **all** shards completed them (a round
+    missing in one shard has no global durable cut), so the intersection
+    is taken before the checkpoint accounting sees the merged events.
+    """
+    if not results:
+        raise ShardingError("no shard results to merge")
+    first = results[0]
+    completed = set(first.completed_rounds)
+    for result in results[1:]:
+        completed &= result.completed_rounds
+    return RunResult(
+        query=first.query,
+        protocol=first.protocol,
+        parallelism=first.parallelism,
+        rate=first.rate,
+        warmup=first.warmup,
+        duration=first.duration,
+        metrics=merge_metrics([result.metrics for result in results]),
+        checkpoint_interval=first.checkpoint_interval,
+        completed_rounds=completed,
+        final_parallelism=first.final_parallelism,
+    )
+
+
+def run_sharded(request: "RunRequest", shard_count: int,
+                runner: "ParallelRunner | None" = None) -> RunResult:
+    """Execute ``request`` as ``shard_count`` key-group shards and merge.
+
+    With a :class:`~repro.experiments.parallel.ParallelRunner` attached
+    the shards fan across its worker processes (and land in its run cache
+    individually — a later re-run at a different shard count reuses
+    nothing, a re-run at the same count reuses everything); without one
+    they execute serially in-process, which is still useful for the
+    differential tests and for cache warming.
+    """
+    from repro.experiments.parallel import execute_request
+
+    requests = shard_requests(request, shard_count)
+    if runner is not None:
+        results = runner.map(requests)
+    else:
+        results = [execute_request(shard) for shard in requests]
+    return merge_shard_results(results)

@@ -157,6 +157,17 @@ class MetricsCollector:
         self.latencies.setdefault(second, []).append(now - source_ts)
         self.sink_counts[second] = self.sink_counts.get(second, 0) + 1
 
+    def record_output_batch(self, now: float, source_ts: list[float]) -> None:
+        """Count a batch of sink records and their end-to-end latencies.
+
+        One call per delivered batch on the columnar path; the appended
+        values (and their order) are identical to per-record
+        :meth:`record_output` calls.
+        """
+        second = int(now)
+        self.latencies.setdefault(second, []).extend(now - ts for ts in source_ts)
+        self.sink_counts[second] = self.sink_counts.get(second, 0) + len(source_ts)
+
     def record_ingest(self, now: float, count: int) -> None:
         """Count records pulled by sources in this second."""
         second = int(now)

@@ -79,7 +79,7 @@ def run_count_job(protocol: str, parallelism: int = 3, rate: float = 300.0,
                   checkpoint_interval: float = 3.0, seed: int = 3,
                   state_backend: str = "full", changelog_max_chain: int = 4,
                   rescale_to: int | None = None, rescale_at: int = 1,
-                  channel_capacity_bytes: int = 0):
+                  channel_capacity_bytes: int = 0, columnar: bool = True):
     """Run the counting pipeline; input stops early so queues drain."""
     if input_until is None:
         input_until = warmup + duration - 4.0
@@ -94,6 +94,7 @@ def run_count_job(protocol: str, parallelism: int = 3, rate: float = 300.0,
         rescale_to=rescale_to,
         rescale_at=rescale_at,
         channel_capacity_bytes=channel_capacity_bytes,
+        columnar=columnar,
     )
     log = make_event_log(rate, input_until, parallelism, seed=seed)
     job = Job(build_count_graph(), protocol, parallelism, {"events": log}, config)

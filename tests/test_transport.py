@@ -101,7 +101,7 @@ def test_blocked_key_skipped_by_gated_drains_but_forced_out():
 def test_gate_refusal_blocks_in_place():
     router, edges = _make_router(n_edges=1, batch_max=2)
     router.route(_records([0, 0]))
-    refused = router.take_ready(gate=lambda eid, dst, nbytes: False)
+    refused = router.take_ready(gate=lambda eid, dst, nbytes, nrecords: False)
     assert refused == []
     [(eid, dst)] = list(router.blocked_keys)
     assert router.staged_bytes_for(eid, dst) == 80
@@ -121,33 +121,52 @@ def test_gate_refusal_blocks_in_place():
 def test_router_never_loses_or_duplicates_records(ops):
     """Property: routed records == drained records, per (edge, dst), in order.
 
-    Random interleavings of route / take_ready / take_all / take_edge /
-    block / unblock must conserve every record exactly once and keep
-    per-destination FIFO order; the incremental counters must match the
-    buffered reality at every step.
+    Random interleavings of route / route_batch / take_ready / take_all /
+    take_edge / block / unblock must conserve every record exactly once
+    and keep per-destination FIFO order; the incremental counters must
+    match the buffered reality at every step.  Records include size 0
+    (the record counter, not just the byte counter, must track them) and
+    the columnar ``route_batch`` path interleaves with per-record
+    ``route`` so both feed the same bookkeeping.
     """
+    from repro.dataflow.batch import RecordBatch
+
     router, edges = _make_router(n_edges=3, parallelism=3, batch_max=3)
     partitioner = Partitioner(edges[0], 3)
     routed: dict[tuple[int, int], list[int]] = {}
     drained: dict[tuple[int, int], list[int]] = {}
     next_rid = [0]
+    routed_bytes = [0]
+    drained_bytes = [0]
+
+    def make_record(key):
+        rid = next_rid[0]
+        next_rid[0] += 1
+        # a third of all records are zero-size: byte accounting alone
+        # would let them vanish from the staged counters
+        size = (key % 3) * 20
+        record = StreamRecord(rid=rid, payload=KeyedEvent(key, rid),
+                              source_ts=0.0, size_bytes=size)
+        [dst] = partitioner.destinations(0, record)
+        for e in edges:  # every edge routes each record once
+            routed.setdefault((e.edge_id, dst), []).append(rid)
+        routed_bytes[0] += size * len(edges)
+        return record
 
     def collect(items):
         for edge_id, dst, records, nbytes in items:
             assert nbytes == sum(r.size_bytes for r in records)
             drained.setdefault((edge_id, dst), []).extend(r.rid for r in records)
+            drained_bytes[0] += nbytes
 
     for action, key, edge_sel in ops:
         edge = edges[edge_sel]
-        if action <= 2:  # route one record (weighted: most common op)
-            rid = next_rid[0]
-            next_rid[0] += 1
-            record = StreamRecord(rid=rid, payload=KeyedEvent(key, rid),
-                                  source_ts=0.0, size_bytes=40)
-            [dst] = partitioner.destinations(0, record)
-            for e in edges:  # every edge routes each record once
-                routed.setdefault((e.edge_id, dst), []).append(rid)
-            router.route([record])
+        if action <= 1:  # route one record (weighted: most common op)
+            router.route([make_record(key)])
+        elif action == 2:  # columnar path: route a two-record batch
+            batch = RecordBatch.from_records(
+                [make_record(key), make_record((key + 5) % 8)])
+            router.route_batch(batch)
         elif action == 3:
             collect(router.take_ready())
         elif action == 4:
@@ -165,7 +184,7 @@ def test_router_never_loses_or_duplicates_records(ops):
         staged = sum(len(v) for v in routed.values()) - sum(
             len(v) for v in drained.values())
         assert router.staged_records == staged
-        assert router.staged_bytes == staged * 40
+        assert router.staged_bytes == routed_bytes[0] - drained_bytes[0]
     collect(router.take_all())
     assert router.staged_records == 0 and router.staged_bytes == 0
     for key in routed:
@@ -246,6 +265,41 @@ def test_queue_depth_accounting_invariant_at_every_event():
     job.run()
     assert events[0] > 100
     assert measured_counts(job) == expected_counts(job)
+
+
+def test_zero_size_records_consume_credit_units():
+    """Credit units are ``max(bytes, records)``: size-0 records still pay.
+
+    Before the fix a batch of zero-byte records debited nothing, so an
+    arbitrarily deep queue of them slipped past a saturated channel and
+    the park machinery never engaged.
+    """
+    import tests.conftest as c
+    from repro.dataflow.channels import DATA, Message
+    from repro.dataflow.runtime import Job
+    from repro.sim.costs import RuntimeConfig
+
+    config = RuntimeConfig(duration=4.0, warmup=1.0, channel_capacity_bytes=8)
+    log = c.make_event_log(50.0, 4.0, 3, seed=3)
+    job = Job(c.build_count_graph(), "unc", 3, {"events": log}, config)
+    transport = job.transport
+    channel = (0, 0, 0)
+
+    records = [StreamRecord(rid=i, payload=KeyedEvent(0, i), source_ts=0.0,
+                            size_bytes=0) for i in range(10)]
+    assert transport.has_credit(channel, 0, 10)  # empty channel accepts
+    msg = Message(channel=channel, seq=1, kind=DATA, records=records,
+                  payload_bytes=0, sent_at=0.0)
+    transport.transmit(channel, msg)
+    # ten zero-byte records hold ten credit units, not zero
+    assert transport.in_flight_bytes[channel] == 10
+    assert transport.total_in_flight == 10
+    assert not transport.has_credit(channel, 0, 1)   # saturated by records
+    assert not transport.has_credit(channel, 40, 0)  # and for bytes alike
+    transport.on_consumed(channel, msg)
+    assert transport.in_flight_bytes[channel] == 0
+    assert transport.total_in_flight == 0
+    assert transport.has_credit(channel, 0, 1)
 
 
 @pytest.mark.parametrize("protocol", ["coor", "coor-unaligned", "unc", "cic"])

@@ -48,6 +48,7 @@ class RuleScope:
 #: cost measurable simulator throughput — see BENCH_transport.json)
 HOT_PATH = (
     "src/repro/dataflow/records.py",
+    "src/repro/dataflow/batch.py",
     "src/repro/dataflow/channels.py",
     "src/repro/dataflow/transport.py",
     "src/repro/sim/events.py",
