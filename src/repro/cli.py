@@ -36,6 +36,13 @@ from repro.workloads.cyclic import REACHABILITY
 from repro.workloads.nexmark import QUERIES
 
 
+def _shard_spec(value: str) -> int | str:
+    """Parse ``--shards``: an integer count or the literal ``auto``."""
+    if value == "auto":
+        return value
+    return int(value)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -95,11 +102,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="per-channel credit budget in bytes for "
                             "credit-based flow control; 0 (default) keeps "
                             "channels unbounded (DESIGN.md §13)")
-    query.add_argument("--shards", type=int, default=1,
+    query.add_argument("--shards", type=_shard_spec, default=1,
                        help="split this one run into N independent "
                             "key-group shards and merge their results "
                             "(requires all source out-edges to be "
-                            "KEY-partitioned; DESIGN.md §15)")
+                            "KEY-partitioned; DESIGN.md §15); 'auto' "
+                            "picks a count from the run size and the "
+                            "DESIGN.md §16 eligibility gates")
     query.add_argument("--jobs", type=int, default=0,
                        help="worker processes for --shards (default: one "
                             "per shard)")
@@ -117,6 +126,10 @@ def _add_common(sub: argparse.ArgumentParser) -> None:
                      help="worker processes for independent runs (default: 1)")
     sub.add_argument("--cache-dir", default=None,
                      help="content-addressed run cache shared across invocations")
+    sub.add_argument("--no-auto-shard", action="store_true",
+                     help="keep large shardable runs unsharded instead of "
+                          "auto-splitting them along key groups when "
+                          "--jobs > 1 (DESIGN.md §16)")
 
 
 def _resolve_scale(args):
@@ -147,6 +160,7 @@ def _emit(out_dir: str, name: str, text: str) -> None:
 
 def _install_runner(args) -> ParallelRunner | None:
     """Wire a parallel executor / run cache into the figure harness."""
+    figures.set_auto_shard(not args.no_auto_shard)
     if args.jobs <= 1 and args.cache_dir is None:
         return None
     runner = ParallelRunner(jobs=args.jobs, cache_dir=args.cache_dir)
@@ -155,6 +169,7 @@ def _install_runner(args) -> ParallelRunner | None:
 
 
 def _teardown_runner(runner: ParallelRunner | None) -> None:
+    figures.set_auto_shard(True)
     if runner is None:
         return
     figures.set_runner(None)
@@ -208,27 +223,32 @@ def _cmd_query(args) -> int:
         print("--rescale-to requires --failure-at or --failure-scenario "
               "(the rescale is applied by a recovery)", file=sys.stderr)
         return 2
-    if args.shards > 1:
-        from repro.experiments.parallel import RunRequest
-        from repro.experiments.sharding import run_sharded
+    from repro.experiments.parallel import RunRequest
+    from repro.experiments.sharding import auto_shard_count, run_sharded
 
-        request = RunRequest(
-            query=spec.name, protocol=args.protocol,
-            parallelism=args.parallelism, rate=rate,
-            duration=args.duration, warmup=args.warmup,
-            failure_at=args.failure_at, hot_ratio=args.hot_ratio,
-            checkpoint_interval=args.checkpoint_interval, seed=args.seed,
-            state_backend=args.state_backend,
-            rescale_to=args.rescale_to, rescale_at=args.rescale_at,
-            max_key_groups=args.max_key_groups,
-            failure_scenario=args.failure_scenario,
-            interval_policy=args.interval_policy,
-            channel_capacity_bytes=args.channel_capacity,
-        )
-        jobs = args.jobs if args.jobs > 0 else args.shards
+    request = RunRequest(
+        query=spec.name, protocol=args.protocol,
+        parallelism=args.parallelism, rate=rate,
+        duration=args.duration, warmup=args.warmup,
+        failure_at=args.failure_at, hot_ratio=args.hot_ratio,
+        checkpoint_interval=args.checkpoint_interval, seed=args.seed,
+        state_backend=args.state_backend,
+        rescale_to=args.rescale_to, rescale_at=args.rescale_at,
+        max_key_groups=args.max_key_groups,
+        failure_scenario=args.failure_scenario,
+        interval_policy=args.interval_policy,
+        channel_capacity_bytes=args.channel_capacity,
+    )
+    shards = args.shards
+    if shards == "auto":
+        shards = auto_shard_count(request, jobs=args.jobs)
+        print(f"[auto-shard] resolved to {shards} shard(s) "
+              "(DESIGN.md §16 gates)")
+    if shards > 1:
+        jobs = args.jobs if args.jobs > 0 else shards
         with ParallelRunner(jobs=jobs) as runner:
-            result = run_sharded(request, args.shards, runner=runner)
-        print(f"[sharded] {args.shards} key-group shards across "
+            result = run_sharded(request, shards, runner=runner)
+        print(f"[sharded] {shards} key-group shards across "
               f"{jobs} worker processes")
     else:
         result = run_query(

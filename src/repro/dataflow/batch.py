@@ -36,11 +36,31 @@ downstream kernels may alias them (e.g. a map output sharing the input's
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.dataflow.records import StreamRecord
 
-__all__ = ["RecordBatch"]
+__all__ = ["RecordBatch", "group_indices"]
+
+
+def group_indices(keys: Sequence[Any]) -> dict[Any, list[int]]:
+    """Group column positions by key, in first-occurrence order.
+
+    The scatter idiom shared with ``route_batch``: one pass over the key
+    column builds ``key -> [positions]`` with dict insertion order equal to
+    the order each key first appears, so batched keyed-state kernels touch
+    (and create) state entries in exactly the order the per-record loop
+    would (DESIGN.md section 16).
+    """
+    groups: dict[Any, list[int]] = {}
+    get = groups.get
+    for i, key in enumerate(keys):
+        group = get(key)
+        if group is None:
+            groups[key] = [i]
+        else:
+            group.append(i)
+    return groups
 
 
 class RecordBatch:

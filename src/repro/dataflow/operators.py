@@ -17,9 +17,64 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
-from repro.dataflow.batch import RecordBatch
+from repro.dataflow.batch import RecordBatch, group_indices
 from repro.dataflow.records import StreamRecord, derived_rid, derived_rids, joined_rid
 from repro.dataflow.state import KeyedListState, KeyedMapState, StateRegistry, ValueState
+
+
+def _join_batch(
+    op: str,
+    batch: RecordBatch,
+    port: str,
+    left_key: Callable[[Any], Any],
+    right_key: Callable[[Any], Any],
+    combine: Callable[[Any, Any], Any],
+    left_state: KeyedListState,
+    right_state: KeyedListState,
+    out_size: int,
+) -> RecordBatch | None:
+    """Batched insert-then-probe shared by both join operators.
+
+    A batch arrives on exactly one port, so the probed side is constant for
+    the whole batch: appending the key column in one :meth:`append_many`
+    and then probing per record reproduces the per-record interleaving
+    byte-for-byte — same stored lists, same match order, same
+    order-invariant ``joined_rid`` lineage (DESIGN.md section 16).
+    """
+    payloads = batch.payloads
+    in_rids = batch.rids
+    in_ts = batch.source_ts
+    if port == "left":
+        keys = [left_key(p) for p in payloads]
+        own, other, flip = left_state, right_state, False
+    elif port == "right":
+        keys = [right_key(p) for p in payloads]
+        own, other, flip = right_state, left_state, True
+    else:
+        raise ValueError(f"unknown join port {port!r}")
+    own.append_many(
+        [(keys[i], (in_rids[i], payloads[i], in_ts[i]), None)
+         for i in range(len(keys))]
+    )
+    out = RecordBatch()
+    out_rids, out_payloads = out.rids, out.payloads
+    out_ts, out_sizes = out.source_ts, out.sizes
+    probe = other.get
+    for i, key in enumerate(keys):
+        matches = probe(key)
+        if not matches:
+            continue
+        rid, payload, ts = in_rids[i], payloads[i], in_ts[i]
+        for other_rid, other_payload, other_ts in matches:
+            if flip:
+                out_rids.append(joined_rid(op, other_rid, rid))
+                out_payloads.append(combine(other_payload, payload))
+            else:
+                out_rids.append(joined_rid(op, rid, other_rid))
+                out_payloads.append(combine(payload, other_payload))
+            out_ts.append(ts if ts >= other_ts else other_ts)
+            out_sizes.append(out_size)
+    return out if len(out_rids) else None
 
 
 class OperatorContext:
@@ -288,6 +343,13 @@ class IncrementalJoinOperator(Operator):
             raise ValueError(f"unknown join port {port!r}")
         return outputs
 
+    def process_batch(self, batch: RecordBatch, port: str) -> RecordBatch | None:
+        """Insert the whole batch on its side, then probe the other side."""
+        return _join_batch(
+            self.ctx.op_name, batch, port, self._left_key, self._right_key,
+            self._combine, self._left, self._right, self._out_size,
+        )
+
 
 class WindowedJoinOperator(Operator):
     """Tumbling processing-time window join (NexMark Q8), running flavour.
@@ -377,6 +439,19 @@ class WindowedJoinOperator(Operator):
             raise ValueError(f"unknown join port {port!r}")
         return outputs
 
+    def process_batch(self, batch: RecordBatch, port: str) -> RecordBatch | None:
+        """Roll the window once (virtual time is batch-constant), then join.
+
+        ``ctx.now()`` cannot advance inside one batch task, so the
+        per-record path rolls at most once per batch too — on its first
+        record — and every later roll call is a no-op.
+        """
+        self._roll_window()
+        return _join_batch(
+            self.ctx.op_name, batch, port, self._left_key, self._right_key,
+            self._combine, self._left, self._right, self._out_size,
+        )
+
 
 class WindowedCountOperator(Operator):
     """Tumbling processing-time windowed count per key (NexMark Q12), running.
@@ -409,8 +484,7 @@ class WindowedCountOperator(Operator):
         """Sweep counters of closed windows and reschedule."""
         kind, window_id = tag
         stale = [k for k, (w, _) in self._counts.items() if w < window_id]
-        for key in stale:
-            self._counts.delete(key)
+        self._counts.delete_many(stale)
         self.ctx.register_timer((window_id + 1) * self.window, ("sweep", window_id + 1))
         return []
 
@@ -429,6 +503,45 @@ class WindowedCountOperator(Operator):
         self._counts.put(key, (current, count), 40)
         payload = {"key": key, "window": current, "count": count}
         return [record.derive(self.ctx.op_name, payload, self._out_size)]
+
+    def process_batch(self, batch: RecordBatch, port: str) -> RecordBatch | None:
+        """Fold the batch per key; one state get/put per distinct key.
+
+        Grouping by key in first-occurrence order keeps state-dict
+        insertion order identical to the per-record loop; counters never
+        shrink mid-batch, so the sweep-timer arming condition (state empty)
+        is checked once up front exactly as the first record would.
+        """
+        ctx = self.ctx
+        current = int(ctx.now() // self.window)
+        key_fn = self._key_fn
+        keys = [key_fn(p) for p in batch.payloads]
+        n = len(keys)
+        if not n:
+            return None
+        counts = self._counts
+        if len(counts) == 0:
+            ctx.register_timer((current + 1) * self.window, ("sweep", current + 1))
+        out_counts = [0] * n
+        puts: list[tuple[Any, Any, int]] = []
+        get = counts.get
+        for key, idxs in group_indices(keys).items():
+            stored = get(key)
+            base = 0 if stored is None or stored[0] != current else stored[1]
+            for j, i in enumerate(idxs, start=1):
+                out_counts[i] = base + j
+            puts.append((key, (current, base + len(idxs)), 40))
+        counts.put_many(puts)
+        payloads = [
+            {"key": keys[i], "window": current, "count": out_counts[i]}
+            for i in range(n)
+        ]
+        return RecordBatch(
+            rids=derived_rids(ctx.op_name, batch.rids),
+            payloads=payloads,
+            source_ts=batch.source_ts,
+            sizes=[self._out_size] * n,
+        )
 
 
 class SlidingWindowCountOperator(Operator):
@@ -478,8 +591,7 @@ class SlidingWindowCountOperator(Operator):
         """Drop slots of windows that slid out of range."""
         _, window_id = tag
         stale = [k for k in self._counts.keys() if k[0] <= window_id]
-        for key in stale:
-            self._counts.delete(key)
+        self._counts.delete_many(stale)
         return []
 
     def process(self, record: StreamRecord, port: str) -> list[StreamRecord]:
@@ -499,6 +611,53 @@ class SlidingWindowCountOperator(Operator):
             "count": self._counts.get((newest, key)),
         }
         return [record.derive(self.ctx.op_name, payload, self._out_size)]
+
+    def process_batch(self, batch: RecordBatch, port: str) -> RecordBatch | None:
+        """Fold the batch per key; one put per touched (window, key) slot.
+
+        The covered window set is batch-constant (virtual time does not
+        advance mid-batch), so each key group folds ``len(group)`` arrivals
+        into every covered slot at once.  Slots are created in the same
+        key-major, window-minor order as the per-record loop, and the
+        expiry sweep is scheduled exactly when a record would first create
+        its key's newest slot.
+        """
+        ctx = self.ctx
+        now = ctx.now()
+        key_fn = self._key_fn
+        keys = [key_fn(p) for p in batch.payloads]
+        n = len(keys)
+        if not n:
+            return None
+        newest = int(now // self.slide)
+        windows = self._windows_for(now)
+        counts = self._counts
+        get = counts.get
+        out_counts = [0] * n
+        puts: list[tuple[Any, Any, int]] = []
+        for key, idxs in group_indices(keys).items():
+            arrivals = len(idxs)
+            for window_id in windows:
+                slot = (window_id, key)
+                stored = get(slot)
+                if stored is None and window_id == newest:
+                    self._schedule_sweep(newest)
+                base = stored or 0
+                puts.append((slot, base + arrivals, 32))
+                if window_id == newest:
+                    for j, i in enumerate(idxs, start=1):
+                        out_counts[i] = base + j
+        counts.put_many(puts)
+        payloads = [
+            {"key": keys[i], "window": newest, "count": out_counts[i]}
+            for i in range(n)
+        ]
+        return RecordBatch(
+            rids=derived_rids(ctx.op_name, batch.rids),
+            payloads=payloads,
+            source_ts=batch.source_ts,
+            sizes=[self._out_size] * n,
+        )
 
 
 class MaxPerKeyOperator(Operator):
@@ -537,6 +696,54 @@ class MaxPerKeyOperator(Operator):
         payload = {"group": group, "item": item, "value": value}
         return [record.derive(self.ctx.op_name, payload, self._out_size)]
 
+    def process_batch(self, batch: RecordBatch, port: str) -> RecordBatch | None:
+        """Sequential fold over the batch; one put per improved group.
+
+        Emission order must interleave groups in record order (a record
+        emits iff it improves on everything seen so far, including earlier
+        records of this batch), so the fold walks records sequentially but
+        defers state writes to a single :meth:`put_many` over the final
+        per-group best — intermediate puts are unobservable because a
+        checkpoint marker never lands inside a batch.
+        """
+        best = self._best
+        get = best.get
+        group_fn = self._group_fn
+        value_fn = self._value_fn
+        item_fn = self._item_fn
+        payloads = batch.payloads
+        local: dict[Any, tuple[Any, Any]] = {}
+        local_get = local.get
+        keep: list[int] = []
+        out_payloads: list[Any] = []
+        for i, payload in enumerate(payloads):
+            group = group_fn(payload)
+            value = value_fn(payload)
+            cur = local_get(group)
+            if cur is None:
+                cur = get(group)
+            if cur is not None and cur[0] >= value:
+                continue
+            item = item_fn(payload)
+            local[group] = (value, item)
+            keep.append(i)
+            out_payloads.append({"group": group, "item": item, "value": value})
+        if not keep:
+            return None
+        best.put_many([(g, vi, 32) for g, vi in local.items()])
+        if len(keep) == len(payloads):
+            rids, ts = batch.rids, batch.source_ts
+        else:
+            in_rids, in_ts = batch.rids, batch.source_ts
+            rids = [in_rids[i] for i in keep]
+            ts = [in_ts[i] for i in keep]
+        return RecordBatch(
+            rids=derived_rids(self.ctx.op_name, rids),
+            payloads=out_payloads,
+            source_ts=ts,
+            sizes=[self._out_size] * len(keep),
+        )
+
 
 class SinkOperator(Operator):
     """Terminal operator: reports records as pipeline output."""
@@ -559,7 +766,7 @@ class SinkOperator(Operator):
 # --------------------------------------------------------------------- #
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MapStage:
     """One 1-to-1 stage of a fused stateless chain.
 
@@ -573,7 +780,7 @@ class MapStage:
     out_size: Callable[[Any], int] | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FilterStage:
     """One predicate stage of a fused stateless chain.
 

@@ -28,7 +28,7 @@ every protocol.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Container, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Container, Iterator, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dataflow.worker import InstanceRuntime
@@ -158,12 +158,60 @@ class KeyedMapState:
 
     def put(self, key: Any, value: Any, size_bytes: int) -> None:
         """Insert or replace ``key`` with an explicit byte size."""
-        self._total += size_bytes - self._sizes.get(key, 0)
+        sizes = self._sizes
+        prev = sizes.get(key)
+        sizes[key] = size_bytes
+        self._total += size_bytes if prev is None else size_bytes - prev
         self._data[key] = value
-        self._sizes[key] = size_bytes
         if self._tracked:
             self._dirty.add(key)
             self._deleted.discard(key)
+
+    # -- batch kernels (DESIGN.md section 16) ------------------------------ #
+
+    def get_many(self, keys: Sequence[Any], default: Any = None) -> list[Any]:
+        """Values stored under ``keys`` (``default`` where absent), aligned."""
+        data_get = self._data.get
+        return [data_get(key, default) for key in keys]
+
+    def put_many(self, entries: Sequence[tuple[Any, Any, int]]) -> None:
+        """Batch :meth:`put` over ``(key, value, size_bytes)`` triples.
+
+        Semantically identical to the equivalent sequence of scalar puts —
+        same data, sizes, total and dirty/deleted sets under both state
+        backends — but with locals bound once and the tracking sets updated
+        with one ``set.update``/``difference_update`` over the key column.
+        """
+        data = self._data
+        sizes = self._sizes
+        sizes_get = sizes.get
+        total = self._total
+        for key, value, size_bytes in entries:
+            prev = sizes_get(key)
+            sizes[key] = size_bytes
+            total += size_bytes if prev is None else size_bytes - prev
+            data[key] = value
+        self._total = total
+        if self._tracked and entries:
+            keys = [entry[0] for entry in entries]
+            self._dirty.update(keys)
+            self._deleted.difference_update(keys)
+
+    def delete_many(self, keys: Sequence[Any]) -> None:
+        """Batch :meth:`delete`: remove every present key in ``keys``."""
+        data = self._data
+        sizes = self._sizes
+        total = self._total
+        removed: list[Any] = []
+        for key in keys:
+            if key in data:
+                total -= sizes.pop(key)
+                del data[key]
+                removed.append(key)
+        self._total = total
+        if removed and self._tracked:
+            self._dirty.difference_update(removed)
+            self._deleted.update(removed)
 
     def delete(self, key: Any) -> None:
         """Remove ``key`` if present (tracked as a deletion)."""
@@ -324,6 +372,45 @@ class KeyedListState:
             if prev is None:  # first post-arm touch: estimate the backlog
                 prev = (len(values) - 1) * self._entry_bytes
             self._key_bytes[key] = prev + added
+
+    def append_many(
+        self, entries: Sequence[tuple[Any, Any, int | None]]
+    ) -> None:
+        """Batch :meth:`append` over ``(key, value, size_bytes)`` triples.
+
+        Semantically identical to the equivalent sequence of scalar appends
+        (same lists, totals, per-key byte accounting and dirty/deleted sets
+        under both state backends); the tracking sets are updated with one
+        ``set.update``/``difference_update`` over the key column.
+        """
+        data = self._data
+        entry_bytes = self._entry_bytes
+        total = self._total
+        if self._tracked:
+            key_bytes = self._key_bytes
+            for key, value, size_bytes in entries:
+                values = data.get(key)
+                if values is None:
+                    values = data[key] = []
+                values.append(value)
+                added = entry_bytes if size_bytes is None else size_bytes
+                total += added
+                prev = key_bytes.get(key)
+                if prev is None:  # first post-arm touch: estimate the backlog
+                    prev = (len(values) - 1) * entry_bytes
+                key_bytes[key] = prev + added
+            if entries:
+                keys = [entry[0] for entry in entries]
+                self._dirty.update(keys)
+                self._deleted.difference_update(keys)
+        else:
+            for key, value, size_bytes in entries:
+                values = data.get(key)
+                if values is None:
+                    values = data[key] = []
+                values.append(value)
+                total += entry_bytes if size_bytes is None else size_bytes
+        self._total = total
 
     def get(self, key: Any) -> list:
         """The list stored under ``key`` (empty if absent)."""
@@ -572,7 +659,7 @@ class StateRegistry:
 # State backends (DESIGN.md section 10)
 # --------------------------------------------------------------------- #
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CapturedState:
     """What one checkpoint capture produced, backend-independently.
 

@@ -100,7 +100,14 @@ class InstanceRuntime(OperatorContext):
     # -- OperatorContext ------------------------------------------------- #
 
     def now(self) -> float:
-        """Current virtual time (OperatorContext hook)."""
+        """Current virtual time (OperatorContext hook).
+
+        Constant for the duration of one CPU task: the worker computes a
+        task's virtual cost first and advances the clock only when the task
+        completes, so every record of a batch observes the same ``now()``.
+        The batched stateful kernels (DESIGN.md section 16) lean on this —
+        window ids and sweep deadlines are batch-constant by construction.
+        """
         return self.job.sim.now
 
     def register_timer(self, at: float, tag: Any) -> None:

@@ -19,6 +19,11 @@ from repro.experiments.parallel import (
     RunRequest,
     execute_request,
 )
+from repro.experiments.sharding import (
+    auto_shard_count,
+    run_sharded,
+    shard_requests,
+)
 from repro.metrics.mst import find_mst
 from repro.metrics.report import format_table, shape_report
 from repro.metrics.series import percentile
@@ -35,6 +40,10 @@ _CACHE: dict[tuple, object] = {}
 #: ``--jobs/--cache-dir`` flags (or tests) via :func:`set_runner`
 _RUNNER: ParallelRunner | None = None
 
+#: default-on intra-run sharding of large shardable steady runs
+#: (DESIGN.md section 16); the CLI's ``--no-auto-shard`` clears it
+_AUTO_SHARD = True
+
 
 def set_runner(runner: ParallelRunner | None) -> None:
     """Route every figure/table run through ``runner`` (None = serial)."""
@@ -47,13 +56,45 @@ def get_runner() -> ParallelRunner | None:
     return _RUNNER
 
 
+def set_auto_shard(enabled: bool) -> None:
+    """Enable/disable default sharding of large figure runs."""
+    global _AUTO_SHARD
+    _AUTO_SHARD = enabled
+
+
+def get_auto_shard() -> bool:
+    """Whether large shardable runs auto-split (DESIGN.md section 16)."""
+    return _AUTO_SHARD
+
+
+def _shards_for(request: RunRequest) -> int:
+    """Shard count this request runs at under the installed runner.
+
+    Sharding needs the runner's worker pool to win wall-clock, so the
+    policy only engages with a multi-process runner installed; the
+    correctness gates live in :func:`auto_shard_count`.
+    """
+    if not _AUTO_SHARD or _RUNNER is None or type(request) is not RunRequest:
+        return 1
+    return auto_shard_count(request, jobs=_RUNNER.jobs)
+
+
 def clear_cache() -> None:
     """Forget cached MSTs and runs (tests use this for isolation)."""
     _CACHE.clear()
 
 
 def _execute(request: RunRequest) -> RunResult:
-    """One run, through the installed runner (cache-first) or inline."""
+    """One run, through the installed runner (cache-first) or inline.
+
+    Large shardable steady runs auto-split into key-group shards first
+    (DESIGN.md section 16): :func:`_shards_for` picks the count, and the
+    additive merge in :mod:`repro.experiments.sharding` keeps the fields
+    figures consume identical to the unsharded run.
+    """
+    shards = _shards_for(request)
+    if shards > 1:
+        return run_sharded(request, shards, runner=_RUNNER)
     if _RUNNER is not None:
         return _RUNNER.run(request)
     return execute_request(request)
@@ -64,10 +105,22 @@ def _warm(requests: list[RunRequest]) -> None:
 
     Results land in the runner's cache, so the per-combination ``_execute``
     calls that follow are pure cache hits.  A no-op without a multi-process
-    runner — the serial path then computes each run on first use.
+    runner — the serial path then computes each run on first use.  Requests
+    the auto-shard policy would split are expanded into their shard
+    requests here, so the later :func:`run_sharded` merge is also pure
+    cache hits.
     """
-    if _RUNNER is not None and _RUNNER.jobs > 1 and len(requests) > 1:
-        _RUNNER.map(requests)
+    if _RUNNER is None or _RUNNER.jobs <= 1:
+        return
+    expanded: list[RunRequest] = []
+    for request in requests:
+        shards = _shards_for(request)
+        if shards > 1:
+            expanded.extend(shard_requests(request, shards))
+        else:
+            expanded.append(request)
+    if len(expanded) > 1:
+        _RUNNER.map(expanded)
 
 
 # --------------------------------------------------------------------- #

@@ -171,6 +171,73 @@ def shard_requests(request: "RunRequest",
             for index in range(shard_count)]
 
 
+#: target records per shard for ``--shards auto``: below roughly twice
+#: this the fixed per-shard overhead (graph build, checkpoint streams,
+#: result merge) outweighs the fan-out win
+AUTO_SHARD_MIN_RECORDS = 100_000
+
+#: hard cap on what the auto policy ever picks; beyond this the merge
+#: and per-shard warmup costs dominate on the shipped workloads
+AUTO_SHARD_MAX = 8
+
+
+def auto_shard_count(request: "RunRequest", jobs: int = 0) -> int:
+    """The shard count ``--shards auto`` resolves to (1 = run unsharded).
+
+    Auto-sharding must never change what a figure reports, so it engages
+    only when the split is provably output-preserving for the fields the
+    harness consumes — the record-additive ones (sink/ingest counts,
+    records sent, data bytes, per-key state).  Every gate below guards
+    one way that guarantee can break:
+
+    * already a shard, or the graph fails :func:`validate_shardable`
+      (re-keying, broadcast) — the split is structurally unsound;
+    * failure, rescale, or a failure scenario — those inject *global
+      instants* (detection, restart, availability) that a merge of
+      independent sub-runs can only approximate;
+    * adaptive checkpoint intervals — the controller feeds on run-wide
+      load, which each shard would observe at ``1/shard_count``;
+    * bounded channels (backpressure) or hot-key skew — load-dependent
+      behaviour, and each shard runs at a fraction of the offered load;
+    * estimated input below ``2 * AUTO_SHARD_MIN_RECORDS`` — too small
+      for the split overhead to pay for itself.
+
+    The count is the estimated record volume over
+    :data:`AUTO_SHARD_MIN_RECORDS`, capped by :data:`AUTO_SHARD_MAX`,
+    the key-group space, and ``jobs`` when positive (shards beyond the
+    worker count only add merge overhead).
+    """
+    from repro.experiments.parallel import resolve_spec
+
+    if request.shard_index is not None:
+        return 1
+    if request.failure_at is not None or request.failure_scenario:
+        return 1
+    if request.rescale_to is not None:
+        return 1
+    if request.interval_policy != "fixed":
+        return 1
+    if request.channel_capacity_bytes:
+        return 1
+    if request.hot_ratio > 0:
+        return 1
+    estimated = request.rate * (request.warmup + request.duration)
+    count = int(estimated // AUTO_SHARD_MIN_RECORDS)
+    if count < 2:
+        return 1
+    count = min(count, AUTO_SHARD_MAX, request.max_key_groups)
+    if jobs > 0:
+        count = min(count, jobs)
+    if count < 2:
+        return 1
+    try:
+        spec = resolve_spec(request.query)
+        validate_shardable(spec.build_graph(request.parallelism))
+    except (GraphError, KeyError, ValueError):
+        return 1
+    return count
+
+
 # --------------------------------------------------------------------- #
 # Merging
 # --------------------------------------------------------------------- #

@@ -1,0 +1,298 @@
+"""Batched keyed-state kernels and default sharding (DESIGN.md section 16).
+
+Two acceptance properties ride on this file:
+
+* **kernel equivalence** — every batch kernel on the state layer
+  (``get_many``/``put_many``/``delete_many``/``append_many``) must be
+  indistinguishable from the equivalent sequence of scalar calls under
+  random interleavings with ``mark_clean``: identical data and insertion
+  order, byte accounting, dirty/deleted tracking, ``snapshot_delta``
+  payloads (which must also round-trip through ``apply_delta``) and
+  ``delta_bytes`` — armed or unarmed, i.e. under both the full-snapshot
+  and changelog backends' views of the state;
+* **auto-shard neutrality** — ``--shards auto`` (the figure harness's
+  default sharding) must engage only when the key-group split is
+  output-preserving, and an auto-sharded figure run must match the
+  unsharded ground truth on every record-additive field.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import pytest
+from hypothesis import given, strategies as st
+
+import repro.experiments.sharding as sharding
+from repro import cli
+from repro.dataflow.state import KeyedListState, KeyedMapState
+from repro.experiments import figures
+from repro.experiments.parallel import (
+    ParallelRunner,
+    RunRequest,
+    execute_request,
+)
+from repro.experiments.sharding import AUTO_SHARD_MAX, auto_shard_count
+from repro.workloads.nexmark.queries import QUERIES
+from repro.workloads.spec import QuerySpec
+
+from tests.conftest import build_count_graph, make_event_log
+
+
+# --------------------------------------------------------------------- #
+# Batch kernels == scalar call sequences (hypothesis)
+# --------------------------------------------------------------------- #
+
+_KEYS = st.integers(min_value=0, max_value=7)
+_SIZES = st.integers(min_value=0, max_value=64)
+_VALUES = st.integers(min_value=-100, max_value=100)
+
+_MAP_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"),
+                  st.lists(st.tuples(_KEYS, _VALUES, _SIZES), max_size=8)),
+        st.tuples(st.just("delete"), st.lists(_KEYS, max_size=8)),
+        st.tuples(st.just("clean"), st.none()),
+    ),
+    max_size=12,
+)
+
+
+def _apply_map_ops(ops, batched: KeyedMapState, scalar: KeyedMapState):
+    """Drive ``batched`` through the kernels, ``scalar`` through loops."""
+    for tag, arg in ops:
+        if tag == "put":
+            batched.put_many(arg)
+            for key, value, size in arg:
+                scalar.put(key, value, size)
+        elif tag == "delete":
+            batched.delete_many(arg)
+            for key in arg:
+                scalar.delete(key)
+        else:
+            batched.mark_clean()
+            scalar.mark_clean()
+        yield
+
+
+@given(_MAP_OPS)
+def test_keyed_map_batch_kernels_equal_scalar_sequence(ops):
+    """put_many/delete_many leave the map in the exact state the scalar
+    loop would — data, insertion order, sizes, totals, tracking sets,
+    delta payloads and delta byte accounting, at every step."""
+    batched, scalar = KeyedMapState(), KeyedMapState()
+    for _ in _apply_map_ops(ops, batched, scalar):
+        assert batched._data == scalar._data
+        assert list(batched._data) == list(scalar._data)
+        assert batched._sizes == scalar._sizes
+        assert batched.size_bytes == scalar.size_bytes
+        assert batched._dirty == scalar._dirty
+        assert batched._deleted == scalar._deleted
+        assert batched.snapshot_delta() == scalar.snapshot_delta()
+        assert batched.delta_bytes() == scalar.delta_bytes()
+    probe = list(range(10))
+    assert batched.get_many(probe) == [scalar.get(key) for key in probe]
+    assert batched.get_many(probe, -1) == [scalar.get(key, -1)
+                                           for key in probe]
+
+
+@given(_MAP_OPS)
+def test_keyed_map_delta_round_trips_onto_clean_copy(ops):
+    """The delta a batched history produces replays onto the last clean
+    snapshot and lands exactly on the live state — the changelog
+    backend's chain property."""
+    state, scalar = KeyedMapState(), KeyedMapState()
+    base = KeyedMapState()
+    for _ in _apply_map_ops(ops, state, scalar):
+        if state._tracked and not state._dirty and not state._deleted \
+                and not state._all_dirty:
+            base.restore(state.snapshot())
+    delta = state.snapshot_delta()
+    if delta is not None:
+        base.apply_delta(delta)
+        assert base.snapshot() == state.snapshot()
+
+
+_LIST_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("append"),
+                  st.lists(st.tuples(_KEYS, _VALUES,
+                                     st.one_of(st.none(), _SIZES)),
+                           max_size=8)),
+        st.tuples(st.just("delete"), st.lists(_KEYS, max_size=4)),
+        st.tuples(st.just("clean"), st.none()),
+    ),
+    max_size=12,
+)
+
+
+@given(_LIST_OPS)
+def test_keyed_list_append_many_equals_scalar_sequence(ops):
+    """append_many is indistinguishable from scalar appends: same lists,
+    totals, per-key byte accounting (including the first-post-arm backlog
+    estimate) and tracking sets, and the deltas agree and round-trip."""
+    batched, scalar = KeyedListState(), KeyedListState()
+    base = KeyedListState()
+    for tag, arg in ops:
+        if tag == "append":
+            batched.append_many(arg)
+            for key, value, size in arg:
+                scalar.append(key, value, size)
+        elif tag == "delete":
+            for key in arg:
+                batched.delete(key)
+                scalar.delete(key)
+        else:
+            batched.mark_clean()
+            scalar.mark_clean()
+            base.restore(batched.snapshot())
+        assert batched._data == scalar._data
+        assert list(batched._data) == list(scalar._data)
+        assert batched.size_bytes == scalar.size_bytes
+        assert batched._dirty == scalar._dirty
+        assert batched._deleted == scalar._deleted
+        assert batched._key_bytes == scalar._key_bytes
+        assert batched.snapshot_delta() == scalar.snapshot_delta()
+        assert batched.delta_bytes() == scalar.delta_bytes()
+    delta = batched.snapshot_delta()
+    if batched._tracked and not batched._all_dirty and delta is not None:
+        base.apply_delta(delta)
+        assert base.snapshot() == batched.snapshot()
+
+
+def test_empty_batch_kernels_are_no_ops():
+    state = KeyedMapState()
+    state.mark_clean()
+    state.put_many([])
+    state.delete_many([])
+    assert state.get_many([]) == []
+    assert state.snapshot_delta() is None
+    lists = KeyedListState()
+    lists.mark_clean()
+    lists.append_many([])
+    assert lists.snapshot_delta() is None
+
+
+# --------------------------------------------------------------------- #
+# Auto-shard policy gates
+# --------------------------------------------------------------------- #
+
+_BIG = dict(query="q12", protocol="unc", parallelism=4, rate=10_000.0,
+            duration=60.0, warmup=10.0)
+
+
+def test_auto_shard_engages_on_large_shardable_steady_run():
+    count = auto_shard_count(RunRequest(**_BIG))
+    assert 2 <= count <= AUTO_SHARD_MAX
+
+
+def test_auto_shard_caps_at_the_worker_count():
+    assert auto_shard_count(RunRequest(**_BIG), jobs=2) == 2
+    assert auto_shard_count(RunRequest(**_BIG), jobs=1) == 1
+
+
+@pytest.mark.parametrize("override", [
+    {"rate": 500.0},                      # below the size threshold
+    {"failure_at": 10.0},                 # global failure instant
+    {"failure_scenario": "single:at=18"},
+    {"failure_at": 10.0, "rescale_to": 6},
+    {"interval_policy": "adaptive"},      # run-wide feedback controller
+    {"hot_ratio": 0.5},                   # load-dependent skew
+    {"channel_capacity_bytes": 4096},     # load-dependent backpressure
+    {"query": "q1"},                      # forward source edge: unshardable
+])
+def test_auto_shard_declines_non_neutral_requests(override):
+    assert auto_shard_count(RunRequest(**{**_BIG, **override})) == 1
+
+
+def test_auto_shard_declines_requests_that_are_already_shards():
+    from dataclasses import replace
+
+    shard = replace(RunRequest(**_BIG), shard_index=0, shard_count=4)
+    assert auto_shard_count(shard) == 1
+
+
+def test_shards_for_requires_a_runner_and_the_flag():
+    request = RunRequest(**_BIG)
+    assert figures._shards_for(request) == 1  # no runner installed
+    figures.set_auto_shard(False)
+    try:
+        assert figures.get_auto_shard() is False
+    finally:
+        figures.set_auto_shard(True)
+
+
+def test_cli_no_auto_shard_flag_wires_through_install():
+    args = argparse.Namespace(jobs=1, cache_dir=None, no_auto_shard=True)
+    assert cli._install_runner(args) is None
+    try:
+        assert figures.get_auto_shard() is False
+    finally:
+        cli._teardown_runner(None)
+    assert figures.get_auto_shard() is True
+
+
+def test_cli_shards_arg_accepts_auto_and_integers():
+    assert cli._shard_spec("auto") == "auto"
+    assert cli._shard_spec("3") == 3
+    with pytest.raises(ValueError):
+        cli._shard_spec("many")
+
+
+# --------------------------------------------------------------------- #
+# Auto-sharded figure runs == unsharded ground truth
+# --------------------------------------------------------------------- #
+
+
+def _probe_spec() -> QuerySpec:
+    """Registered-by-name shardable spec whose input stops early, so the
+    unsharded run drains and additive totals are exact."""
+
+    def build_graph(parallelism: int):
+        return build_count_graph()
+
+    def build_inputs(rate, until, parallelism, hot_ratio, seed):
+        return {"events": make_event_log(rate, 8.0, parallelism, seed=seed)}
+
+    return QuerySpec(
+        name="_auto_shard_probe",
+        description="auto-sharding integration probe",
+        build_graph=build_graph,
+        build_inputs=build_inputs,
+        capacity_per_worker=500.0,
+    )
+
+
+def test_auto_sharded_figure_run_matches_unsharded(tmp_path, monkeypatch):
+    """With the size threshold lowered, ``_execute`` auto-splits the run
+    and the merged result matches the serial unsharded run on every field
+    the figures consume (sink/ingest totals, records sent)."""
+    monkeypatch.setattr(sharding, "AUTO_SHARD_MIN_RECORDS", 1_000)
+    spec = _probe_spec()
+    QUERIES[spec.name] = spec
+    try:
+        request = RunRequest(spec.name, "unc", 2, 240.0,
+                             duration=16.0, warmup=2.0, seed=3)
+        assert auto_shard_count(request, jobs=2) == 2
+        ground = execute_request(request)
+        with ParallelRunner(jobs=2, cache_dir=tmp_path) as runner:
+            figures.set_runner(runner)
+            try:
+                assert figures._shards_for(request) == 2
+                result = figures._execute(request)
+                # _warm expands shardable requests, so a later _execute
+                # is served entirely from the per-shard cache
+                figures._warm([request])
+                misses = runner.misses
+                again = figures._execute(request)
+            finally:
+                figures.set_runner(None)
+        assert runner.misses == misses
+        for merged in (result, again):
+            assert (merged.metrics.total_sink_records()
+                    == ground.metrics.total_sink_records() > 0)
+            assert merged.metrics.records_sent == ground.metrics.records_sent
+            assert (sum(merged.metrics.ingest_counts.values())
+                    == sum(ground.metrics.ingest_counts.values()))
+    finally:
+        QUERIES.pop(spec.name, None)

@@ -270,3 +270,98 @@ def test_fused_chain_emits_identical_records_per_record_level():
         for op in (m1, f, m2):
             via_chain = [out for r in via_chain for out in op.process(r, "in")]
         assert via_fused == via_chain
+
+
+# --------------------------------------------------------------------- #
+# Batched stateful operators: real query specs, columnar vs per-record
+# --------------------------------------------------------------------- #
+#
+# The keyed aggregation operators override ``process_batch`` with grouped
+# state kernels (DESIGN.md section 16): one get/put per *touched key*
+# instead of one per record.  These runs drive the real nexmark specs —
+# windowed counts (q12), incremental and windowed joins (q3/q8), sliding
+# window + max (q5) — and demand the batched run be byte-identical to the
+# per-record engine across failure and rescale, exactly like the engine
+# tests above.
+
+
+def _run_spec_job(query, protocol, *, columnar, state_backend="full",
+                  rate=250.0, parallelism=2, duration=14.0, warmup=2.0,
+                  failure_at=6.0, rescale_to=None, seed=7, cost=None,
+                  checkpoint_interval=3.0):
+    """One spec-driven run mirroring ``run_with_spec``'s construction,
+    with input stopping early so queues drain and totals are exact."""
+    from repro.experiments.parallel import resolve_spec
+
+    spec = resolve_spec(query)
+    config = RuntimeConfig(checkpoint_interval=checkpoint_interval,
+                           duration=duration,
+                           warmup=warmup, failure_at=failure_at,
+                           rescale_to=rescale_to, seed=seed,
+                           state_backend=state_backend, columnar=columnar,
+                           cost_model=cost if cost is not None else CostModel())
+    graph = spec.build_graph(parallelism)
+    inputs = spec.make_job_inputs(rate, warmup + duration - 4.0, parallelism,
+                                  0.0, seed)
+    job = Job(graph, protocol, parallelism, inputs, config)
+    result = job.run(rate=rate, query_name=query)
+    return job, result
+
+
+def _assert_spec_differential(query, protocol, **kwargs):
+    job_col, res_col = _run_spec_job(query, protocol, columnar=True, **kwargs)
+    job_rec, res_rec = _run_spec_job(query, protocol, columnar=False, **kwargs)
+    assert canonical_state_bytes(job_col) == canonical_state_bytes(job_rec)
+    assert res_col.metrics.recovery_lines == res_rec.metrics.recovery_lines
+    assert (res_col.metrics.total_sink_records()
+            == res_rec.metrics.total_sink_records())
+    return res_col
+
+
+@pytest.mark.parametrize("state_backend", BACKENDS)
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+def test_windowed_count_batched_differential(protocol, state_backend):
+    """q12 (WindowedCountOperator, the grouped put_many hot path) across
+    a failure: batched and per-record runs end byte-identical for every
+    protocol and backend, and both actually recover and emit."""
+    res = _assert_spec_differential("q12", protocol,
+                                    state_backend=state_backend)
+    assert len(res.metrics.recovery_lines) >= 1
+    assert res.metrics.total_sink_records() > 0
+
+
+@pytest.mark.parametrize("query", ["q3", "q8"])
+@pytest.mark.parametrize("protocol", ["coor", "unc"])
+def test_join_batched_differential(query, protocol):
+    """The two-port joins (incremental q3, windowed q8) exercise
+    ``_join_batch``'s grouped build/probe against per-record joins."""
+    _assert_spec_differential(query, protocol, state_backend="changelog")
+
+
+@pytest.mark.parametrize("protocol", ["coor-unaligned", "cic"])
+def test_sliding_max_batched_differential(protocol):
+    """q5 chains SlidingWindowCountOperator into MaxPerKeyOperator — the
+    sequential-fold batched kernels — through failure and recovery."""
+    res = _assert_spec_differential("q5", protocol)
+    assert res.metrics.total_sink_records() > 0
+
+
+@pytest.mark.parametrize("protocol", ["unc", "coor-unaligned"])
+def test_windowed_count_batched_differential_across_rescale(protocol):
+    """Rescaled recovery re-partitions the batched keyed state: grouped
+    snapshots split/merge identically to the per-record engine."""
+    res = _assert_spec_differential("q12", protocol, duration=22.0,
+                                    rescale_to=4)
+    assert res.final_parallelism == 4
+
+
+@pytest.mark.parametrize("protocol", ["coor", "unc"])
+def test_marker_split_batches_through_keyed_window_operator(protocol):
+    """Marker-split partial batches (thresholds unreachable, every data
+    message checkpoint-forced) flow through a *keyed* operator's grouped
+    kernels and still match the per-record run byte-for-byte."""
+    cost = CostModel(batch_max_records=100_000, linger=1_000.0)
+    res = _assert_spec_differential("q12", protocol, duration=10.0,
+                                    failure_at=5.0, seed=11, cost=cost,
+                                    checkpoint_interval=1.0)
+    assert res.metrics.messages_sent > 0

@@ -51,6 +51,8 @@ HOT_PATH = (
     "src/repro/dataflow/batch.py",
     "src/repro/dataflow/channels.py",
     "src/repro/dataflow/transport.py",
+    "src/repro/dataflow/state.py",
+    "src/repro/dataflow/operators.py",
     "src/repro/sim/events.py",
 )
 
