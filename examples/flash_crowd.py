@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""A flash crowd hitting COOR vs CIC at tight channel capacity.
+
+Runs NexMark Q12 at 50% mean capacity with two scheduled flash-crowd
+spikes (x4 the baseline rate) and credit-based flow control tight enough
+that the spikes — but not the steady mean — saturate the channels
+(DESIGN.md §17).  A failure lands between the spikes, and the adaptive
+(Young–Daly) interval controller retunes while the load moves.
+
+Prints availability, p99, parked sends and the adaptive interval
+trajectory for both protocols, plus a steady control run at the same
+*mean* rate showing the spikes — not the average load — are what parks
+senders.  The trajectories also show how differently the controller
+treats the two protocols: COOR's expensive aligned barriers keep the
+Young–Daly optimum near the configured interval, while CIC's cheap
+logged checkpoints drive it far lower, retuning continuously through
+the crowd.
+
+Run:  python examples/flash_crowd.py
+"""
+
+from repro.experiments.runner import run_query
+from repro.metrics.report import format_table
+from repro.workloads.arrivals import parse_arrival
+from repro.workloads.nexmark import QUERIES
+
+ARRIVAL = "flash:at=10;22,mag=4,ramp=1.5,hold=3"
+CAPACITY_BYTES = 20480
+
+
+def run(protocol: str, arrival: str | None):
+    """One seeded Q12 run through the flash crowd (or steady control)."""
+    spec = QUERIES["q12"]
+    parallelism = 4
+    rate = spec.capacity_per_worker * parallelism * 0.5
+    return run_query(
+        spec, protocol, parallelism,
+        rate=rate, duration=30.0, warmup=4.0,
+        failure_at=17.0, checkpoint_interval=2.0,
+        interval_policy="adaptive",
+        channel_capacity_bytes=CAPACITY_BYTES,
+        arrival=arrival,
+    )
+
+
+def main() -> None:
+    """Run the COOR/CIC flash-crowd comparison and print the summary."""
+    print(f"arrival: {parse_arrival(ARRIVAL).describe()}, "
+          f"channel capacity {CAPACITY_BYTES} B, failure at t=17s\n")
+    rows = []
+    for protocol, arrival in (("coor", ARRIVAL), ("cic", ARRIVAL),
+                              ("coor", None), ("cic", None)):
+        label = "flash" if arrival else "steady"
+        result = run(protocol, arrival)
+        m = result.metrics
+        series = result.latency_series()
+        p99 = max((v for v in series.p99 if v > 0), default=0.0)
+        if arrival and m.interval_updates:
+            trajectory = " -> ".join(
+                f"{interval:.2f}s@t={t:.0f}"
+                for t, interval in m.interval_updates[:6])
+            more = (f" (+{len(m.interval_updates) - 6} more)"
+                    if len(m.interval_updates) > 6 else "")
+            print(f"--- {protocol} through the {label} crowd")
+            print(f"    interval trajectory: 2.00s -> {trajectory}{more}")
+        rows.append([
+            protocol, label,
+            f"{result.availability():.1%}",
+            f"{p99 * 1000.0:.1f}",
+            f"{m.blocked_time_total:.2f}",
+            m.sends_parked,
+            len(m.interval_updates),
+        ])
+    print()
+    print(format_table(
+        ["protocol", "arrival", "availability", "worst p99 (ms)",
+         "blocked (s)", "parks", "interval adj"],
+        rows, title="Q12 flash crowd vs steady control — COOR vs CIC",
+    ))
+    print()
+    print("The steady control runs at the same mean rate never park: the")
+    print("channels absorb the average load fine.  Only the flash runs park")
+    print("at the spikes and drag p99 up an order of magnitude.  The")
+    print("adaptive trajectories split by checkpoint cost: COOR's aligned")
+    print("barriers are expensive, so Young–Daly stays near the configured")
+    print("interval; CIC's logged checkpoints are cheap, so the controller")
+    print("drives the interval far lower and retunes through the crowd.")
+
+
+if __name__ == "__main__":
+    main()

@@ -77,6 +77,14 @@ def _build_parser() -> argparse.ArgumentParser:
                             "'flaky:worker=1,mtbf=8,slowdown=3'; "
                             "overrides --failure-at")
     query.add_argument("--hot-ratio", type=float, default=0.0)
+    query.add_argument("--arrival", default=None,
+                       help="arrival-process spec (DESIGN.md §17): "
+                            "'steady', 'diurnal:period=60,amp=0.6', "
+                            "'flash:at=20;45,mag=4,ramp=2,hold=4', "
+                            "'mmpp:low=0.5,high=2.5', "
+                            "'drift:period=30,zipf=1.0', "
+                            "'trace:<path>'; default keeps the rate "
+                            "constant (steady)")
     query.add_argument("--checkpoint-interval", type=float, default=5.0)
     query.add_argument("--interval-policy", default="fixed",
                        choices=["fixed", "adaptive"],
@@ -223,6 +231,15 @@ def _cmd_query(args) -> int:
         print("--rescale-to requires --failure-at or --failure-scenario "
               "(the rescale is applied by a recovery)", file=sys.stderr)
         return 2
+    arrival_banner = None
+    if args.arrival is not None:
+        from repro.workloads.arrivals import parse_arrival
+
+        try:
+            arrival_banner = parse_arrival(args.arrival).describe()
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     from repro.experiments.parallel import RunRequest
     from repro.experiments.sharding import auto_shard_count, run_sharded
 
@@ -238,6 +255,7 @@ def _cmd_query(args) -> int:
         failure_scenario=args.failure_scenario,
         interval_policy=args.interval_policy,
         channel_capacity_bytes=args.channel_capacity,
+        arrival=args.arrival,
     )
     shards = args.shards
     if shards == "auto":
@@ -262,6 +280,7 @@ def _cmd_query(args) -> int:
             failure_scenario=args.failure_scenario,
             interval_policy=args.interval_policy,
             channel_capacity_bytes=args.channel_capacity,
+            arrival=args.arrival,
         )
     series = result.latency_series()
     p50 = percentile([v for v in series.p50 if v > 0], 50)
@@ -270,6 +289,8 @@ def _cmd_query(args) -> int:
                if result.rescaled else f"{result.parallelism}")
     print(f"query={result.query} protocol={result.protocol} "
           f"workers={workers} rate={rate:.0f} rec/s")
+    if arrival_banner is not None:
+        print(f"  arrival process  : {arrival_banner}")
     print(f"  sink records     : {sum(result.metrics.sink_counts.values())}")
     print(f"  p50 / p99        : {p50 * 1000:.1f} ms / {p99 * 1000:.1f} ms")
     print(f"  checkpoints      : {result.total_checkpoints()} "

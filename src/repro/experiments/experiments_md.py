@@ -91,6 +91,19 @@ _SECTIONS = (
      "alignment-attributed blocked time is ~zero and their backpressure "
      "is pure queue saturation.  Reproduce one cell with `python -m repro "
      "query q12 --protocol coor --hot-ratio 0.3 --channel-capacity 1024`."),
+    ("arrivals", "Arrival processes — protocols under moving load",
+     "Extension (DESIGN.md section 17): every protocol rides a mid-window "
+     "failure under five arrival shapes — steady (the paper's regime), a "
+     "diurnal cycle, a flash crowd, MMPP bursts and drifting hot-key "
+     "popularity — at unbounded and tight channel capacity, with the "
+     "adaptive checkpoint-interval policy active.  The shape checks pin "
+     "the contrast that motivates the axis: flash crowds park senders at "
+     "tight capacity while steady load at the same *mean* rate does not, "
+     "and the adaptive controller records a retuning trajectory under "
+     "every moving shape.  Reproduce one cell with `python -m repro query "
+     "q12 --protocol cic --failure-at 18 --arrival 'flash:at=12;30,mag=4' "
+     "--interval-policy adaptive`; the `--arrival` spec grammar is "
+     "documented in DESIGN.md section 17."),
     ("ablation_interval", "Ablation — checkpoint-interval sweep", ""),
     ("ablation_logging", "Ablation — UNC logging tax & participation", ""),
     ("ablation_schedules", "Ablation — per-operator checkpoint schedules", ""),

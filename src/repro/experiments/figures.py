@@ -1334,6 +1334,171 @@ def table4_cyclic(scale: ExperimentScale | None = None) -> dict:
     return {"rows": rows, "measured": measured, "checks": checks, "text": text}
 
 
+# --------------------------------------------------------------------- #
+# Arrival processes — moving load (extension, DESIGN.md section 17)
+# --------------------------------------------------------------------- #
+
+ARRIVALS_QUERY = "q12"
+#: all four protocols: moving load stresses alignment (coor), replay
+#: (unc/cic) and the unaligned variant differently
+ARRIVALS_PROTOCOLS = ("coor", "coor-unaligned", "unc", "cic")
+#: operating point: the steady mean leaves headroom at tight capacity
+#: (no parks, even through the post-failure replay burst), while a flash
+#: crowd at ``mag=4`` transiently offers ~2x capacity and must park
+ARRIVALS_RATE_FRACTION = 0.5
+#: hot-item ratio for the drift runs (key popularity migrates under it)
+ARRIVALS_HOT = 0.25
+
+
+def _arrivals_specs(duration: float, warmup: float) -> dict[str, str | None]:
+    """Arrival spec per label, shaped to the measured window."""
+    return {
+        "steady": None,
+        "diurnal": f"diurnal:period={duration / 2:g},amp=0.6",
+        "flash": (f"flash:at={warmup + 0.2 * duration:g};"
+                  f"{warmup + 0.65 * duration:g},mag=4,ramp=1,hold=2"),
+        "mmpp": (f"mmpp:low=0.6,high=1.8,"
+                 f"dwell_low={duration / 4:g},dwell_high={duration / 6:g}"),
+        "drift": f"drift:period={duration / 2:g}",
+    }
+
+
+def _arrivals_capacities(scale: ExperimentScale) -> dict[str, int]:
+    """Channel capacities per label.
+
+    ``tight`` is wider than the backpressure figure's 1024 B: it must
+    absorb the post-failure replay burst at steady load (no parks — the
+    figure's contrast is *load shape*, not recovery) while still
+    saturating under a flash crowd's sustained 2x overdrive.
+    """
+    return {"unbounded": 0, "tight": 20480}
+
+
+def _arrivals_request(protocol: str, arrival: str | None, capacity: int,
+                      scale: ExperimentScale) -> RunRequest:
+    spec = QUERIES[ARRIVALS_QUERY]
+    parallelism = 4 if scale.name == "quick" else scale.parallelism_grid[0]
+    duration = min(scale.duration, 18.0)
+    warmup = min(scale.warmup, 6.0)
+    return RunRequest(
+        query=ARRIVALS_QUERY, protocol=protocol, parallelism=parallelism,
+        rate=(spec.capacity_per_worker * parallelism
+              * ARRIVALS_RATE_FRACTION),
+        duration=duration,
+        warmup=warmup,
+        failure_at=warmup + 0.5 * duration,
+        checkpoint_interval=2.0,
+        interval_policy="adaptive",
+        hot_ratio=(ARRIVALS_HOT
+                   if arrival is not None and arrival.startswith("drift")
+                   else 0.0),
+        seed=scale.seed,
+        channel_capacity_bytes=capacity,
+        arrival=arrival,
+    )
+
+
+def arrivals(scale: ExperimentScale | None = None) -> dict:
+    """Protocols under moving load: arrival process x capacity (extension).
+
+    Extension beyond the paper (DESIGN.md section 17): every protocol
+    rides a failure under five arrival shapes — steady (the paper's
+    regime), a diurnal cycle, a flash crowd, MMPP bursts and drifting
+    hot-key popularity — at unbounded and tight channel capacity,
+    reporting availability, p99 latency, backpressure (blocked time and
+    parks) and the adaptive interval controller's trajectory.  The
+    defining contrast: a flash crowd transiently offers ~1.5x capacity
+    and must park senders at tight capacity, while steady load at the
+    same *mean* rate never does.
+    """
+    scale = scale or current_scale()
+    duration = min(scale.duration, 18.0)
+    warmup = min(scale.warmup, 6.0)
+    specs = _arrivals_specs(duration, warmup)
+    capacities = _arrivals_capacities(scale)
+    rows = []
+    measured: dict[tuple[str, str, str], dict] = {}
+    _warm([
+        _arrivals_request(protocol, spec, capacity, scale)
+        for protocol in ARRIVALS_PROTOCOLS
+        for spec in specs.values()
+        for capacity in capacities.values()
+    ])
+    for protocol in ARRIVALS_PROTOCOLS:
+        for label, spec in specs.items():
+            for cap_label, capacity in capacities.items():
+                key = ("arrivals", protocol, label, cap_label, scale.name)
+                if key not in _CACHE:
+                    _CACHE[key] = _execute(
+                        _arrivals_request(protocol, spec, capacity, scale)
+                    )
+                result: RunResult = _CACHE[key]  # type: ignore[assignment]
+                m = result.metrics
+                series = result.latency_series()
+                p99 = percentile([v for v in series.p99 if v > 0], 50)
+                measured[(protocol, label, cap_label)] = {
+                    "availability": result.availability(),
+                    "p99_ms": p99 * 1000.0,
+                    "blocked_s": m.blocked_time_total,
+                    "parked": m.sends_parked,
+                    "interval_updates": len(m.interval_updates),
+                    "recoveries": m.n_recoveries,
+                    "sink": sum(m.sink_counts.values()),
+                }
+                rows.append([
+                    protocol, label, cap_label,
+                    result.availability(), p99 * 1000.0,
+                    m.blocked_time_total, m.sends_parked,
+                    len(m.interval_updates),
+                    sum(m.sink_counts.values()),
+                ])
+    checks = _arrivals_checks(measured)
+    text = format_table(
+        ["protocol", "arrival", "capacity", "availability", "p99 (ms)",
+         "blocked (s)", "parks", "interval adj", "sink records"],
+        rows, title=f"Arrival processes — {ARRIVALS_QUERY} at "
+                    f"{ARRIVALS_RATE_FRACTION:.0%} mean capacity, "
+                    f"failure mid-window, adaptive interval",
+    ) + "\n" + shape_report("shape checks:", checks)
+    return {"rows": rows, "measured": measured, "checks": checks, "text": text}
+
+
+def _arrivals_checks(measured) -> list[tuple[str, bool]]:
+    flash_parks = all(
+        measured[(proto, "flash", "tight")]["parked"] > 0
+        for proto in ARRIVALS_PROTOCOLS
+    )
+    steady_clear = all(
+        measured[(proto, "steady", "tight")]["parked"] == 0
+        for proto in ARRIVALS_PROTOCOLS
+    )
+    unbounded_free = all(
+        m["parked"] == 0 and m["blocked_s"] <= 1e-9
+        for (_, _, cap), m in measured.items() if cap == "unbounded"
+    )
+    rides_through = all(
+        m["recoveries"] >= 1 and m["sink"] > 0 and 0.0 < m["availability"] <= 1.0
+        for m in measured.values()
+    )
+    adaptive_active = all(
+        any(measured[(proto, label, cap)]["interval_updates"] >= 1
+            for label in ("diurnal", "flash", "mmpp", "drift")
+            for cap in ("unbounded", "tight"))
+        for proto in ARRIVALS_PROTOCOLS
+    )
+    return [
+        ("flash crowd at tight capacity parks senders (every protocol)",
+         flash_parks),
+        ("steady at the same mean rate never parks at tight capacity",
+         steady_clear),
+        ("unbounded channels never park or block", unbounded_free),
+        ("every run rides through the failure and keeps producing",
+         rides_through),
+        ("adaptive controller records a trajectory under moving load",
+         adaptive_active),
+    ]
+
+
 ALL_EXPERIMENTS = {
     "fig7": fig7_mst,
     "table2": table2_message_overhead,
@@ -1349,4 +1514,5 @@ ALL_EXPERIMENTS = {
     "rescale": rescale_recovery,
     "multi_failure": multi_failure,
     "backpressure": backpressure,
+    "arrivals": arrivals,
 }

@@ -42,7 +42,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: bump when RunResult / metrics layout changes so stale cache entries
 #: from an older code revision are never served
-CACHE_VERSION = 6
+CACHE_VERSION = 7
 
 
 # --------------------------------------------------------------------- #
@@ -93,6 +93,9 @@ class RunRequest:
     #: section 15); ``None`` runs the whole input
     shard_index: int | None = None
     shard_count: int = 1
+    #: arrival-process spec string (``--arrival`` grammar, DESIGN.md
+    #: section 17); ``None`` = steady, today's constant-rate behavior
+    arrival: str | None = None
     config: RuntimeConfig | None = None
 
     def effective_config(self) -> RuntimeConfig:
@@ -185,6 +188,7 @@ def request_key(request: "RunRequest | MstRequest") -> str:
             "parallelism": request.parallelism,
             "rate": request.rate,
             "hot_ratio": request.hot_ratio,
+            "arrival": request.arrival,
             "shard_index": request.shard_index,
             "shard_count": request.shard_count,
             "config": _jsonable(asdict(request.effective_config())),
@@ -237,6 +241,7 @@ def run_with_spec(spec: "QuerySpec", request: RunRequest) -> "RunResult":
     inputs = spec.make_job_inputs(
         request.rate, request.warmup + request.duration + 1.0,
         request.parallelism, request.hot_ratio, request.seed,
+        arrival=request.arrival,
     )
     if request.shard_index is not None:
         from repro.experiments.sharding import shard_inputs

@@ -34,12 +34,15 @@ def run_query(
     failure_scenario: str | None = None,
     interval_policy: str = "fixed",
     channel_capacity_bytes: int = 0,
+    arrival: str | None = None,
 ) -> RunResult:
     """Deploy ``spec`` under ``protocol`` and execute one measured run.
 
     ``rate`` is the aggregate input rate (records/second across all source
     partitions); input logs are pre-generated to cover the full run plus a
-    safety margin so sources never starve artificially.
+    safety margin so sources never starve artificially.  ``arrival``
+    optionally shapes the rate over time (``--arrival`` spec grammar,
+    DESIGN.md section 17); ``None`` keeps it constant.
     """
     config = None
     if cost_model is not None:
@@ -63,6 +66,7 @@ def run_query(
         failure_scenario=failure_scenario,
         interval_policy=interval_policy,
         channel_capacity_bytes=channel_capacity_bytes,
+        arrival=arrival,
         config=config,
     )
     return run_with_spec(spec, request)

@@ -199,6 +199,8 @@ def auto_shard_count(request: "RunRequest", jobs: int = 0) -> int:
       load, which each shard would observe at ``1/shard_count``;
     * bounded channels (backpressure) or hot-key skew — load-dependent
       behaviour, and each shard runs at a fraction of the offered load;
+    * a non-steady arrival process — its load shape (spikes, bursts,
+      key drift) is likewise observed at a fraction per shard;
     * estimated input below ``2 * AUTO_SHARD_MIN_RECORDS`` — too small
       for the split overhead to pay for itself.
 
@@ -220,6 +222,8 @@ def auto_shard_count(request: "RunRequest", jobs: int = 0) -> int:
     if request.channel_capacity_bytes:
         return 1
     if request.hot_ratio > 0:
+        return 1
+    if request.arrival is not None:
         return 1
     estimated = request.rate * (request.warmup + request.duration)
     count = int(estimated // AUTO_SHARD_MIN_RECORDS)

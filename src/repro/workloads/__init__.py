@@ -5,8 +5,12 @@
   (skewed) modes.
 * :mod:`repro.workloads.cyclic` — the reachability query of Figure 6 (the
   FFP-style fixpoint query) with its link/source-node generator.
+* :mod:`repro.workloads.arrivals` — arrival processes shaping rate and
+  hot-key placement over time (steady/diurnal/flash/mmpp/drift/trace,
+  DESIGN.md section 17).
 """
 
+from repro.workloads.arrivals import ArrivalProcess, parse_arrival
 from repro.workloads.spec import QuerySpec
 
-__all__ = ["QuerySpec"]
+__all__ = ["ArrivalProcess", "QuerySpec", "parse_arrival"]

@@ -1,0 +1,667 @@
+"""Arrival processes: virtual time -> instantaneous rate -> timestamps.
+
+The paper's evaluation drives every query at a constant rate; production
+load *moves* (ROADMAP item 2).  This module decouples *when events
+arrive* from *what the events are*: an :class:`ArrivalProcess` maps
+virtual time to an instantaneous rate (a piecewise-linear intensity) and
+emits per-event timestamps by inverting the cumulative intensity, while
+the generators keep owning payloads, keys and partitioning.  Processes
+that need randomness draw exclusively from the :class:`~repro.sim.rng.
+RngRegistry` stream handed to them (repro-lint RL002), so two runs with
+the same seed and spec produce byte-identical inputs.
+
+Five generative processes plus trace replay, parseable from one spec
+grammar (mirroring ``--failure-scenario``)::
+
+    steady                                    today's behavior (default)
+    diurnal:period=60,amp=0.6[,phase=0]       sinusoidal day/night cycle
+    flash:at=20;45,mag=4[,ramp=2,hold=4]      baseline + scheduled spikes
+    mmpp:low=0.5,high=2.5[,dwell_low=8,dwell_high=4]   2-state MMPP bursts
+    drift:period=30[,zipf=1.0]                hot-key popularity migration
+    trace:<path>                              replay a (timestamp,rate[,hot_key]) CSV
+
+Rates in specs are dimensionless multipliers of the run's ``--rate``
+(the *mean* for steady/diurnal, the *baseline* for flash), so one spec
+composes with any query's capacity.  ``steady`` reproduces the legacy
+generators bit-for-bit: same timestamp formula, same draw sequence, same
+hot-key placement — the differential suite in
+``tests/test_arrivals_differential.py`` pins that equivalence.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # annotation-only: draws flow through RngRegistry streams
+    import random
+
+#: spec kinds accepted by :func:`parse_arrival`
+KNOWN_ARRIVALS = ("steady", "diurnal", "flash", "mmpp", "drift", "trace")
+
+#: piecewise-linear knots per diurnal period (error of the chord vs the
+#: sinusoid is O(1/KNOTS^2) in rate — far below the half-event tolerance
+#: the property suite checks)
+_DIURNAL_KNOTS_PER_PERIOD = 64
+
+
+@dataclass(frozen=True, slots=True)
+class RateSegment:
+    """Rate varies linearly from ``r0`` at ``t0`` to ``r1`` at ``t1``."""
+
+    t0: float
+    t1: float
+    r0: float
+    r1: float
+
+    @property
+    def area(self) -> float:
+        """Events expected inside the segment (trapezoid integral)."""
+        return 0.5 * (self.r0 + self.r1) * (self.t1 - self.t0)
+
+
+def rate_at(segments: list[RateSegment], t: float) -> float:
+    """Instantaneous rate at ``t``; exact at segment endpoints.
+
+    Before the first segment the first rate holds, past the last segment
+    the last rate holds (trace replay semantics).
+    """
+    if not segments:
+        return 0.0
+    if t <= segments[0].t0:
+        return segments[0].r0
+    for seg in segments:
+        if t < seg.t1:
+            if t <= seg.t0:
+                return seg.r0
+            span = seg.t1 - seg.t0
+            if span <= 0.0:
+                return seg.r1
+            return seg.r0 + (seg.r1 - seg.r0) * (t - seg.t0) / span
+    return segments[-1].r1
+
+
+def total_intensity(segments: list[RateSegment]) -> float:
+    """Integral of the rate over all segments (expected event count)."""
+    return sum(seg.area for seg in segments)
+
+
+def emit_timestamps(segments: list[RateSegment]) -> Iterator[float]:
+    """Event times by inverting the cumulative intensity Lambda(t).
+
+    Event ``k`` is emitted where Lambda crosses ``k + 0.5`` — the
+    midpoint convention of the legacy steady generators, so a constant
+    segment reproduces their ``(k + 0.5) / rate`` spacing.  Lambda is
+    piecewise-quadratic, so each crossing is a closed-form root.
+    """
+    target = 0.5
+    done = 0.0
+    for seg in segments:
+        span = seg.t1 - seg.t0
+        if span <= 0.0:
+            continue
+        end = done + seg.area
+        slope = (seg.r1 - seg.r0) / span
+        while target <= end:
+            need = target - done
+            if abs(slope) < 1e-12:
+                x = need / seg.r0 if seg.r0 > 0.0 else span
+            else:
+                # solve 0.5*slope*x^2 + r0*x = need for the root in [0, span]
+                disc = seg.r0 * seg.r0 + 2.0 * slope * need
+                x = (math.sqrt(disc if disc > 0.0 else 0.0) - seg.r0) / slope
+            yield seg.t0 + (x if x < span else span)
+            target += 1.0
+        done = end
+
+
+def _steady_timestamps(mean_rate: float, until: float) -> Iterator[float]:
+    """The legacy NexMark closed form, bit-for-bit.
+
+    ``int(rate * until)`` events at ``(k + 0.5) * (1.0 / rate)`` — kept
+    as a dedicated fast path because the generic intensity inversion
+    would round the count and the product differently (1-ulp drift), and
+    the differential suite demands byte identity.
+    """
+    inv = 1.0 / mean_rate
+    for k in range(int(mean_rate * until)):
+        yield (k + 0.5) * inv
+
+
+class ArrivalProcess:
+    """Base arrival process: shaped timestamps plus hot-key placement.
+
+    Subclasses implement :meth:`segments` (the piecewise-linear rate
+    profile) and may override :meth:`timestamps` (exact closed forms),
+    :meth:`hot_key` / :meth:`hot_seed_keys` (key-popularity drift) and
+    :meth:`uses_rng` (whether :meth:`timestamps` consumes draws).
+    """
+
+    #: spec-grammar kind (``steady``, ``diurnal``, ...)
+    kind = "steady"
+
+    def segments(self, mean_rate: float, until: float,
+                 rng: random.Random) -> list[RateSegment]:
+        """Piecewise-linear rate profile covering ``[0, until]``."""
+        raise NotImplementedError
+
+    def timestamps(self, mean_rate: float, until: float,
+                   rng: random.Random) -> Iterator[float]:
+        """Per-event timestamps in ``[0, until]``, nondecreasing."""
+        return emit_timestamps(self.segments(mean_rate, until, rng))
+
+    def uses_rng(self) -> bool:
+        """Does :meth:`timestamps`/:meth:`segments` consume RNG draws?"""
+        return False
+
+    def hot_key(self, t: float, u: float, hot_keys: list[int],
+                parallelism: int) -> int:
+        """Pick the hot key for a skewed event at time ``t``.
+
+        ``u`` is the single uniform draw the generator made for this
+        event; the default reproduces the legacy generators exactly:
+        a uniform pick over ``hot_keys``, all routed to worker 0.
+        """
+        return hot_keys[int(u * len(hot_keys))]
+
+    def hot_weights(self, t: float, num_hot: int) -> list[float]:
+        """Popularity weights over hot-key ranks at ``t`` (sum to 1)."""
+        return [1.0 / num_hot] * num_hot
+
+    def hot_seed_keys(self, hot_keys: list[int],
+                      parallelism: int) -> list[int]:
+        """Every key :meth:`hot_key` may return (for join pre-seeding)."""
+        return list(hot_keys)
+
+    def describe(self) -> str:
+        """One-line human description for the CLI banner."""
+        return self.kind
+
+
+class SteadyArrivals(ArrivalProcess):
+    """Constant rate — the legacy generators' behavior, byte-for-byte."""
+
+    kind = "steady"
+
+    def segments(self, mean_rate: float, until: float,
+                 rng: random.Random) -> list[RateSegment]:
+        """One flat segment at the mean rate."""
+        return [RateSegment(0.0, until, mean_rate, mean_rate)]
+
+    def timestamps(self, mean_rate: float, until: float,
+                   rng: random.Random) -> Iterator[float]:
+        """The legacy closed form (see :func:`_steady_timestamps`)."""
+        return _steady_timestamps(mean_rate, until)
+
+    def describe(self) -> str:
+        """One-line human description for the CLI banner."""
+        return "steady (constant rate)"
+
+
+class DiurnalArrivals(ArrivalProcess):
+    """Sinusoidal day/night cycle: ``mean * (1 + amp*sin(2*pi*t/period))``."""
+
+    kind = "diurnal"
+
+    def __init__(self, period: float, amp: float = 0.5,
+                 phase: float = 0.0) -> None:
+        if period <= 0.0:
+            raise ValueError(f"diurnal period must be > 0, got {period}")
+        if not 0.0 <= amp <= 1.0:
+            raise ValueError(f"diurnal amp must be in [0, 1], got {amp}")
+        self.period = period
+        self.amp = amp
+        self.phase = phase
+
+    def _rate(self, mean_rate: float, t: float) -> float:
+        omega = 2.0 * math.pi / self.period
+        return mean_rate * (1.0 + self.amp * math.sin(omega * t + self.phase))
+
+    def segments(self, mean_rate: float, until: float,
+                 rng: random.Random) -> list[RateSegment]:
+        """Chords of the sinusoid, ``_DIURNAL_KNOTS_PER_PERIOD`` per cycle."""
+        step = self.period / _DIURNAL_KNOTS_PER_PERIOD
+        out: list[RateSegment] = []
+        t = 0.0
+        while t < until:
+            t_next = min(t + step, until)
+            out.append(RateSegment(t, t_next, self._rate(mean_rate, t),
+                                   self._rate(mean_rate, t_next)))
+            t = t_next
+        return out
+
+    def describe(self) -> str:
+        """One-line human description for the CLI banner."""
+        return (f"diurnal (period={self.period:g}s, amp={self.amp:g}, "
+                f"phase={self.phase:g})")
+
+
+class FlashArrivals(ArrivalProcess):
+    """Baseline rate with scheduled flash-crowd spikes.
+
+    Each spike at ``t=a`` ramps linearly from ``base`` to ``base*mag``
+    over ``ramp`` seconds, holds for ``hold`` seconds, then ramps back —
+    a trapezoid occupying ``[a, a + 2*ramp + hold]``.
+    """
+
+    kind = "flash"
+
+    def __init__(self, at: tuple[float, ...], mag: float = 4.0,
+                 ramp: float = 2.0, hold: float = 4.0,
+                 base: float = 1.0) -> None:
+        if not at:
+            raise ValueError("flash needs at least one spike time in 'at'")
+        if mag <= 1.0:
+            raise ValueError(f"flash mag must be > 1 (a spike), got {mag}")
+        if ramp < 0.0 or hold < 0.0:
+            raise ValueError("flash ramp and hold must be >= 0")
+        if base <= 0.0:
+            raise ValueError(f"flash base must be > 0, got {base}")
+        spikes = tuple(sorted(at))
+        width = 2.0 * ramp + hold
+        for prev, nxt in zip(spikes, spikes[1:]):
+            if nxt < prev + width:
+                raise ValueError(
+                    f"flash spikes at {prev:g} and {nxt:g} overlap "
+                    f"(each spans {width:g}s)")
+        self.at = spikes
+        self.mag = mag
+        self.ramp = ramp
+        self.hold = hold
+        self.base = base
+
+    def segments(self, mean_rate: float, until: float,
+                 rng: random.Random) -> list[RateSegment]:
+        """Flat baseline interleaved with trapezoid spikes."""
+        low = mean_rate * self.base
+        high = mean_rate * self.base * self.mag
+        out: list[RateSegment] = []
+        cursor = 0.0
+
+        def _add(t0: float, t1: float, r0: float, r1: float) -> None:
+            lo, hi = max(t0, 0.0), min(t1, until)
+            if hi <= lo:
+                return
+            span = t1 - t0
+            if span > 0.0:
+                slope = (r1 - r0) / span
+                r0 = r0 + slope * (lo - t0)
+                r1 = r0 + slope * (hi - lo)
+            out.append(RateSegment(lo, hi, r0, r1))
+
+        for a in self.at:
+            if a >= until:
+                break
+            _add(cursor, a, low, low)
+            _add(a, a + self.ramp, low, high)
+            _add(a + self.ramp, a + self.ramp + self.hold, high, high)
+            _add(a + self.ramp + self.hold, a + 2.0 * self.ramp + self.hold,
+                 high, low)
+            cursor = a + 2.0 * self.ramp + self.hold
+        _add(cursor, until, low, low)
+        return out
+
+    def describe(self) -> str:
+        """One-line human description for the CLI banner."""
+        at = ";".join(f"{a:g}" for a in self.at)
+        return (f"flash (spikes at {at}, x{self.mag:g}, "
+                f"ramp={self.ramp:g}s, hold={self.hold:g}s)")
+
+
+class MmppArrivals(ArrivalProcess):
+    """2-state Markov-modulated Poisson bursts.
+
+    The modulating chain alternates a low-rate and a high-rate state
+    with exponentially distributed dwell times (drawn from the arrival
+    RNG stream); within a state arrivals keep the midpoint spacing, so
+    the process is deterministic given the seed.
+    """
+
+    kind = "mmpp"
+
+    def __init__(self, low: float = 0.5, high: float = 2.5,
+                 dwell_low: float = 8.0, dwell_high: float = 4.0) -> None:
+        if low < 0.0 or high < 0.0:
+            raise ValueError("mmpp rates must be >= 0")
+        if low == 0.0 and high == 0.0:
+            raise ValueError("mmpp rates must not both be zero")
+        if high <= low:
+            raise ValueError(
+                f"mmpp high ({high}) must exceed low ({low})")
+        if dwell_low <= 0.0 or dwell_high <= 0.0:
+            raise ValueError("mmpp dwell times must be > 0")
+        self.low = low
+        self.high = high
+        self.dwell_low = dwell_low
+        self.dwell_high = dwell_high
+
+    def uses_rng(self) -> bool:
+        """Dwell times are drawn from the arrival stream."""
+        return True
+
+    def segments(self, mean_rate: float, until: float,
+                 rng: random.Random) -> list[RateSegment]:
+        """Piecewise-constant segments following the modulating chain."""
+        out: list[RateSegment] = []
+        t = 0.0
+        in_high = False
+        while t < until:
+            mult = self.high if in_high else self.low
+            mean_dwell = self.dwell_high if in_high else self.dwell_low
+            dwell = rng.expovariate(1.0 / mean_dwell)
+            t_next = min(t + dwell, until)
+            rate = mean_rate * mult
+            out.append(RateSegment(t, t_next, rate, rate))
+            t = t_next
+            in_high = not in_high
+        return out
+
+    def describe(self) -> str:
+        """One-line human description for the CLI banner."""
+        return (f"mmpp (low=x{self.low:g}/{self.dwell_low:g}s, "
+                f"high=x{self.high:g}/{self.dwell_high:g}s)")
+
+
+class DriftArrivals(ArrivalProcess):
+    """Hot-key popularity migrating across the key space over time.
+
+    Timing stays steady (the legacy closed form); what drifts is *which*
+    keys are hot: a Zipf popularity profile over the hot ranks rotates
+    one full turn per ``period``, and the hot mass simultaneously
+    migrates across workers (the legacy hot keys all route to worker 0;
+    drift shifts them by ``int(phase * parallelism)``).  Total hot mass
+    is conserved — at any two instants the per-key weights are the same
+    multiset, just placed on different keys.
+    """
+
+    kind = "drift"
+
+    def __init__(self, period: float, zipf: float = 1.0) -> None:
+        if period <= 0.0:
+            raise ValueError(f"drift period must be > 0, got {period}")
+        if zipf < 0.0:
+            raise ValueError(f"drift zipf must be >= 0, got {zipf}")
+        self.period = period
+        self.zipf = zipf
+
+    def segments(self, mean_rate: float, until: float,
+                 rng: random.Random) -> list[RateSegment]:
+        """One flat segment — drift shapes keys, not rate."""
+        return [RateSegment(0.0, until, mean_rate, mean_rate)]
+
+    def timestamps(self, mean_rate: float, until: float,
+                   rng: random.Random) -> Iterator[float]:
+        """Steady timing (the legacy closed form)."""
+        return _steady_timestamps(mean_rate, until)
+
+    def hot_weights(self, t: float, num_hot: int) -> list[float]:
+        """Zipf weights over ranks, rotated by the phase at ``t``."""
+        raw = [(i + 1) ** -self.zipf for i in range(num_hot)]
+        total = sum(raw)
+        weights = [w / total for w in raw]
+        rot = int(((t / self.period) % 1.0) * num_hot) % num_hot
+        return weights[-rot:] + weights[:-rot] if rot else weights
+
+    def hot_key(self, t: float, u: float, hot_keys: list[int],
+                parallelism: int) -> int:
+        """Zipf-rank pick, rotated and shifted by the phase at ``t``."""
+        num_hot = len(hot_keys)
+        phase = (t / self.period) % 1.0
+        raw = [(i + 1) ** -self.zipf for i in range(num_hot)]
+        total = sum(raw)
+        acc = 0.0
+        rank = num_hot - 1
+        for i, w in enumerate(raw):
+            acc += w / total
+            if u < acc:
+                rank = i
+                break
+        rot = int(phase * num_hot) % num_hot
+        shift = int(phase * parallelism) % parallelism
+        return hot_keys[(rank + rot) % num_hot] + shift
+
+    def hot_seed_keys(self, hot_keys: list[int],
+                      parallelism: int) -> list[int]:
+        """All worker shifts of every hot key (any may become hot)."""
+        return [key + s for key in hot_keys for s in range(parallelism)]
+
+    def describe(self) -> str:
+        """One-line human description for the CLI banner."""
+        return f"drift (period={self.period:g}s, zipf={self.zipf:g})"
+
+
+class TraceArrivals(ArrivalProcess):
+    """Replay a ``timestamp,rate[,hot_key]`` CSV with linear interpolation.
+
+    ``rate`` is a dimensionless multiplier of the run's mean rate (so a
+    trace recorded against one cluster replays against any query); the
+    optional ``hot_key`` column migrates the hot-key worker shift in
+    steps (the knob production cluster traces expose as "which shard is
+    hot").  Between knots the rate interpolates linearly; before the
+    first and after the last knot the boundary rate holds.
+    """
+
+    kind = "trace"
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self.knots = _load_trace(self.path)
+        #: crc32 of the trace bytes — surfaced in :meth:`describe` so two
+        #: cache entries built from different file *contents* at the same
+        #: path are at least distinguishable in run banners/logs
+        self.content_crc = zlib.crc32(Path(self.path).read_bytes()) & 0xFFFFFFFF
+
+    def segments(self, mean_rate: float, until: float,
+                 rng: random.Random) -> list[RateSegment]:
+        """Linear interpolation between knots, flat beyond the ends."""
+        knots = self.knots
+        out: list[RateSegment] = []
+        first_t, first_r = knots[0][0], knots[0][1]
+        if first_t > 0.0:
+            out.append(RateSegment(0.0, min(first_t, until),
+                                   mean_rate * first_r, mean_rate * first_r))
+        for (t0, r0, _), (t1, r1, _) in zip(knots, knots[1:]):
+            if t0 >= until:
+                break
+            if t1 <= 0.0:
+                continue
+            lo, hi = max(t0, 0.0), min(t1, until)
+            slope = (r1 - r0) / (t1 - t0)
+            out.append(RateSegment(
+                lo, hi,
+                mean_rate * (r0 + slope * (lo - t0)),
+                mean_rate * (r0 + slope * (hi - t0)),
+            ))
+        last_t, last_r = knots[-1][0], knots[-1][1]
+        if last_t < until:
+            out.append(RateSegment(max(last_t, 0.0), until,
+                                   mean_rate * last_r, mean_rate * last_r))
+        return out
+
+    def _hot_shift(self, t: float, parallelism: int) -> int:
+        shift = 0
+        for knot_t, _, hot in self.knots:
+            if knot_t > t:
+                break
+            if hot is not None:
+                shift = hot % parallelism
+        return shift
+
+    def hot_key(self, t: float, u: float, hot_keys: list[int],
+                parallelism: int) -> int:
+        """Uniform hot pick, worker-shifted by the trace's hot_key column."""
+        return hot_keys[int(u * len(hot_keys))] + self._hot_shift(t, parallelism)
+
+    def hot_seed_keys(self, hot_keys: list[int],
+                      parallelism: int) -> list[int]:
+        """All worker shifts of every hot key (the trace may visit any)."""
+        return [key + s for key in hot_keys for s in range(parallelism)]
+
+    def describe(self) -> str:
+        """One-line human description for the CLI banner."""
+        return (f"trace ({self.path}, {len(self.knots)} knots, "
+                f"crc32={self.content_crc:08x})")
+
+
+def _load_trace(path: str) -> list[tuple[float, float, int | None]]:
+    """Parse and validate a trace CSV into ``(t, rate, hot_key)`` knots."""
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ValueError(f"trace {path!r}: cannot read file ({exc})") from None
+    knots: list[tuple[float, float, int | None]] = []
+    seen_content = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = [f.strip() for f in line.split(",")]
+        if not seen_content and fields[0].lower() in ("timestamp", "t", "time"):
+            seen_content = True
+            continue  # optional header row (after any leading comments)
+        seen_content = True
+        if len(fields) not in (2, 3):
+            raise ValueError(
+                f"trace {path!r}: line {lineno}: expected "
+                f"'timestamp,rate[,hot_key]', got {raw!r}")
+        try:
+            t = float(fields[0])
+            rate = float(fields[1])
+            hot = int(fields[2]) if len(fields) == 3 and fields[2] else None
+        except ValueError:
+            raise ValueError(
+                f"trace {path!r}: line {lineno}: non-numeric field "
+                f"in {raw!r}") from None
+        if t < 0.0:
+            raise ValueError(
+                f"trace {path!r}: line {lineno}: negative timestamp {t:g}")
+        if rate < 0.0:
+            raise ValueError(
+                f"trace {path!r}: line {lineno}: negative rate {rate:g}")
+        if knots and t <= knots[-1][0]:
+            raise ValueError(
+                f"trace {path!r}: line {lineno}: timestamps must be "
+                f"strictly increasing ({t:g} after {knots[-1][0]:g})")
+        knots.append((t, rate, hot))
+    if not knots:
+        raise ValueError(f"trace {path!r}: no data rows")
+    return knots
+
+
+# --------------------------------------------------------------------- #
+# Spec grammar
+# --------------------------------------------------------------------- #
+
+def _parse_kv(body: str) -> dict[str, str]:
+    """``a=1,b=2`` -> dict; raises ValueError on malformed pairs."""
+    out: dict[str, str] = {}
+    for part in body.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, value = part.partition("=")
+        if not sep or not key.strip() or not value.strip():
+            raise ValueError(f"expected key=value, got {part!r}")
+        out[key.strip()] = value.strip()
+    return out
+
+
+def _take(kv: dict[str, str], kind: str, known: tuple[str, ...],
+          key: str, default: float | None = None) -> float:
+    """Pop a float parameter with actionable missing/non-numeric errors."""
+    if key not in kv:
+        if default is None:
+            raise ValueError(
+                f"{kind} requires parameter {key!r} "
+                f"(expected: {', '.join(known)})")
+        return default
+    raw = kv.pop(key)
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(f"parameter {key!r} must be a number, "
+                         f"got {raw!r}") from None
+
+
+def _reject_unknown(kv: dict[str, str], kind: str,
+                    known: tuple[str, ...]) -> None:
+    if kv:
+        extra = ", ".join(sorted(kv))
+        raise ValueError(f"unknown parameter(s) for {kind}: {extra} "
+                         f"(expected: {', '.join(known)})")
+
+
+def parse_arrival(spec: str) -> ArrivalProcess:
+    """Parse an ``--arrival`` spec into an :class:`ArrivalProcess`.
+
+    Grammar (mirrors ``--failure-scenario``): ``kind[:k=v,k=v,...]``,
+    except ``trace:<path>``.  Raises :class:`ValueError` with an
+    actionable message on unknown kinds, missing/unknown/non-numeric
+    parameters, constraint violations and malformed trace files.
+    """
+    kind, _, body = spec.partition(":")
+    kind = kind.strip().lower()
+    if kind not in KNOWN_ARRIVALS:
+        raise ValueError(
+            f"unknown arrival process {kind!r} in {spec!r}; known kinds: "
+            f"{', '.join(KNOWN_ARRIVALS[:-1])}, trace:<path>")
+    if kind == "trace":
+        path = body.strip()
+        if not path:
+            raise ValueError(f"malformed arrival spec {spec!r}: "
+                             f"trace needs a file path (trace:<path>)")
+        return TraceArrivals(path)
+    try:
+        if kind == "steady":
+            if body.strip():
+                raise ValueError("steady takes no parameters")
+            return SteadyArrivals()
+        kv = _parse_kv(body)
+        if kind == "diurnal":
+            known = ("period", "amp", "phase")
+            process: ArrivalProcess = DiurnalArrivals(
+                period=_take(kv, kind, known, "period"),
+                amp=_take(kv, kind, known, "amp", 0.5),
+                phase=_take(kv, kind, known, "phase", 0.0),
+            )
+        elif kind == "flash":
+            known = ("at", "mag", "ramp", "hold", "base")
+            if "at" not in kv:
+                raise ValueError(
+                    f"flash requires parameter 'at' "
+                    f"(expected: {', '.join(known)})")
+            raw_at = kv.pop("at")
+            try:
+                at = tuple(float(a) for a in raw_at.split(";") if a.strip())
+            except ValueError:
+                raise ValueError(
+                    f"parameter 'at' must be ';'-separated numbers, "
+                    f"got {raw_at!r}") from None
+            process = FlashArrivals(
+                at=at,
+                mag=_take(kv, kind, known, "mag", 4.0),
+                ramp=_take(kv, kind, known, "ramp", 2.0),
+                hold=_take(kv, kind, known, "hold", 4.0),
+                base=_take(kv, kind, known, "base", 1.0),
+            )
+        elif kind == "mmpp":
+            known = ("low", "high", "dwell_low", "dwell_high")
+            process = MmppArrivals(
+                low=_take(kv, kind, known, "low", 0.5),
+                high=_take(kv, kind, known, "high", 2.5),
+                dwell_low=_take(kv, kind, known, "dwell_low", 8.0),
+                dwell_high=_take(kv, kind, known, "dwell_high", 4.0),
+            )
+        else:  # drift
+            known = ("period", "zipf")
+            process = DriftArrivals(
+                period=_take(kv, kind, known, "period"),
+                zipf=_take(kv, kind, known, "zipf", 1.0),
+            )
+        _reject_unknown(kv, kind, known)
+        return process
+    except ValueError as exc:
+        raise ValueError(f"malformed arrival spec {spec!r}: {exc}") from None

@@ -32,6 +32,7 @@ from repro.dataflow.operators import (
 from repro.dataflow.records import StreamRecord, joined_rid
 from repro.dataflow.state import KeyedListState
 from repro.storage.kafka import PartitionedLog
+from repro.workloads.arrivals import ArrivalProcess
 from repro.workloads.cyclic.generator import (
     CyclicConfig,
     CyclicGenerator,
@@ -191,9 +192,10 @@ def build_reachability(parallelism: int) -> LogicalGraph:
 
 
 def _cyclic_inputs(rate: float, until: float, parallelism: int,
-                   hot_ratio: float, seed: int) -> dict[str, PartitionedLog]:
+                   hot_ratio: float, seed: int,
+                   arrival: ArrivalProcess | None = None) -> dict[str, PartitionedLog]:
     generator = CyclicGenerator(parallelism, seed=seed, config=CyclicConfig())
-    links, srcnodes = generator.logs(rate, until)
+    links, srcnodes = generator.logs(rate, until, arrival=arrival)
     return {"links": links, "srcnodes": srcnodes}
 
 

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING
 
 from repro.sim.rng import RngRegistry
 from repro.storage.kafka import PartitionedLog
+from repro.workloads.arrivals import ArrivalProcess, SteadyArrivals
 
 if TYPE_CHECKING:  # annotation-only: draws flow through RngRegistry streams
     import random
@@ -34,6 +35,10 @@ from repro.workloads.nexmark.model import (
     Q3_STATES,
     US_STATES,
 )
+
+
+#: shared default — stateless, reproduces the legacy constant-rate loops
+_STEADY = SteadyArrivals()
 
 
 @dataclass(frozen=True)
@@ -87,17 +92,26 @@ class NexmarkGenerator:
     # Topic builders
     # ------------------------------------------------------------------ #
 
-    def bids_log(self, rate: float, until: float, topic: str = "bids") -> PartitionedLog:
-        """A pure bid stream (Q1, Q12) at aggregate ``rate`` events/second."""
+    def bids_log(self, rate: float, until: float, topic: str = "bids",
+                 arrival: ArrivalProcess | None = None) -> PartitionedLog:
+        """A pure bid stream (Q1, Q12) at aggregate ``rate`` events/second.
+
+        ``arrival`` shapes the timestamp sequence and hot-key placement
+        (defaults to steady = the legacy behavior, byte-for-byte); the
+        arrival process draws from its own registry stream, so enabling
+        one never perturbs the payload draws below.
+        """
         if rate <= 0 or until <= 0:
             raise ValueError("rate and until must be positive")
         # a named registry stream (crc32-derived, never hash()) keeps the
         # generated inputs reproducible across runs/workers and independent
         # of any other consumer of the experiment seed
         rng = RngRegistry(self.seed).stream(f"workload.nexmark.{topic}")
+        process = arrival if arrival is not None else _STEADY
+        arrival_rng = RngRegistry(self.seed).stream(
+            f"workload.arrivals.{topic}")
         log = PartitionedLog(topic, self.parallelism)
         bidder_space = self.config.bidder_space_per_worker * self.parallelism
-        total = int(rate * until)
         auction_base = 5000
         # this loop generates hundreds of thousands of events per sweep and
         # dominates short runs, so draws use one C-level random() call each
@@ -109,12 +123,10 @@ class NexmarkGenerator:
         auction_window = self.config.auction_window
         hot_ratio = self.config.hot_ratio
         hot_keys = self.hot_keys
-        num_hot = len(hot_keys)
-        inv_rate = 1.0 / rate
-        for k in range(total):
-            t = (k + 0.5) * inv_rate
+        hot_pick = process.hot_key
+        for k, t in enumerate(process.timestamps(rate, until, arrival_rng)):
             if hot_ratio > 0.0 and random_() < hot_ratio:
-                bidder = hot_keys[int(random_() * num_hot)]
+                bidder = hot_pick(t, random_(), hot_keys, parallelism)
             else:
                 bidder = 10_000 + int(random_() * bidder_space)
             bid = Bid(
@@ -129,17 +141,24 @@ class NexmarkGenerator:
     def person_auction_logs(
         self, rate: float, until: float,
         persons_topic: str = "persons", auctions_topic: str = "auctions",
+        arrival: ArrivalProcess | None = None,
     ) -> tuple[PartitionedLog, PartitionedLog]:
         """Interleaved persons+auctions streams (Q3, Q8) at aggregate ``rate``.
 
         Hot mode pre-seeds the hot persons (with a Q3-passing state) so that
         hot auctions always find their join partner, concentrating both the
-        routing load and the join state on instance 0.
+        routing load and the join state on instance 0.  A drifting
+        ``arrival`` widens the pre-seed to every key its ``hot_key`` hook
+        can return, so migrated hot auctions still find a join partner.
         """
         if rate <= 0 or until <= 0:
             raise ValueError("rate and until must be positive")
         rng = RngRegistry(self.seed).stream(
             f"workload.nexmark.{persons_topic}+{auctions_topic}"
+        )
+        process = arrival if arrival is not None else _STEADY
+        arrival_rng = RngRegistry(self.seed).stream(
+            f"workload.arrivals.{persons_topic}+{auctions_topic}"
         )
         persons = PartitionedLog(persons_topic, self.parallelism)
         auctions = PartitionedLog(auctions_topic, self.parallelism)
@@ -151,7 +170,8 @@ class NexmarkGenerator:
         auction_counter = 0
         # pre-seed hot persons at t=0 so hot auctions can join immediately
         if self.config.hot_ratio > 0:
-            for hot_id in self.hot_keys:
+            for hot_id in process.hot_seed_keys(self.hot_keys,
+                                                self.parallelism):
                 t = 0.0
                 person = Person(
                     id=hot_id,
@@ -164,7 +184,6 @@ class NexmarkGenerator:
                 )
                 person_counter += 1
                 person_pool.append(hot_id)
-        total = int(rate * until)
         # hot loop: see bids_log — single random() draws, hoisted lookups
         random_ = rng.random
         parallelism = self.parallelism
@@ -173,10 +192,8 @@ class NexmarkGenerator:
         num_states = len(US_STATES)
         hot_ratio = self.config.hot_ratio
         hot_keys = self.hot_keys
-        num_hot = len(hot_keys)
-        inv_rate = 1.0 / rate
-        for k in range(total):
-            t = (k + 0.5) * inv_rate
+        hot_pick = process.hot_key
+        for t in process.timestamps(rate, until, arrival_rng):
             if random_() < person_share or not person_pool:
                 person = Person(
                     id=next_person_id,
@@ -192,7 +209,7 @@ class NexmarkGenerator:
                 person_counter += 1
             else:
                 if hot_ratio > 0.0 and random_() < hot_ratio:
-                    seller = hot_keys[int(random_() * num_hot)]
+                    seller = hot_pick(t, random_(), hot_keys, parallelism)
                 else:
                     seller = person_pool[int(random_() * len(person_pool))]
                 auction = Auction(

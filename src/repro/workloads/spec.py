@@ -8,6 +8,7 @@ from typing import Callable
 
 from repro.dataflow.graph import LogicalGraph
 from repro.storage.kafka import PartitionedLog
+from repro.workloads.arrivals import ArrivalProcess, parse_arrival
 
 #: bounded per-process memo of generated input logs.  Generation dominates
 #: short probe runs (it is a tight RNG loop over hundreds of thousands of
@@ -27,9 +28,11 @@ class QuerySpec:
     """A runnable streaming query.
 
     ``build_graph(parallelism)`` returns the logical dataflow.
-    ``build_inputs(rate, until, parallelism, hot_ratio, seed)`` returns the
-    pre-generated replayable input logs (one topic per source), with records
-    available up to virtual time ``until`` at aggregate rate ``rate``.
+    ``build_inputs(rate, until, parallelism, hot_ratio, seed, arrival)``
+    returns the pre-generated replayable input logs (one topic per
+    source), with records available up to virtual time ``until`` at
+    aggregate rate ``rate`` shaped by the :class:`~repro.workloads.
+    arrivals.ArrivalProcess` (``None`` = steady, the legacy behavior).
     ``capacity_per_worker`` seeds the MST bisection (records/s/worker under
     the default cost model); the search refines it with probe runs.
     """
@@ -37,16 +40,27 @@ class QuerySpec:
     name: str
     description: str
     build_graph: Callable[[int], LogicalGraph]
-    build_inputs: Callable[[float, float, int, float, int], dict[str, PartitionedLog]]
+    build_inputs: Callable[
+        [float, float, int, float, int, ArrivalProcess | None],
+        dict[str, PartitionedLog],
+    ]
     capacity_per_worker: float
     cyclic: bool = False
     #: is the query affected by hot-item skew (Q1 is not — non-keyed)
     skew_sensitive: bool = True
 
     def make_job_inputs(self, rate: float, until: float, parallelism: int,
-                        hot_ratio: float = 0.0, seed: int = 7) -> dict[str, PartitionedLog]:
-        """Pre-generate partitioned input logs for one run."""
-        key = (self.name, rate, until, parallelism, hot_ratio, seed)
+                        hot_ratio: float = 0.0, seed: int = 7,
+                        arrival: str | None = None) -> dict[str, PartitionedLog]:
+        """Pre-generate partitioned input logs for one run.
+
+        ``arrival`` is an arrival-process spec string (``--arrival``
+        grammar, see :func:`repro.workloads.arrivals.parse_arrival`);
+        ``None`` means steady, today's behavior.
+        """
+        # the arrival spec is a memo-key coordinate: two runs differing
+        # only in arrival shape must never share cached logs
+        key = (self.name, rate, until, parallelism, hot_ratio, seed, arrival)
         cached = _INPUT_MEMO.get(key)
         # the stored generator is identity-checked (and kept alive by the
         # entry): an ad-hoc spec variant reusing a registered name must not
@@ -54,7 +68,9 @@ class QuerySpec:
         if cached is not None and cached[0] is self.build_inputs:
             _INPUT_MEMO.move_to_end(key)
             return cached[1]
-        inputs = self.build_inputs(rate, until, parallelism, hot_ratio, seed)
+        process = parse_arrival(arrival) if arrival is not None else None
+        inputs = self.build_inputs(rate, until, parallelism, hot_ratio, seed,
+                                   process)
         total_records = sum(
             len(partition) for log in inputs.values() for partition in log.partitions
         )

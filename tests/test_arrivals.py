@@ -1,0 +1,313 @@
+"""Property and grammar tests for the arrival-process layer.
+
+The hypothesis suite checks, for every process class, the invariants the
+generators and the run cache lean on: the rate integral matches the
+emitted event count, timestamps are nondecreasing and in-window, equal
+seeds give equal sequences (and RNG-free processes ignore the stream
+entirely), segments tile the window with nonnegative rates, drift
+conserves total hot-key mass, and trace replay interpolates exactly at
+its knots.  The grammar table mirrors the ``--failure-scenario`` parsing
+tests: every valid spec parses to the right kind, every malformed spec
+fails with an actionable message.
+"""
+
+import math
+import pathlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.rng import RngRegistry
+from repro.workloads.arrivals import (
+    DriftArrivals,
+    KNOWN_ARRIVALS,
+    TraceArrivals,
+    parse_arrival,
+    rate_at,
+    total_intensity,
+)
+
+FIXTURE_TRACE = str(pathlib.Path(__file__).parent / "data" / "arrival_trace.csv")
+
+
+# --------------------------------------------------------------------- #
+# Spec strategies — one builder per process class
+# --------------------------------------------------------------------- #
+
+def _diurnal_specs():
+    return st.builds(
+        lambda period, amp, phase: f"diurnal:period={period},amp={amp},phase={phase}",
+        st.floats(1.0, 40.0), st.floats(0.0, 1.0), st.floats(0.0, 6.28),
+    )
+
+
+def _flash_specs():
+    @st.composite
+    def build(draw):
+        ramp = draw(st.floats(0.0, 3.0))
+        hold = draw(st.floats(0.0, 4.0))
+        mag = draw(st.floats(1.1, 6.0))
+        n = draw(st.integers(1, 3))
+        width = 2.0 * ramp + hold
+        at, cursor = [], 0.0
+        for _ in range(n):
+            cursor += draw(st.floats(0.5, 8.0))
+            at.append(cursor)
+            cursor += width
+        ats = ";".join(f"{a}" for a in at)
+        return f"flash:at={ats},mag={mag},ramp={ramp},hold={hold}"
+    return build()
+
+
+def _mmpp_specs():
+    @st.composite
+    def build(draw):
+        low = draw(st.floats(0.0, 2.0))
+        high = low + draw(st.floats(0.1, 4.0))
+        dl = draw(st.floats(0.5, 20.0))
+        dh = draw(st.floats(0.5, 20.0))
+        return f"mmpp:low={low},high={high},dwell_low={dl},dwell_high={dh}"
+    return build()
+
+
+def _drift_specs():
+    return st.builds(
+        lambda period, zipf: f"drift:period={period},zipf={zipf}",
+        st.floats(1.0, 40.0), st.floats(0.0, 3.0),
+    )
+
+
+ANY_SPEC = st.one_of(
+    st.just("steady"), _diurnal_specs(), _flash_specs(), _mmpp_specs(),
+    _drift_specs(), st.just(f"trace:{FIXTURE_TRACE}"),
+)
+RATES = st.floats(20.0, 200.0)
+UNTILS = st.floats(2.0, 20.0)
+SEEDS = st.integers(0, 2**20)
+
+
+def _stream(seed, name="arrivals.test"):
+    return RngRegistry(seed).stream(name)
+
+
+# --------------------------------------------------------------------- #
+# Invariant 1 — rate integral ≈ emitted event count
+# --------------------------------------------------------------------- #
+
+@settings(max_examples=250, deadline=None)
+@given(spec=ANY_SPEC, rate=RATES, until=UNTILS, seed=SEEDS)
+def test_rate_integral_matches_event_count(spec, rate, until, seed):
+    process = parse_arrival(spec)
+    n = sum(1 for _ in process.timestamps(rate, until, _stream(seed)))
+    lam = total_intensity(process.segments(rate, until, _stream(seed)))
+    assert abs(n - lam) <= 1.0 + 1e-6 * lam
+
+
+# --------------------------------------------------------------------- #
+# Invariant 2 — timestamps nondecreasing, inside [0, until]
+# --------------------------------------------------------------------- #
+
+@settings(max_examples=250, deadline=None)
+@given(spec=ANY_SPEC, rate=RATES, until=UNTILS, seed=SEEDS)
+def test_timestamps_nondecreasing_and_in_window(spec, rate, until, seed):
+    process = parse_arrival(spec)
+    ts = list(process.timestamps(rate, until, _stream(seed)))
+    assert all(b >= a for a, b in zip(ts, ts[1:]))
+    if ts:
+        assert ts[0] >= 0.0
+        assert ts[-1] <= until * (1.0 + 1e-9)
+
+
+# --------------------------------------------------------------------- #
+# Invariant 3 — determinism: same spec + same seed => same sequence
+# --------------------------------------------------------------------- #
+
+@settings(max_examples=250, deadline=None)
+@given(spec=ANY_SPEC, rate=RATES, until=UNTILS, seed=SEEDS)
+def test_determinism_across_fresh_streams(spec, rate, until, seed):
+    first = list(parse_arrival(spec).timestamps(rate, until, _stream(seed)))
+    second = list(parse_arrival(spec).timestamps(rate, until, _stream(seed)))
+    assert first == second
+
+
+@settings(max_examples=250, deadline=None)
+@given(spec=ANY_SPEC, rate=RATES, until=UNTILS,
+       seed_a=SEEDS, seed_b=SEEDS)
+def test_rng_free_processes_ignore_the_stream(spec, rate, until, seed_a, seed_b):
+    process = parse_arrival(spec)
+    if process.uses_rng():
+        return  # only mmpp consumes draws; its dependence is the point
+    a = list(process.timestamps(rate, until, _stream(seed_a)))
+    b = list(process.timestamps(rate, until, _stream(seed_b, "other.name")))
+    assert a == b
+
+
+# --------------------------------------------------------------------- #
+# Invariant 4 — segments tile [0, until] with nonnegative rates
+# --------------------------------------------------------------------- #
+
+@settings(max_examples=250, deadline=None)
+@given(spec=ANY_SPEC, rate=RATES, until=UNTILS, seed=SEEDS)
+def test_segments_tile_window_with_nonnegative_rates(spec, rate, until, seed):
+    segments = parse_arrival(spec).segments(rate, until, _stream(seed))
+    assert segments
+    assert segments[0].t0 == 0.0
+    assert math.isclose(segments[-1].t1, until, rel_tol=1e-9)
+    for prev, nxt in zip(segments, segments[1:]):
+        assert math.isclose(prev.t1, nxt.t0, rel_tol=1e-9, abs_tol=1e-9)
+    assert all(s.r0 >= 0.0 and s.r1 >= 0.0 for s in segments)
+
+
+# --------------------------------------------------------------------- #
+# Invariant 5 — drift conserves total hot-key mass
+# --------------------------------------------------------------------- #
+
+@settings(max_examples=250, deadline=None)
+@given(period=st.floats(1.0, 40.0), zipf=st.floats(0.0, 3.0),
+       t_a=st.floats(0.0, 100.0), t_b=st.floats(0.0, 100.0),
+       num_hot=st.integers(1, 8))
+def test_drift_preserves_total_key_mass(period, zipf, t_a, t_b, num_hot):
+    process = DriftArrivals(period=period, zipf=zipf)
+    w_a = process.hot_weights(t_a, num_hot)
+    w_b = process.hot_weights(t_b, num_hot)
+    assert math.isclose(sum(w_a), 1.0, rel_tol=1e-9)
+    assert math.isclose(sum(w_b), 1.0, rel_tol=1e-9)
+    # the profile rotates but never gains or loses mass on any rank
+    assert sorted(w_a) == pytest.approx(sorted(w_b))
+
+
+@settings(max_examples=250, deadline=None)
+@given(period=st.floats(1.0, 40.0), zipf=st.floats(0.0, 3.0),
+       t=st.floats(0.0, 100.0), u=st.floats(0.0, 0.999999),
+       parallelism=st.integers(1, 8))
+def test_drift_hot_keys_stay_in_the_shifted_key_set(period, zipf, t, u, parallelism):
+    process = DriftArrivals(period=period, zipf=zipf)
+    hot_keys = [parallelism * (i + 1) for i in range(3)]
+    key = process.hot_key(t, u, hot_keys, parallelism)
+    assert key in set(process.hot_seed_keys(hot_keys, parallelism))
+    # the shift never leaves the worker address space
+    assert 0 <= key % parallelism < parallelism
+
+
+# --------------------------------------------------------------------- #
+# Invariant 6 — trace interpolation exact at knots
+# --------------------------------------------------------------------- #
+
+@settings(max_examples=250, deadline=None)
+@given(rate=RATES,
+       knots=st.lists(st.tuples(st.floats(0.1, 10.0), st.floats(0.0, 5.0)),
+                      min_size=1, max_size=6))
+def test_trace_interpolation_exact_at_knots(rate, knots):
+    times, cursor = [], 0.0
+    for gap, _ in knots:
+        cursor += gap
+        times.append(cursor)
+    rows = [(t, r) for t, (_, r) in zip(times, knots)]
+    path = pathlib.Path("/tmp") / "hyp_trace.csv"
+    path.write_text(
+        "\n".join(f"{t},{r}" for t, r in rows) + "\n", encoding="utf-8")
+    process = TraceArrivals(str(path))
+    until = times[-1] + 5.0
+    segments = process.segments(rate, until, None)
+    for t, r in rows:
+        assert rate_at(segments, t) == pytest.approx(rate * r, rel=1e-9)
+    # beyond the last knot the final rate holds
+    assert rate_at(segments, until) == pytest.approx(rate * rows[-1][1])
+
+
+def test_trace_fixture_replays_with_hot_shifts():
+    process = parse_arrival(f"trace:{FIXTURE_TRACE}")
+    hot_keys = [4, 8]
+    # knots: hot 0 at t=0, carried through t=4 (blank), 1 at t=8, 3 at t=12
+    assert process.hot_key(1.0, 0.0, hot_keys, 4) == 4
+    assert process.hot_key(9.0, 0.0, hot_keys, 4) == 5
+    assert process.hot_key(13.0, 0.0, hot_keys, 4) == 7  # 3 % 4 == 3
+    assert process.hot_key(13.0, 0.9, hot_keys, 4) == 11
+    seeds = process.hot_seed_keys(hot_keys, 4)
+    assert set(seeds) == {4 + s for s in range(4)} | {8 + s for s in range(4)}
+
+
+# --------------------------------------------------------------------- #
+# Grammar — valid/invalid spec table (mirrors the failure-scenario tests)
+# --------------------------------------------------------------------- #
+
+VALID_SPECS = [
+    ("steady", "steady"),
+    ("steady:", "steady"),
+    ("diurnal:period=60", "diurnal"),
+    ("diurnal:period=60,amp=0.6,phase=1.0", "diurnal"),
+    ("flash:at=20", "flash"),
+    ("flash:at=20;45,mag=4,ramp=2,hold=4,base=0.8", "flash"),
+    ("mmpp:", "mmpp"),
+    ("mmpp:low=0.5,high=2.5,dwell_low=8,dwell_high=4", "mmpp"),
+    ("drift:period=30", "drift"),
+    ("drift:period=30,zipf=1.5", "drift"),
+    (f"trace:{FIXTURE_TRACE}", "trace"),
+    ("Diurnal:period=60", "diurnal"),  # kinds are case-insensitive
+]
+
+
+@pytest.mark.parametrize("spec,kind", VALID_SPECS)
+def test_valid_specs_parse(spec, kind):
+    process = parse_arrival(spec)
+    assert process.kind == kind
+    assert process.describe()
+
+
+INVALID_SPECS = [
+    ("poisson:rate=3", "unknown arrival process"),
+    ("", "unknown arrival process"),
+    ("diurnal", "requires parameter 'period'"),
+    ("diurnal:amp=0.5", "requires parameter 'period'"),
+    ("diurnal:period=0", "period must be > 0"),
+    ("diurnal:period=60,amp=1.5", "amp must be in"),
+    ("diurnal:period=sixty", "must be a number"),
+    ("diurnal:period=60,unknown=1", "unknown parameter"),
+    ("diurnal:period", "expected key=value"),
+    ("flash:mag=3", "requires parameter 'at'"),
+    ("flash:at=10,mag=1", "mag must be > 1"),
+    ("flash:at=10;11,ramp=2,hold=4", "overlap"),
+    ("flash:at=ten", "';'-separated numbers"),
+    ("flash:at=10,ramp=-1", "must be >= 0"),
+    ("mmpp:low=2,high=1", "must exceed"),
+    ("mmpp:low=0,high=0", "not both be zero"),
+    ("mmpp:dwell_low=0", "dwell times must be > 0"),
+    ("drift:period=-5", "period must be > 0"),
+    ("drift:period=5,zipf=-1", "zipf must be >= 0"),
+    ("trace:", "needs a file path"),
+    ("trace:/nonexistent/nope.csv", "cannot read"),
+]
+
+
+@pytest.mark.parametrize("spec,message", INVALID_SPECS)
+def test_invalid_specs_raise_actionable_errors(spec, message):
+    with pytest.raises(ValueError, match=message):
+        parse_arrival(spec)
+
+
+@pytest.mark.parametrize("content,message", [
+    ("", "no data rows"),
+    ("timestamp,rate\n", "no data rows"),
+    ("0,1.0\n0,2.0\n", "strictly increasing"),
+    ("5,1.0\n3,2.0\n", "strictly increasing"),
+    ("0,-1.0\n", "negative rate"),
+    ("-2,1.0\n", "negative timestamp"),
+    ("0,1.0,2,3\n", "expected 'timestamp,rate"),
+    ("0\n", "expected 'timestamp,rate"),
+    ("zero,1.0\n", "non-numeric"),
+    ("0,fast\n", "non-numeric"),
+    ("0,1.0,hot\n", "non-numeric"),
+])
+def test_malformed_trace_csv_raises_with_line_numbers(tmp_path, content, message):
+    path = tmp_path / "bad.csv"
+    path.write_text(content, encoding="utf-8")
+    with pytest.raises(ValueError, match=message):
+        parse_arrival(f"trace:{path}")
+
+
+def test_unknown_kind_error_lists_known_kinds():
+    with pytest.raises(ValueError) as err:
+        parse_arrival("bursty:rate=2")
+    for kind in KNOWN_ARRIVALS[:-1]:
+        assert kind in str(err.value)
+    assert "trace:<path>" in str(err.value)

@@ -251,7 +251,7 @@ def _probe_spec() -> QuerySpec:
     def build_graph(parallelism: int):
         return build_count_graph()
 
-    def build_inputs(rate, until, parallelism, hot_ratio, seed):
+    def build_inputs(rate, until, parallelism, hot_ratio, seed, arrival=None):
         return {"events": make_event_log(rate, 8.0, parallelism, seed=seed)}
 
     return QuerySpec(

@@ -105,3 +105,27 @@ def test_unknown_experiment_rejected():
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_query_with_arrival_process(capsys):
+    code = main([
+        "query", "q12", "--protocol", "cic", "--parallelism", "2",
+        "--rate", "200", "--duration", "12", "--warmup", "2",
+        "--failure-at", "5",
+        "--arrival", "flash:at=4,mag=3,ramp=1,hold=2",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "arrival process" in out
+    assert "flash (spikes at 4" in out
+
+
+def test_query_rejects_malformed_arrival_spec(capsys):
+    code = main([
+        "query", "q1", "--protocol", "coor", "--parallelism", "2",
+        "--rate", "200", "--duration", "8", "--warmup", "2",
+        "--arrival", "diurnal:amp=0.5",
+    ])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "requires parameter 'period'" in err

@@ -101,7 +101,7 @@ def test_all_experiments_registry():
     assert set(figures.ALL_EXPERIMENTS) == {
         "fig7", "table2", "fig8", "fig9", "fig10", "fig11",
         "table3", "fig12", "fig13", "table4", "state_size", "rescale",
-        "multi_failure", "backpressure",
+        "multi_failure", "backpressure", "arrivals",
     }
 
 
@@ -145,3 +145,23 @@ def test_state_size_figure_structure():
             assert m["uploaded"] == m["materialized"]
         else:
             assert m["uploaded"] < m["materialized"]
+
+
+def test_arrivals_figure_structure():
+    out = figures.arrivals(QUICK)
+    protocols = {p for (p, _, _) in out["measured"]}
+    assert protocols == {"coor", "coor-unaligned", "unc", "cic"}
+    labels = {label for (_, label, _) in out["measured"]}
+    assert labels == {"steady", "diurnal", "flash", "mmpp", "drift"}
+    capacities = {cap for (_, _, cap) in out["measured"]}
+    assert capacities == {"unbounded", "tight"}
+    # the acceptance checks of the arrivals figure must hold at smoke
+    # scale — in particular the flash-vs-steady parking contrast: flash
+    # crowds park senders at tight capacity, steady at the same *mean*
+    # rate does not (satellite check of DESIGN.md section 17)
+    assert all(ok for _, ok in out["checks"]), out["checks"]
+    for (_, label, cap), m in out["measured"].items():
+        if cap == "tight" and label == "flash":
+            assert m["parked"] > 0
+        if cap == "tight" and label == "steady":
+            assert m["parked"] == 0

@@ -16,6 +16,10 @@ deliberately exempt, not one that merely happens to violate the rule.
   *host* wall-clock (sweep progress, worker scheduling); everything else
   lives on simulated time.  Benchmarks sit outside ``src/repro`` and are
   never scanned.
+* **RL004** — ordered iteration covers the deterministic layers plus
+  ``repro.workloads``: generators and arrival processes feed the
+  byte-identical-inputs guarantee, so their iteration order is part of
+  the determinism contract too.
 * **RL005** — the non-slotted-dataclass half applies to the hot-path
   modules named in ``HOT_PATH``; the mutable-default half applies
   everywhere.
@@ -96,6 +100,7 @@ def default_config() -> LintConfig:
             "src/repro/dataflow",
             "src/repro/sim",
             "src/repro/core",
+            "src/repro/workloads",
         )),
         "RL005": RuleScope(include=("src/repro",)),
         "RL006": RuleScope(include=(
