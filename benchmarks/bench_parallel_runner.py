@@ -1,16 +1,41 @@
-"""Parallel runner: serial vs fanned sweep, cold vs cached re-sweep.
+"""Parallel runner: streaming cost-aware scheduling vs a FIFO barrier.
 
-Unlike the figure benches this one measures the *harness* itself: a
-figure-style sweep of independent runs executed serially, then through
-``ParallelRunner`` (process fan-out), then again against a warm run
-cache.  On a multi-core host the fanned sweep approaches
-``serial / jobs``; the cached re-sweep is near-instant everywhere.
+Unlike the figure benches this one measures the *harness* itself:
+
+* a figure-style sweep of independent runs executed serially, through
+  ``ParallelRunner`` (process fan-out), then against a warm run cache;
+* a **heterogeneous-duration** sweep — many short runs plus one long
+  straggler submitted last — executed through the old-style FIFO batch
+  barrier (``pool.map`` in submission order) and through the streaming
+  scheduler (longest-first by :func:`estimate_cost`, completions drained
+  as they land).  The straggler-last shape is the classic list-scheduling
+  adversary: FIFO parks the long run behind the shorts, the cost model
+  starts it first, so streamed wall-clock approaches ``max(L, S/(m-1))``
+  against FIFO's ``S/m + L`` — a 1.75x gap at four workers;
+* the **compact cache entry** size — a compacted, zlib-compressed v8
+  entry against the raw v7-style pickle of the same result.
+
+Both ratio guards compare two measurements taken on the same machine in
+the same process, so they hold on any host; the scheduling guard needs
+four real cores and skips below that (CI provides them).
 """
 
 import os
+import pickle
 import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
 
-from repro.experiments.parallel import ParallelRunner, RunRequest, execute_request
+import pytest
+
+from benchmarks._common import emit
+from repro.experiments.parallel import (
+    ParallelRunner,
+    RunRequest,
+    _mp_context,
+    estimate_cost,
+    execute_request,
+)
 
 JOBS = max(2, min(4, os.cpu_count() or 1))
 
@@ -20,6 +45,14 @@ SWEEP = [
     for query, rate in (("q1", 1500.0), ("q3", 900.0), ("q12", 800.0))
     for protocol in ("coor", "unc", "cic")
 ]
+
+#: streamed+scheduled must beat the FIFO barrier by this much on the
+#: straggler-last workload at four workers (theoretical gap: 1.75x)
+SCHEDULING_FLOOR = 1.3
+
+#: a compacted+compressed v8 cache entry must be at most this fraction
+#: of the raw (v7-style) result pickle
+COMPACT_ENTRY_CEILING = 1 / 3
 
 
 def test_serial_sweep(benchmark):
@@ -50,3 +83,75 @@ def test_cached_resweep(benchmark):
 
         results = benchmark.pedantic(resweep, rounds=1, iterations=1)
         assert len(results) == len(SWEEP)
+
+
+def _hetero_sweep() -> list[RunRequest]:
+    """Eight short runs plus one ~4x-longer straggler, straggler LAST.
+
+    With the cost model ``rate x (warmup + duration + 1)`` the long run
+    costs ~S/3 of the shorts' total S, the adversarial shape for FIFO at
+    four workers: it idles three workers for the whole straggler tail.
+    """
+    shorts = [
+        RunRequest(query="q1", protocol="unc", parallelism=2,
+                   rate=1200.0, duration=4.0, warmup=1.0, seed=seed)
+        for seed in range(8)
+    ]
+    long = RunRequest(query="q1", protocol="unc", parallelism=2,
+                      rate=1200.0, duration=14.0, warmup=1.0, seed=99)
+    assert estimate_cost(long) > max(estimate_cost(s) for s in shorts)
+    return shorts + [long]
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="scheduling-ratio guard needs 4 real cores")
+def test_streamed_scheduling_beats_fifo_barrier():
+    """Same sweep, same machine: FIFO barrier vs streaming scheduler."""
+    requests = _hetero_sweep()
+
+    start = time.perf_counter()
+    with ProcessPoolExecutor(max_workers=4,
+                             mp_context=_mp_context()) as pool:
+        fifo_results = list(pool.map(execute_request, requests))
+    fifo_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    with ParallelRunner(jobs=4) as runner:
+        streamed_results = runner.map(requests)
+    streamed_wall = time.perf_counter() - start
+
+    assert len(fifo_results) == len(streamed_results) == len(requests)
+    ratio = fifo_wall / streamed_wall
+    emit("bench_parallel_scheduling", "\n".join([
+        "parallel runner: heterogeneous sweep, 4 workers",
+        f"  FIFO barrier (pool.map, straggler last): {fifo_wall:8.2f} s",
+        f"  streamed + cost-scheduled (runner.map) : {streamed_wall:8.2f} s",
+        f"  speedup: {ratio:5.2f}x (floor {SCHEDULING_FLOOR}x, "
+        "theoretical 1.75x)",
+    ]))
+    assert ratio >= SCHEDULING_FLOOR, (
+        f"streaming scheduler only {ratio:.2f}x over the FIFO barrier "
+        f"(floor {SCHEDULING_FLOOR}x)"
+    )
+
+
+def test_compact_entry_is_a_third_of_raw_pickle(tmp_path):
+    """A v8 cache entry (compacted + compressed) vs the raw v7 pickle."""
+    request = SWEEP[0]
+    raw_bytes = len(pickle.dumps(execute_request(request),
+                                 protocol=pickle.HIGHEST_PROTOCOL))
+    runner = ParallelRunner(jobs=1, cache_dir=tmp_path)
+    runner.run(request)
+    (entry,) = tmp_path.glob("*.pkl")
+    entry_bytes = entry.stat().st_size
+    emit("bench_parallel_cache_entry", "\n".join([
+        "parallel runner: cache entry size",
+        f"  raw result pickle (v7-style)       : {raw_bytes:10d} B",
+        f"  compact+compressed entry (v8)      : {entry_bytes:10d} B",
+        f"  ratio: {entry_bytes / raw_bytes:6.3f} "
+        f"(ceiling {COMPACT_ENTRY_CEILING:.3f})",
+    ]))
+    assert entry_bytes <= raw_bytes * COMPACT_ENTRY_CEILING, (
+        f"compact entry {entry_bytes} B exceeds a third of the raw "
+        f"pickle ({raw_bytes} B)"
+    )

@@ -15,6 +15,12 @@ all [--scale ...] [--out DIR] [--jobs N] [--cache-dir DIR]
     these outputs).
 query NAME --protocol P [--parallelism N] [--rate R] [--failure-at T] ...
     Run a single configuration and print its summary (exploration tool).
+cache-stats DIR
+    Inspect a run-cache directory: entries, bytes, compression ratio.
+
+``--jobs 0`` (or ``--jobs auto``) resolves to ``os.cpu_count()`` on
+``run``/``all``/``query``, announced in the banner the same way
+``--shards auto`` announces its resolution.
 """
 
 from __future__ import annotations
@@ -41,6 +47,27 @@ def _shard_spec(value: str) -> int | str:
     if value == "auto":
         return value
     return int(value)
+
+
+def _jobs_spec(value: str) -> int | str:
+    """Parse ``--jobs``: an integer count or the literal ``auto``."""
+    if value == "auto":
+        return value
+    return int(value)
+
+
+def _resolve_jobs(jobs: int | str) -> int:
+    """Resolve ``--jobs``: 0 / ``auto`` means one worker per CPU.
+
+    Prints a banner when a resolution actually happened, mirroring the
+    ``--shards auto`` announcement.
+    """
+    if jobs == "auto" or jobs == 0:
+        resolved = max(1, os.cpu_count() or 1)
+        print(f"[jobs] resolved to {resolved} worker process(es) "
+              "(os.cpu_count)")
+        return resolved
+    return int(jobs)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -117,10 +144,16 @@ def _build_parser() -> argparse.ArgumentParser:
                             "KEY-partitioned; DESIGN.md §15); 'auto' "
                             "picks a count from the run size and the "
                             "DESIGN.md §16 eligibility gates")
-    query.add_argument("--jobs", type=int, default=0,
-                       help="worker processes for --shards (default: one "
-                            "per shard)")
+    query.add_argument("--jobs", type=_jobs_spec, default=0,
+                       help="worker processes for --shards; 0 or 'auto' "
+                            "(the default) resolves to os.cpu_count()")
     query.add_argument("--seed", type=int, default=7)
+
+    stats = sub.add_parser("cache-stats",
+                           help="inspect a run-cache directory")
+    stats.add_argument("cache_dir",
+                       help="content-addressed run cache directory "
+                            "(the --cache-dir of run/all)")
     return parser
 
 
@@ -130,8 +163,9 @@ def _add_common(sub: argparse.ArgumentParser) -> None:
                      help="overrides CHECKMATE_SCALE")
     sub.add_argument("--out", default="results",
                      help="directory for the rendered text blocks")
-    sub.add_argument("--jobs", type=int, default=1,
-                     help="worker processes for independent runs (default: 1)")
+    sub.add_argument("--jobs", type=_jobs_spec, default=1,
+                     help="worker processes for independent runs "
+                          "(default: 1; 0 or 'auto': one per CPU)")
     sub.add_argument("--cache-dir", default=None,
                      help="content-addressed run cache shared across invocations")
     sub.add_argument("--no-auto-shard", action="store_true",
@@ -169,9 +203,10 @@ def _emit(out_dir: str, name: str, text: str) -> None:
 def _install_runner(args) -> ParallelRunner | None:
     """Wire a parallel executor / run cache into the figure harness."""
     figures.set_auto_shard(not args.no_auto_shard)
-    if args.jobs <= 1 and args.cache_dir is None:
+    jobs = _resolve_jobs(args.jobs)
+    if jobs <= 1 and args.cache_dir is None:
         return None
-    runner = ParallelRunner(jobs=args.jobs, cache_dir=args.cache_dir)
+    runner = ParallelRunner(jobs=jobs, cache_dir=args.cache_dir)
     figures.set_runner(runner)
     return runner
 
@@ -257,13 +292,14 @@ def _cmd_query(args) -> int:
         channel_capacity_bytes=args.channel_capacity,
         arrival=args.arrival,
     )
+    jobs = _resolve_jobs(args.jobs)
     shards = args.shards
     if shards == "auto":
-        shards = auto_shard_count(request, jobs=args.jobs)
+        shards = auto_shard_count(request, jobs=jobs)
         print(f"[auto-shard] resolved to {shards} shard(s) "
               "(DESIGN.md §16 gates)")
     if shards > 1:
-        jobs = args.jobs if args.jobs > 0 else shards
+        jobs = min(jobs, shards)
         with ParallelRunner(jobs=jobs) as runner:
             result = run_sharded(request, shards, runner=runner)
         print(f"[sharded] {shards} key-group shards across "
@@ -343,6 +379,28 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_cache_stats(args) -> int:
+    """Report entry count, bytes and compression ratio of a run cache."""
+    from repro.experiments.parallel import RunCache
+
+    path = pathlib.Path(args.cache_dir)
+    if not path.is_dir():
+        print(f"no cache directory at {path}", file=sys.stderr)
+        return 2
+    stats = RunCache(path).stats()
+    print(f"[cache-stats] {path}")
+    print(f"  entries          : {int(stats['entries'])}")
+    if stats["stale_files"]:
+        print(f"  stale files      : {int(stats['stale_files'])} "
+              "(older cache format; read as misses)")
+    print(f"  entry bytes      : {int(stats['entry_bytes'])} on disk / "
+          f"{int(stats['raw_bytes'])} raw")
+    print(f"  total bytes      : {int(stats['total_bytes'])}")
+    print(f"  compressed ratio : {stats['ratio']:.2f}x" if stats["raw_bytes"]
+          else "  compressed ratio : n/a (no decodable entries)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments and dispatch to the selected subcommand."""
     args = _build_parser().parse_args(argv)
@@ -354,6 +412,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_all(args)
     if args.command == "query":
         return _cmd_query(args)
+    if args.command == "cache-stats":
+        return _cmd_cache_stats(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -49,14 +49,62 @@ class RunResult:
         """Did an elastic recovery change the parallelism?"""
         return self.final_parallelism != self.parallelism
 
+    def compact(self) -> "RunResult":
+        """Fold rebuildable transient bulk out of the result (cache v8).
+
+        The raw per-second latency samples dominate a pickled result
+        (~98% of its bytes on a typical figure run) but every consumer
+        reads them through :meth:`latency_series`, which only needs one
+        (count, p50, p99) triple per second.  ``compact()`` precomputes
+        those digests with the same nearest-rank
+        :func:`~repro.metrics.series.percentile` the series would apply
+        and drops the samples, so every derived metric stays
+        byte-identical afterwards.  Shard partials must **not** be
+        compacted — :func:`repro.experiments.sharding.merge_metrics`
+        concatenates raw samples across shards before taking percentiles
+        — so the executor only compacts top-level results.  Mutates in
+        place and returns ``self``; idempotent.
+        """
+        metrics = self.metrics
+        if metrics.latency_digests is None:
+            metrics.latency_digests = {
+                second: (len(values),
+                         percentile(values, 50),
+                         percentile(values, 99))
+                for second, values in metrics.latencies.items()
+            }
+            metrics.latencies = {}
+        return self
+
     def latency_series(self) -> LatencySeries:
         """Per-second p50/p99 with seconds relative to the measured window."""
+        end = int(self.duration)
+        digests = self.metrics.latency_digests
+        if digests is not None:
+            # compacted result: rebuild from the per-second digests.  The
+            # warmup shift is injective (one absolute second maps to one
+            # relative second), so each relative second's population is
+            # exactly one digest's — the precomputed percentiles are the
+            # ones from_latencies would recompute from raw samples.
+            p50: dict[int, float] = {}
+            p99: dict[int, float] = {}
+            for second, (_, d50, d99) in digests.items():
+                rel = second - int(self.warmup)
+                if 0 <= rel < end:
+                    p50[rel] = d50
+                    p99[rel] = d99
+            seconds = list(range(0, end))
+            return LatencySeries(
+                seconds=seconds,
+                p50=[p50.get(second, 0.0) for second in seconds],
+                p99=[p99.get(second, 0.0) for second in seconds],
+            )
         shifted: dict[int, list[float]] = {}
         for second, values in self.metrics.latencies.items():
             rel = second - int(self.warmup)
-            if 0 <= rel < int(self.duration):
+            if 0 <= rel < end:
                 shifted.setdefault(rel, []).extend(values)
-        return LatencySeries.from_latencies(shifted, start=0, end=int(self.duration))
+        return LatencySeries.from_latencies(shifted, start=0, end=end)
 
     @property
     def is_coordinated(self) -> bool:

@@ -22,7 +22,7 @@ from repro.experiments.parallel import (
 from repro.experiments.sharding import (
     auto_shard_count,
     run_sharded,
-    shard_requests,
+    submit_sharded,
 )
 from repro.metrics.mst import find_mst
 from repro.metrics.report import format_table, shape_report
@@ -101,26 +101,26 @@ def _execute(request: RunRequest) -> RunResult:
 
 
 def _warm(requests: list[RunRequest]) -> None:
-    """Fan a batch of independent runs across the runner's workers.
+    """Stream a batch of independent runs through the shared scheduler.
 
     Results land in the runner's cache, so the per-combination ``_execute``
     calls that follow are pure cache hits.  A no-op without a multi-process
     runner — the serial path then computes each run on first use.  Requests
-    the auto-shard policy would split are expanded into their shard
-    requests here, so the later :func:`run_sharded` merge is also pure
-    cache hits.
+    the auto-shard policy would split are submitted as shard groups whose
+    merge fires the moment their last shard lands
+    (:func:`~repro.experiments.sharding.submit_sharded`), so the later
+    :func:`run_sharded` call is a pure memo hit; everything shares the
+    runner's one pool, longest-first, with short runs backfilling the tail.
     """
     if _RUNNER is None or _RUNNER.jobs <= 1:
         return
-    expanded: list[RunRequest] = []
     for request in requests:
         shards = _shards_for(request)
         if shards > 1:
-            expanded.extend(shard_requests(request, shards))
+            submit_sharded(request, shards, _RUNNER)
         else:
-            expanded.append(request)
-    if len(expanded) > 1:
-        _RUNNER.map(expanded)
+            _RUNNER.submit(request)
+    _RUNNER.drain()
 
 
 # --------------------------------------------------------------------- #

@@ -12,13 +12,28 @@ its :class:`RunRequest`, so two things follow (DESIGN.md section 9):
   or re-bracketing that needs the same configuration is served from the
   cache instead of re-simulating.
 
-:class:`ParallelRunner` bundles both: ``run()`` executes one request
-(cache-first), ``map()`` executes a batch (cache-first, then fans the
-misses across a process pool).  The MST search
-(:func:`repro.metrics.mst.find_mst`) and the figure harness
-(:mod:`repro.experiments.figures`) route their runs through a runner when
-one is installed; ``python -m repro run/all --jobs N --cache-dir DIR``
-wires one up from the CLI.
+:class:`ParallelRunner` bundles both around one machine-wide scheduler
+(DESIGN.md section 18): ``submit()`` enqueues a request and returns a
+:class:`RunHandle`, ``map()`` submits a batch **longest-first** (ordered
+by :func:`estimate_cost`, so stragglers start early and short runs
+backfill the tail) and drains completions as they land instead of
+barriering on a ``pool.map``.  Shard fan-outs, figure-harness batches and
+MST bracket generations all submit into this one shared pool — no nested
+pools, no per-figure pool churn — and dependency-aware completion
+callbacks (:meth:`ParallelRunner.submit_merged`) run shard merges the
+moment the last shard lands.
+
+What moves between processes is slimmed and compressed: workers compact
+top-level results (:meth:`repro.dataflow.results.RunResult.compact`),
+persist the cache entry themselves (zlib-compressed, format v8) and
+return only the key plus a scalar summary, so big pickles never cross
+the pipe.  Byte-identical results to serial execution stay the
+invariant: scheduling order may change, result content may not.
+
+The MST search (:func:`repro.metrics.mst.find_mst`) and the figure
+harness (:mod:`repro.experiments.figures`) route their runs through a
+runner when one is installed; ``python -m repro run/all --jobs N
+--cache-dir DIR`` wires one up from the CLI.
 """
 
 from __future__ import annotations
@@ -28,11 +43,13 @@ import json
 import multiprocessing
 import os
 import pickle
+import struct
 import tempfile
-from concurrent.futures import ProcessPoolExecutor
+import zlib
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass, replace
 from pathlib import Path
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.sim.costs import RuntimeConfig
 
@@ -40,9 +57,11 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.dataflow.runtime import RunResult
     from repro.workloads.spec import QuerySpec
 
-#: bump when RunResult / metrics layout changes so stale cache entries
-#: from an older code revision are never served
-CACHE_VERSION = 7
+#: bump when RunResult / metrics layout or the entry encoding changes so
+#: stale cache entries from an older code revision are never served; v8 =
+#: compacted results in zlib-compressed entries (older plain-pickle dirs
+#: read as misses, never as errors)
+CACHE_VERSION = 8
 
 
 # --------------------------------------------------------------------- #
@@ -255,20 +274,134 @@ def run_with_spec(spec: "QuerySpec", request: RunRequest) -> "RunResult":
 
 
 # --------------------------------------------------------------------- #
+# Cost model
+# --------------------------------------------------------------------- #
+
+def estimate_cost(request: "RunRequest | MstRequest") -> float:
+    """Relative wall-clock estimate of one request (a scheduling key).
+
+    The scheduler orders submissions longest-first, so only the *ordering*
+    matters, not the unit: simulated work scales with the records pushed
+    through the pipeline (rate x window, split across shards) times a
+    per-record factor that grows with the instance count, inflated by the
+    scenario knobs that add replay, parking or controller work.  An MST
+    request is a whole sequential bracket search — probe budget x probe
+    window x the query's analytic capacity hint.
+    """
+    if isinstance(request, MstRequest):
+        from repro.metrics.mst import MAX_BRACKET_PROBES, estimate_capacity
+
+        try:
+            capacity = estimate_capacity(
+                resolve_spec(request.query), request.parallelism)
+        except ValueError:
+            capacity = 1000.0
+        window = request.warmup + request.probe_duration + 1.0
+        return (MAX_BRACKET_PROBES + request.iterations) * capacity * window
+    cost = request.rate * (request.warmup + request.duration + 1.0)
+    if request.shard_index is not None:
+        cost /= max(1, request.shard_count)
+    cost *= 1.0 + 0.1 * max(0, request.parallelism - 1)
+    if request.failure_at is not None or request.failure_scenario:
+        cost *= 1.3  # replay + restart work on top of steady processing
+    if request.rescale_to is not None:
+        cost *= 1.1
+    if request.interval_policy != "fixed":
+        cost *= 1.05
+    if request.channel_capacity_bytes:
+        cost *= 1.2  # credit bookkeeping and parked-sender wakeups
+    if request.hot_ratio:
+        cost *= 1.0 + request.hot_ratio  # skew deepens the hot queues
+    if request.arrival is not None:
+        cost *= 1.15
+    return cost
+
+
+# --------------------------------------------------------------------- #
+# Worker-side execution + cache write
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class StoredResult:
+    """Marker a worker returns instead of a full result.
+
+    The worker already persisted the entry under ``key`` in the shared
+    cache directory; only this key plus a few scalars cross the IPC pipe.
+    The parent loads the entry from disk on admission.
+    """
+
+    key: str
+    summary: tuple[tuple[str, float], ...] = ()
+
+
+def _summarize(result: Any) -> tuple[tuple[str, float], ...]:
+    """A few scalars describing ``result`` (debuggability, not data)."""
+    sink_counts = getattr(getattr(result, "metrics", None), "sink_counts", None)
+    if sink_counts is not None:
+        return (("sink_records", float(sum(sink_counts.values()))),)
+    mst = getattr(result, "mst", None)
+    if mst is not None:
+        return (("mst", float(mst)),)
+    return ()
+
+
+def compact_result(request: "RunRequest | MstRequest", result: Any) -> Any:
+    """Compact a finished result if (and only if) it is safe to.
+
+    Top-level run results are compacted
+    (:meth:`~repro.dataflow.results.RunResult.compact`); shard partials
+    keep their raw latency samples because the shard merge concatenates
+    them before taking percentiles; MST results are already tiny.
+    """
+    if isinstance(request, RunRequest) and request.shard_index is None:
+        return result.compact()
+    return result
+
+
+def execute_and_store(request: "RunRequest | MstRequest",
+                      cache_dir: str | None) -> Any:
+    """Worker entry point: execute, compact, persist, return a marker.
+
+    With a shared cache directory the worker writes the (compressed)
+    entry itself and ships back only a :class:`StoredResult`; without one
+    the compacted result crosses the pipe whole.
+    """
+    result = compact_result(request, execute_any(request))
+    if cache_dir is None:
+        return result
+    key = request_key(request)
+    RunCache(cache_dir).put(key, result)
+    return StoredResult(key=key, summary=_summarize(result))
+
+
+# --------------------------------------------------------------------- #
 # On-disk cache
 # --------------------------------------------------------------------- #
 
-class RunCache:
-    """Content-addressed pickle store: one file per request hash.
+#: entry format v8: magic, then the raw pickle length (uint64 LE), then
+#: the zlib-compressed pickle.  Anything else in the directory — v7 plain
+#: pickles, truncated writes, foreign files — reads as a miss, never as
+#: an error, so old cache dirs keep working (as empty caches).
+_ENTRY_MAGIC = b"RPRC\x08"
+_ENTRY_HEADER = struct.Struct("<Q")
 
-    Writes are atomic (tempfile + rename), so concurrent workers and
-    concurrent sweeps can share a cache directory; a corrupt or truncated
-    entry reads as a miss and is rewritten.
+
+class RunCache:
+    """Content-addressed compressed store: one file per request hash.
+
+    Entries are compacted results pickled and zlib-compressed (format v8,
+    see :data:`_ENTRY_MAGIC`).  Writes are atomic (tempfile + rename), so
+    concurrent workers and concurrent sweeps can share a cache directory;
+    a corrupt, truncated or older-format entry reads as a miss and is
+    rewritten.
     """
 
     def __init__(self, directory: str | os.PathLike):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        #: entry-file count, maintained by ``put`` after the first count
+        #: so ``len(cache)`` stops re-globbing the directory per call
+        self._count: int | None = None
 
     def path(self, key: str) -> Path:
         """On-disk path of the entry stored under ``key``."""
@@ -276,25 +409,40 @@ class RunCache:
 
     def get(self, key: str) -> tuple[bool, Any]:
         """(found, value) for ``key``; corrupt entries read as a miss."""
-        path = self.path(key)
         try:
-            with open(path, "rb") as fh:
-                return True, pickle.load(fh)
-        except FileNotFoundError:
+            blob = self.path(key).read_bytes()
+        except OSError:
             return False, None
+        if not blob.startswith(_ENTRY_MAGIC):
+            # v7 plain pickle or foreign bytes: a miss, never an error
+            return False, None
+        try:
+            offset = len(_ENTRY_MAGIC) + _ENTRY_HEADER.size
+            (raw_length,) = _ENTRY_HEADER.unpack_from(blob, len(_ENTRY_MAGIC))
+            raw = zlib.decompress(blob[offset:])
+            if len(raw) != raw_length:
+                return False, None
+            return True, pickle.loads(raw)
         except Exception:
-            # unpickling corrupt bytes can raise nearly anything
-            # (UnpicklingError, ValueError, EOFError, ImportError, ...);
+            # decompressing/unpickling corrupt bytes can raise nearly
+            # anything (error, ValueError, EOFError, ImportError, ...);
             # a damaged entry must always read as a miss and be rewritten
             return False, None
 
     def put(self, key: str, value: Any) -> None:
         """Atomically write ``value`` under ``key`` (tempfile + rename)."""
+        raw = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        payload = (_ENTRY_MAGIC + _ENTRY_HEADER.pack(len(raw))
+                   + zlib.compress(raw, 6))
         fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, self.path(key))
+                fh.write(payload)
+            target = self.path(key)
+            existed = target.exists()
+            os.replace(tmp, target)
+            if self._count is not None and not existed:
+                self._count += 1
         except BaseException:
             try:
                 os.unlink(tmp)
@@ -303,7 +451,46 @@ class RunCache:
             raise
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.directory.glob("*.pkl"))
+        """Entry files present (first call globs, then ``put`` maintains)."""
+        if self._count is None:
+            self._count = sum(1 for _ in self.directory.glob("*.pkl"))
+        return self._count
+
+    def stats(self) -> dict[str, float]:
+        """One directory scan: entry count, bytes, compression ratio.
+
+        ``entries``/``entry_bytes``/``raw_bytes`` cover decodable v8
+        entries (``ratio`` is compressed over raw for those);
+        ``stale_files`` counts files of other formats — e.g. a v7 cache
+        dir — which read as misses; ``total_bytes`` covers both.
+        """
+        entries = stale = 0
+        entry_bytes = raw_bytes = total_bytes = 0
+        prefix = len(_ENTRY_MAGIC) + _ENTRY_HEADER.size
+        for path in sorted(self.directory.glob("*.pkl")):
+            try:
+                size = path.stat().st_size
+                with open(path, "rb") as fh:
+                    head = fh.read(prefix)
+            except OSError:
+                continue
+            total_bytes += size
+            if head.startswith(_ENTRY_MAGIC) and len(head) == prefix:
+                entries += 1
+                entry_bytes += size
+                raw_bytes += _ENTRY_HEADER.unpack_from(
+                    head, len(_ENTRY_MAGIC))[0]
+            else:
+                stale += 1
+        self._count = entries + stale
+        return {
+            "entries": entries,
+            "stale_files": stale,
+            "entry_bytes": entry_bytes,
+            "raw_bytes": raw_bytes,
+            "total_bytes": total_bytes,
+            "ratio": entry_bytes / raw_bytes if raw_bytes else 0.0,
+        }
 
 
 # --------------------------------------------------------------------- #
@@ -319,13 +506,62 @@ def _mp_context():
         return multiprocessing.get_context()
 
 
+class RunHandle:
+    """One submitted request: resolves as the scheduler drains.
+
+    Handles dedup naturally — every submission of the same request key
+    returns the same handle — and carry completion callbacks, which the
+    drain loop fires in the parent process the moment the underlying
+    future lands (shard merges ride on these).
+    """
+
+    __slots__ = ("key", "_runner", "_result", "_done", "_callbacks")
+
+    def __init__(self, key: str, runner: "ParallelRunner"):
+        self.key = key
+        self._runner = runner
+        self._result: Any = None
+        self._done = False
+        self._callbacks: list[Callable[["RunHandle"], None]] = []
+
+    def done(self) -> bool:
+        """Has the result landed?"""
+        return self._done
+
+    def add_done_callback(self, fn: Callable[["RunHandle"], None]) -> None:
+        """Run ``fn(self)`` on resolution (immediately if already done)."""
+        if self._done:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def result(self) -> Any:
+        """The resolved value, draining the scheduler until it lands."""
+        if not self._done:
+            self._runner._drain_until(self)
+        return self._result
+
+    def _resolve(self, value: Any) -> None:
+        self._result = value
+        self._done = True
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+
 class ParallelRunner:
-    """Cache-first experiment executor fanning misses across processes.
+    """Cache-first executor around one machine-wide streaming scheduler.
 
     ``jobs=1`` degrades to serial in-process execution (still cached), so
     the same code path serves the CI smoke sweep and a 32-way grid sweep.
     Results are additionally memoised in-process, so repeated ``run()``
     calls inside one harness invocation never touch the disk twice.
+
+    With ``jobs>1`` every miss — figure batch, shard fan-out, MST bracket
+    generation — is a ``submit()`` into one persistent process pool;
+    batches submit longest-first (:func:`estimate_cost`) and completions
+    stream back as they land, so a straggler never idles the other
+    workers behind a batch barrier.
     """
 
     def __init__(self, jobs: int = 1, cache_dir: str | os.PathLike | None = None):
@@ -333,12 +569,17 @@ class ParallelRunner:
         self.cache = RunCache(cache_dir) if cache_dir is not None else None
         self._memory: dict[str, Any] = {}
         self._pool: ProcessPoolExecutor | None = None
+        #: in-flight futures: future -> (submit seq, key, request, handle)
+        self._inflight: dict[Any, tuple[int, str, Any, RunHandle]] = {}
+        #: unresolved handles by key (cross-batch dedup table)
+        self._pending: dict[str, RunHandle] = {}
+        self._submit_seq = 0
         #: requests served from the cache (memory or disk)
         self.hits = 0
         #: requests that had to be simulated
         self.misses = 0
-        #: in-batch duplicates folded into a pending simulation — served
-        #: without executing, but not from the cache, so not a hit
+        #: duplicates folded into a pending simulation — served without
+        #: executing, but not from the cache, so not a hit
         self.deduped = 0
 
     def close(self) -> None:
@@ -353,11 +594,15 @@ class ParallelRunner:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    def _make_pool(self) -> ProcessPoolExecutor:
+        """Build the persistent worker pool (scheduler tests override)."""
+        return ProcessPoolExecutor(
+            max_workers=self.jobs, mp_context=_mp_context()
+        )
+
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.jobs, mp_context=_mp_context()
-            )
+            self._pool = self._make_pool()
         return self._pool
 
     # -- cache plumbing ------------------------------------------------- #
@@ -383,10 +628,133 @@ class ParallelRunner:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    # -- scheduler core -------------------------------------------------- #
+
+    def submit(self, request: "RunRequest | MstRequest") -> RunHandle:
+        """Enqueue one request into the shared scheduler, cache-first.
+
+        Hits resolve immediately; a key already in flight returns the
+        existing handle (deduped); a fresh miss is shipped to the pool
+        (or, with ``jobs=1``, executed inline before returning).
+        """
+        key = request_key(request)
+        pending = self._pending.get(key)
+        if pending is not None:
+            self.deduped += 1
+            return pending
+        found, value = self._lookup(key)
+        if found:
+            self.hits += 1
+            return self._resolved_handle(key, value)
+        self.misses += 1
+        return self._launch(key, request)
+
+    def submit_merged(self, key: str, requests: "list[RunRequest]",
+                      merge: Callable[[list[Any]], Any]) -> RunHandle:
+        """Submit a dependent group; ``merge`` runs when the last lands.
+
+        The merged value is memoised in-process under ``key`` (the parts
+        are what the disk cache holds), and the merge callback fires from
+        the drain loop the moment the final part resolves — shard merges
+        do not wait for unrelated work elsewhere in the batch.
+        """
+        if key in self._memory:
+            self.hits += 1
+            return self._resolved_handle(key, self._memory[key])
+        parts = [(index, estimate_cost(request))
+                 for index, request in enumerate(requests)]
+        parts.sort(key=lambda part: -part[1])  # stable: ties keep order
+        handles: list[RunHandle] = [None] * len(requests)  # type: ignore[list-item]
+        for index, _ in parts:
+            handles[index] = self.submit(requests[index])
+        merged = RunHandle(key, self)
+        remaining = [len(handles)]
+
+        def _on_part_done(_: RunHandle) -> None:
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                value = merge([handle._result for handle in handles])
+                self._memory[key] = value
+                merged._resolve(value)
+
+        for handle in handles:
+            handle.add_done_callback(_on_part_done)
+        return merged
+
+    def drain(self) -> None:
+        """Block until every in-flight submission has resolved."""
+        while self._inflight:
+            self._wait_some()
+
+    def _resolved_handle(self, key: str, value: Any) -> RunHandle:
+        handle = RunHandle(key, self)
+        handle._resolve(value)
+        return handle
+
+    def _launch(self, key: str, request: "RunRequest | MstRequest") -> RunHandle:
+        handle = RunHandle(key, self)
+        if self.jobs <= 1:
+            value = compact_result(request, self._execute_inline(request))
+            self._store(key, value)
+            handle._resolve(value)
+            return handle
+        self._pending[key] = handle
+        cache_dir = (str(self.cache.directory)
+                     if self.cache is not None else None)
+        future = self._ensure_pool().submit(
+            execute_and_store, request, cache_dir)
+        self._inflight[future] = (self._submit_seq, key, request, handle)
+        self._submit_seq += 1
+        return handle
+
+    def _execute_inline(self, request: "RunRequest | MstRequest") -> Any:
+        """Serial in-process execution (the ``jobs=1`` degradation)."""
+        return execute_any(request)
+
+    def _wait_any(self, futures: "set[Any]") -> "set[Any]":
+        """Block until at least one future completes (test seam: the
+        scheduler-determinism suite overrides this to force arbitrary
+        completion interleavings)."""
+        done, _ = wait(futures, return_when=FIRST_COMPLETED)
+        return done
+
+    def _wait_some(self) -> None:
+        """Drain at least one completion; fire its callbacks."""
+        if not self._inflight:
+            raise RuntimeError("scheduler drain with nothing in flight")
+        done = self._wait_any(set(self._inflight))
+        # resolve in submission order so callback order is deterministic
+        # even when several futures land in one wait
+        for future in sorted(done, key=lambda f: self._inflight[f][0]):
+            _, key, request, handle = self._inflight.pop(future)
+            value = self._admit(key, request, future.result())
+            self._pending.pop(key, None)
+            handle._resolve(value)
+
+    def _admit(self, key: str, request: Any, value: Any) -> Any:
+        """Turn a worker's return into the cached result value."""
+        if isinstance(value, StoredResult):
+            found, loaded = (self.cache.get(value.key)
+                             if self.cache is not None else (False, None))
+            if found:
+                self._memory[key] = loaded
+                return loaded
+            # the entry vanished between the worker's write and our read
+            # (e.g. a concurrent cache prune); the marker alone cannot
+            # rebuild the result, so recompute inline — correctness over
+            # speed on this cold path
+            value = compact_result(request, self._execute_inline(request))
+        self._store(key, value)
+        return value
+
+    def _drain_until(self, handle: RunHandle) -> None:
+        while not handle._done:
+            self._wait_some()
+
     # -- execution ------------------------------------------------------ #
 
     def run(self, request: "RunRequest | MstRequest") -> Any:
-        """Execute one request, cache-first.
+        """Execute one request, cache-first, in this process.
 
         A cache-missed :class:`MstRequest` runs the *sequential* bracket
         algorithm — the same one ``map()`` ships to workers — so a cache
@@ -398,6 +766,11 @@ class ParallelRunner:
         directly; those searches are not MstRequest-cached.)
         """
         key = request_key(request)
+        pending = self._pending.get(key)
+        if pending is not None:
+            # already in flight from an earlier submit: wait for it
+            self.deduped += 1
+            return pending.result()
         found, value = self._lookup(key)
         if found:
             self.hits += 1
@@ -406,46 +779,51 @@ class ParallelRunner:
         if isinstance(request, MstRequest):
             result = execute_mst(request, runner=self, fan_probes=False)
         else:
-            result = execute_request(request)
+            result = compact_result(request, execute_request(request))
         self._store(key, result)
         return result
 
     def map(self, requests: "list[RunRequest] | list[MstRequest]") -> list[Any]:
-        """Execute a batch; cache misses fan across worker processes.
+        """Execute a batch; misses stream through the shared scheduler.
 
         Results come back in request order and are byte-identical to
         serial execution — workers run the same deterministic simulator,
         they just run it concurrently.  Duplicate requests in one batch
-        are simulated once.
+        are simulated once.  Misses are submitted **longest-first**
+        (:func:`estimate_cost`) and collected as they complete, so the
+        estimated straggler starts immediately and short runs backfill
+        the tail instead of waiting behind a batch barrier.
         """
         keys = [request_key(r) for r in requests]
-        results: dict[str, Any] = {}
-        pending: list[tuple[str, RunRequest]] = []
-        pending_keys: set[str] = set()
+        resolved: dict[str, Any] = {}
+        handles: dict[str, RunHandle] = {}
+        missing: dict[str, Any] = {}
         for key, request in zip(keys, requests):
-            if key in pending_keys:
+            if key in resolved:
+                self.hits += 1
+                continue
+            if key in missing or key in handles:
                 self.deduped += 1
                 continue
-            if key in results:
-                self.hits += 1
+            pending = self._pending.get(key)
+            if pending is not None:
+                # in flight from an earlier submit (cross-batch dedup)
+                self.deduped += 1
+                handles[key] = pending
                 continue
             found, value = self._lookup(key)
             if found:
                 self.hits += 1
-                results[key] = value
+                resolved[key] = value
             else:
                 self.misses += 1
-                pending.append((key, request))
-                pending_keys.add(key)
-        if pending:
-            if self.jobs > 1 and len(pending) > 1:
-                pool = self._ensure_pool()
-                computed = list(
-                    pool.map(execute_any, [r for _, r in pending])
-                )
-            else:
-                computed = [execute_any(r) for _, r in pending]
-            for (key, _), result in zip(pending, computed):
-                self._store(key, result)
-                results[key] = result
-        return [results[key] for key in keys]
+                missing[key] = request
+        order = list(missing.items())
+        order.sort(key=lambda item: -estimate_cost(item[1]))  # stable sort:
+        # equal-cost requests keep submission (request) order
+        for key, request in order:
+            handles[key] = self._launch(key, request)
+        for handle in handles.values():
+            self._drain_until(handle)
+        return [resolved[key] if key in resolved else handles[key]._result
+                for key in keys]

@@ -34,8 +34,9 @@ offered load and are merged best-effort, never invented; the docstring of
 from __future__ import annotations
 
 import math
-from dataclasses import replace
-from typing import TYPE_CHECKING
+import sys
+from dataclasses import fields, is_dataclass, replace
+from typing import TYPE_CHECKING, Any
 
 from repro.dataflow.channels import hash_key
 from repro.dataflow.graph import GraphError, LogicalGraph, Partitioning
@@ -276,7 +277,18 @@ def merge_metrics(parts: list[MetricsCollector]) -> MetricsCollector:
     latest restart; outages merge as the interval union; queue peaks
     report the worst single shard; recovery lines concatenate in shard
     order.
+
+    Compacted collectors (latency digests instead of raw samples) are
+    rejected: per-shard percentiles are not mergeable, which is exactly
+    why the executor never compacts shard partials.
     """
+    if any(metrics.latency_digests is not None for metrics in parts):
+        raise ShardingError(
+            "cannot merge compacted shard results: per-shard latency "
+            "digests are not mergeable (the merge concatenates raw "
+            "samples before taking percentiles); RunResult.compact() "
+            "applies to top-level results only"
+        )
     merged = MetricsCollector()
     for metrics in parts:
         for second, values in metrics.latencies.items():
@@ -346,6 +358,38 @@ def merge_metrics(parts: list[MetricsCollector]) -> MetricsCollector:
     return merged
 
 
+def _canonical(value: Any) -> Any:
+    """Rebuild ``value`` with every string interned (canonical sharing).
+
+    Byte-identical pickles require identical object-*sharing* structure,
+    not just equal values: a string appearing in two shards is one shared
+    (memo-referenced) object when both shards ran in this process, but
+    two distinct equal objects when each shard's result was unpickled
+    from its own IPC message or cache entry.  Interning every string
+    collapses both cases to one canonical form, so a merged result
+    pickles to the same bytes no matter which executor produced the
+    parts.  Containers and dataclasses are rebuilt; scalars pass through
+    (pickle does not memoise numbers, so only strings matter).
+    """
+    if isinstance(value, str):
+        return sys.intern(value)
+    if isinstance(value, tuple):
+        return tuple(_canonical(item) for item in value)
+    if isinstance(value, list):
+        return [_canonical(item) for item in value]
+    if isinstance(value, dict):
+        return {_canonical(key): _canonical(item)
+                for key, item in value.items()}
+    if isinstance(value, (set, frozenset)):
+        return type(value)(_canonical(item) for item in value)
+    if is_dataclass(value) and not isinstance(value, type):
+        return type(value)(**{
+            f.name: _canonical(getattr(value, f.name))
+            for f in fields(value) if f.init
+        })
+    return value
+
+
 def merge_shard_results(results: list[RunResult]) -> RunResult:
     """Merge per-shard :class:`RunResult`\\ s into one run-level result.
 
@@ -361,7 +405,7 @@ def merge_shard_results(results: list[RunResult]) -> RunResult:
     completed = set(first.completed_rounds)
     for result in results[1:]:
         completed &= result.completed_rounds
-    return RunResult(
+    return _canonical(RunResult(
         query=first.query,
         protocol=first.protocol,
         parallelism=first.parallelism,
@@ -372,7 +416,35 @@ def merge_shard_results(results: list[RunResult]) -> RunResult:
         checkpoint_interval=first.checkpoint_interval,
         completed_rounds=completed,
         final_parallelism=first.final_parallelism,
-    )
+    ))
+
+
+def merged_result_key(request: "RunRequest", shard_count: int) -> str:
+    """In-process memo key for the merged result of a shard group.
+
+    Distinct from every request key (the disk cache holds the per-shard
+    parts; the merged result is memoised in the runner only), and bound
+    to the shard count — the same run merged from a different split is a
+    different computation.
+    """
+    from repro.experiments.parallel import request_key
+
+    return f"{request_key(request)}:merged{shard_count}"
+
+
+def submit_sharded(request: "RunRequest", shard_count: int,
+                   runner: "ParallelRunner"):
+    """Submit a shard group into the runner's machine-wide scheduler.
+
+    Returns a :class:`~repro.experiments.parallel.RunHandle` whose value
+    is the merged :class:`~repro.dataflow.results.RunResult`.  Shards are
+    submitted longest-first alongside whatever else is in flight, and the
+    merge runs as a completion callback the moment the last shard lands —
+    it never waits for unrelated runs in the same batch.
+    """
+    requests = shard_requests(request, shard_count)
+    return runner.submit_merged(merged_result_key(request, shard_count),
+                                requests, merge_shard_results)
 
 
 def run_sharded(request: "RunRequest", shard_count: int,
@@ -380,17 +452,15 @@ def run_sharded(request: "RunRequest", shard_count: int,
     """Execute ``request`` as ``shard_count`` key-group shards and merge.
 
     With a :class:`~repro.experiments.parallel.ParallelRunner` attached
-    the shards fan across its worker processes (and land in its run cache
-    individually — a later re-run at a different shard count reuses
+    the shards stream through its shared scheduler (and land in its run
+    cache individually — a later re-run at a different shard count reuses
     nothing, a re-run at the same count reuses everything); without one
     they execute serially in-process, which is still useful for the
     differential tests and for cache warming.
     """
     from repro.experiments.parallel import execute_request
 
-    requests = shard_requests(request, shard_count)
     if runner is not None:
-        results = runner.map(requests)
-    else:
-        results = [execute_request(shard) for shard in requests]
-    return merge_shard_results(results)
+        return submit_sharded(request, shard_count, runner).result()
+    requests = shard_requests(request, shard_count)
+    return merge_shard_results([execute_request(shard) for shard in requests])

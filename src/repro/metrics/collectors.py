@@ -76,6 +76,13 @@ class MetricsCollector:
     # -- latency / throughput ------------------------------------------- #
     #: per-second sink latencies: second -> list of end-to-end latencies
     latencies: dict[int, list[float]] = field(default_factory=dict)
+    #: per-second latency digests (sample count, p50, p99) standing in for
+    #: the raw ``latencies`` samples after
+    #: :meth:`repro.dataflow.results.RunResult.compact` folded them (cache
+    #: format v8, DESIGN.md section 18); ``None`` while raw samples are
+    #: retained.  Shard partials never carry digests — the shard merge
+    #: concatenates raw samples before taking percentiles.
+    latency_digests: dict[int, tuple[int, float, float]] | None = None
     #: per-second count of records reaching sinks
     sink_counts: dict[int, int] = field(default_factory=dict)
     #: per-second count of records ingested by sources

@@ -8,9 +8,12 @@ then bisects with short probe runs.
 
 When a :class:`~repro.experiments.parallel.ParallelRunner` is supplied,
 every *bracket generation* (the geometric ladder, then each bisection
-refinement) is probed as one batch fanned across worker processes, and the
-probe runs land in the runner's content-addressed cache so a re-bracketing
-sweep reuses them.  If every probe of the bracket phase is unsustainable
+refinement) is probed as one batch submitted into the runner's shared
+machine-wide scheduler — the same persistent pool figure batches and
+shard fan-outs use, with the highest (costliest) rungs submitted first
+and completions streamed back as they land — and the probe runs land in
+the runner's content-addressed cache so a re-bracketing sweep reuses
+them.  If every probe of the bracket phase is unsustainable
 the search keeps shrinking; a bracket that never finds a sustainable rate
 returns ``mst=0.0`` with ``bracket_exhausted=True`` instead of reporting a
 rate that was never validated.
@@ -133,7 +136,13 @@ def find_mst(
         )
 
     def probe_many(rates: list[float]) -> list[bool]:
-        """Probe a batch of rates; one generation of the bracket search."""
+        """Probe a batch of rates; one generation of the bracket search.
+
+        Multi-rate generations go through ``runner.map`` — i.e. the
+        shared streaming scheduler, not a private pool — so ladder rungs
+        interleave with whatever else the harness has in flight; a lone
+        rate runs in-process via ``runner.run`` (still cache-first).
+        """
         if runner is not None:
             requests = [build(rate) for rate in rates]
             results = (runner.map(requests) if len(requests) > 1

@@ -10,6 +10,16 @@ The heap stores ``(time, seq, handle)`` tuples rather than the handles
 themselves: tuple comparison runs entirely in C (floats, then ints) and
 never falls back to a Python-level ``__lt__`` call, which measurably
 cheapens every push/pop on the simulator's hottest path.
+
+Cancellation is lazy (the entry stays in the heap and is skipped when it
+surfaces), which keeps scheduling O(log n) — but a workload that cancels
+and reschedules constantly (the adaptive checkpoint-interval controller
+re-consults on every observation) would grow the heap without bound.  The
+queue therefore tracks its cancelled debt and compacts when cancelled
+entries are both numerous and the majority of the heap; compaction only
+removes entries ``pop`` would skip anyway, and heap order is a total
+order on unique ``(time, seq)`` pairs, so the live-event pop sequence is
+provably unchanged.
 """
 
 from __future__ import annotations
@@ -22,10 +32,12 @@ class EventHandle:
     """Handle returned by scheduling calls; supports cancellation.
 
     Cancellation is lazy: the entry stays in the heap and is skipped when it
-    surfaces.  This keeps scheduling O(log n) without heap surgery.
+    surfaces.  This keeps scheduling O(log n) without heap surgery.  The
+    owning queue is notified so it can count its cancelled debt and compact
+    when that debt dominates the heap.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_queue")
 
     def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple) -> None:
         self.time = time
@@ -33,10 +45,16 @@ class EventHandle:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._queue: EventQueue | None = None
 
     def cancel(self) -> None:
-        """Mark the event so the simulator skips it."""
+        """Mark the event so the simulator skips it (idempotent)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        queue = self._queue
+        if queue is not None:
+            queue._note_cancel()
 
     def __lt__(self, other: "EventHandle") -> bool:
         if self.time != other.time:
@@ -51,20 +69,29 @@ class EventHandle:
 class EventQueue:
     """A priority queue of :class:`EventHandle` with deterministic ordering."""
 
-    __slots__ = ("_heap", "_seq")
+    __slots__ = ("_heap", "_seq", "_cancelled")
+
+    #: compaction threshold: rebuild the heap once at least this many
+    #: cancelled entries sit in it *and* they are at least half of it —
+    #: the half condition amortises compaction to O(1) per cancellation,
+    #: the floor keeps tiny queues from compacting on every cancel
+    COMPACT_MIN_CANCELLED = 256
 
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, EventHandle]] = []
         self._seq = 0
+        self._cancelled = 0
 
     def __len__(self) -> int:
-        return len(self._heap)
+        """Live (non-cancelled) events currently scheduled."""
+        return len(self._heap) - self._cancelled
 
     def push(self, time: float, fn: Callable[..., Any], args: tuple = ()) -> EventHandle:
         """Schedule ``fn(*args)`` at virtual time ``time``."""
         seq = self._seq
         self._seq = seq + 1
         handle = EventHandle(time, seq, fn, args)
+        handle._queue = self
         heapq.heappush(self._heap, (time, seq, handle))
         return handle
 
@@ -75,6 +102,7 @@ class EventQueue:
             handle = heapq.heappop(heap)[2]
             if not handle.cancelled:
                 return handle
+            self._cancelled -= 1
         return None
 
     def peek_time(self) -> float | None:
@@ -82,6 +110,7 @@ class EventQueue:
         heap = self._heap
         while heap and heap[0][2].cancelled:
             heapq.heappop(heap)
+            self._cancelled -= 1
         if not heap:
             return None
         return heap[0][0]
@@ -89,3 +118,24 @@ class EventQueue:
     def clear(self) -> None:
         """Drop every pending event."""
         self._heap.clear()
+        self._cancelled = 0
+
+    def _note_cancel(self) -> None:
+        """Count one cancellation; compact when the debt dominates."""
+        self._cancelled += 1
+        if (self._cancelled >= self.COMPACT_MIN_CANCELLED
+                and self._cancelled * 2 >= len(self._heap)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without its cancelled entries.
+
+        Pop order is unchanged: a heap pops entries in ascending
+        ``(time, seq)`` order — a *total* order, since sequence numbers
+        are unique — whatever its internal layout, and compaction only
+        removes entries :meth:`pop` would skip anyway.
+        """
+        self._heap = [entry for entry in self._heap
+                      if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0

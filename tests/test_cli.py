@@ -129,3 +129,44 @@ def test_query_rejects_malformed_arrival_spec(capsys):
     assert code == 2
     err = capsys.readouterr().err
     assert "requires parameter 'period'" in err
+
+
+def test_query_jobs_auto_banner(capsys):
+    # --jobs defaults to 0 == auto: the banner announces the resolution
+    code = main([
+        "query", "q1", "--protocol", "unc", "--parallelism", "2",
+        "--rate", "200", "--duration", "6", "--warmup", "2",
+    ])
+    assert code == 0
+    assert "[jobs] resolved to" in capsys.readouterr().out
+
+
+def test_query_explicit_jobs_prints_no_banner(capsys):
+    code = main([
+        "query", "q1", "--protocol", "unc", "--parallelism", "2",
+        "--rate", "200", "--duration", "6", "--warmup", "2",
+        "--jobs", "1",
+    ])
+    assert code == 0
+    assert "[jobs] resolved to" not in capsys.readouterr().out
+
+
+def test_cache_stats_command(tmp_path, capsys):
+    import pickle
+
+    from repro.experiments.parallel import RunCache
+
+    cache = RunCache(tmp_path)
+    cache.put("deadbeef", {"x": list(range(200))})
+    # a v7-era plain pickle must show up as a stale file, not an error
+    (tmp_path / "oldformat.pkl").write_bytes(pickle.dumps({"y": 1}))
+    assert main(["cache-stats", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "entries          : 1" in out
+    assert "stale files      : 1" in out
+    assert "compressed ratio" in out
+
+
+def test_cache_stats_missing_directory(tmp_path, capsys):
+    assert main(["cache-stats", str(tmp_path / "nope")]) == 2
+    assert "no cache directory" in capsys.readouterr().err

@@ -104,8 +104,11 @@ def test_runner_hits_disk_cache_across_instances(tmp_path):
 # --------------------------------------------------------------------- #
 
 def test_parallel_map_matches_serial_byte_for_byte(tmp_path):
+    """Streaming multi-process execution returns the exact bytes serial
+    single-process execution does — scheduling may reorder work, never
+    change result content (the DESIGN.md §18 invariant)."""
     requests = [req(protocol=p) for p in ("none", "coor", "unc", "cic")]
-    serial = [execute_request(r) for r in requests]
+    serial = ParallelRunner(jobs=1).map(requests)
     with ParallelRunner(jobs=2, cache_dir=tmp_path) as runner:
         parallel = runner.map(requests)
         assert runner.misses == len(requests)
@@ -120,6 +123,23 @@ def test_parallel_map_matches_serial_byte_for_byte(tmp_path):
     assert rerun.hit_ratio >= 0.9
     for a, b in zip(serial, again):
         assert pickle.dumps(a.metrics) == pickle.dumps(b.metrics)
+
+
+def test_compact_results_keep_derived_metrics_identical():
+    """The executor compacts results (drops raw latency samples); every
+    derived metric must equal the raw in-process run's."""
+    raw = execute_request(req())
+    runner_result = ParallelRunner(jobs=1).run(req())
+    assert runner_result.metrics.latency_digests is not None
+    assert runner_result.metrics.latencies == {}
+    assert raw.metrics.latency_digests is None
+    a, b = raw.latency_series(), runner_result.latency_series()
+    assert (a.seconds, a.p50, a.p99) == (b.seconds, b.p50, b.p99)
+    assert raw.sustainable(300.0) == runner_result.sustainable(300.0)
+    assert raw.goodput() == runner_result.goodput()
+    assert raw.avg_checkpoint_time() == runner_result.avg_checkpoint_time()
+    # compact() is idempotent
+    assert runner_result.compact() is runner_result
 
 
 def test_map_deduplicates_identical_requests():

@@ -1,6 +1,9 @@
 """Unit tests for the event queue primitives."""
 
 
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.sim.events import EventHandle, EventQueue
 
 
@@ -116,3 +119,70 @@ def test_many_events_stay_sorted():
     while (h := q.pop()) is not None:
         popped.append(h.time)
     assert popped == sorted(times)
+
+
+# --------------------------------------------------------------------- #
+# Threshold-triggered compaction
+# --------------------------------------------------------------------- #
+
+class _EagerQueue(EventQueue):
+    """EventQueue with the compaction floor lowered so small property-test
+    workloads actually cross it."""
+
+    COMPACT_MIN_CANCELLED = 4
+
+
+def _drain(queue: EventQueue) -> list[int]:
+    out = []
+    while (h := queue.pop()) is not None:
+        out.append(h.seq)
+    return out
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(
+    st.tuples(st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+              st.booleans()),
+    max_size=64,
+))
+def test_compaction_never_changes_live_event_order(plan):
+    """Property: under any push/cancel sequence, a compacting queue pops
+    exactly the live events a never-compacting queue pops, in the same
+    order, and its live ``len()`` tracks the reference throughout."""
+    compacting, reference = _EagerQueue(), EventQueue()
+    live_reference: list[EventHandle] = []
+    for time, cancel in plan:
+        a = compacting.push(time, lambda: None)
+        b = reference.push(time, lambda: None)
+        if cancel:
+            a.cancel()
+            b.cancel()
+        else:
+            live_reference.append(b)
+        assert len(compacting) == len(live_reference)
+    assert _drain(compacting) == _drain(reference)
+    assert len(compacting) == 0
+
+
+def test_compaction_fires_and_shrinks_the_heap():
+    q = _EagerQueue()
+    handles = [q.push(float(i), lambda: None) for i in range(16)]
+    for h in handles[:12]:
+        h.cancel()
+    # 12 cancelled >= floor(4) and >= half of 16: the heap was rebuilt
+    assert len(q._heap) == 4
+    assert q._cancelled == 0
+    assert len(q) == 4
+    assert [h.seq for h in iter(q.pop, None)] == [12, 13, 14, 15]
+
+
+def test_double_cancel_counts_once():
+    q = _EagerQueue()
+    keep = q.push(1.0, lambda: None)
+    victim = q.push(2.0, lambda: None)
+    victim.cancel()
+    victim.cancel()  # idempotent: debt counted once, no double decrement
+    assert q._cancelled == 1
+    assert len(q) == 1
+    assert q.pop() is keep
+    assert q.pop() is None
